@@ -1,0 +1,46 @@
+"""Ablations of the §3.1.1 design choices (DESIGN.md experiment index).
+
+Quantifies what each RocksDB customization buys LSMIO on the simulated
+cluster: the paper's configuration (everything off) should be at or near
+the top, and re-enabling the WAL should cost the most.
+"""
+
+from repro.bench.ablations import ABLATION_VARIANTS, run_ablations
+from repro.bench.figures import default_cluster
+
+
+def test_ablations(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_ablations(default_cluster(), num_tasks=8,
+                              bytes_per_round="4M", rounds=6),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.table())
+
+    variants = result.variants
+    paper = variants["paper-config"]
+
+    # Every variant ran.
+    assert set(variants) == set(ABLATION_VARIANTS)
+
+    # Re-enabling the WAL costs write bandwidth (every put writes the
+    # log before the memtable; the flush then writes the data again).
+    assert variants["wal-enabled"] < 0.85 * paper
+
+    # Compaction burns bandwidth re-merging immutable checkpoints.
+    assert variants["compaction-enabled"] < 0.85 * paper
+
+    # Compression costs CPU and wins nothing on incompressible state.
+    assert variants["compression-enabled"] < 0.85 * paper
+
+    # Forcing synchronous mid-checkpoint flushes loses the overlap.
+    assert variants["sync-writes-2M-buffer"] < variants["buffer-2M"] * 1.05
+
+    # The paper's config is at or near the best of all variants.
+    best = max(variants.values())
+    assert paper > 0.95 * best
+
+    # The LevelDB-style batch emulation works but cannot beat the
+    # direct RocksDB-style write-through (it keeps its WAL).
+    assert variants["leveldb-backend"] < paper

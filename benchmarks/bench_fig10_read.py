@@ -1,0 +1,44 @@
+"""Figure 10: read bandwidth across the formats (paper §4.5).
+
+Shape targets: ADIOS2 reads best and scales; LSMIO close behind (paper:
+within 23.3% on average) and several times above the IOR baseline; HDF5
+reads are catastrophically slow; collective reads don't help IOR.
+"""
+
+from conftest import run_figure
+
+from repro.bench.figures import fig10_read
+
+
+def test_fig10_shape(benchmark):
+    figure = run_figure(benchmark, fig10_read)
+    print()
+    print(figure.table())
+
+    last = -1
+    ior = figure.series["ior"][last]
+    ior_col = figure.series["ior+col"][last]
+    hdf5 = figure.series["hdf5"][last]
+    adios2 = figure.series["adios2"][last]
+    lsmio = figure.series["lsmio"][last]
+    plugin = figure.series["lsmio-plugin"][last]
+
+    # ADIOS2 and LSMIO far outread the baseline at max concurrency.
+    assert lsmio / ior > 2
+    assert adios2 / ior > 2
+
+    # LSMIO reads land near (mostly below) ADIOS2 — the paper's 23.3%.
+    mean_fraction = figure.ratios[
+        "LSMIO/ADIOS2 read, mean over sweep (paper 0.767)"
+    ][0]
+    assert 0.5 < mean_fraction < 1.2
+
+    # Native LSMIO reads beat the plugin path (same pattern as writes).
+    assert lsmio > plugin
+
+    # HDF5 reads are orders of magnitude below everything else.
+    assert ior / hdf5 > 5
+    assert lsmio / hdf5 > 25
+
+    # Collective reads do not improve the baseline (paper: they hurt).
+    assert ior_col <= 1.2 * ior

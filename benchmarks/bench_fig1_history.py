@@ -1,0 +1,20 @@
+"""Figure 1: compute vs. I/O growth on the #1 system (paper §1).
+
+Regenerates the introduction's headline numbers from the embedded
+historical record: 1074.1× compute growth vs 46.3×/25.5× I/O growth.
+"""
+
+from repro.bench.fig1_history import fig1_history, format_fig1
+
+
+def test_fig1_history(benchmark):
+    result = benchmark.pedantic(fig1_history, rounds=1, iterations=1)
+    print()
+    print(format_fig1(result))
+
+    # The paper's §1 numbers, exactly (the data is the public record).
+    assert round(result["compute_growth"], 1) == 1074.1
+    assert round(result["io_growth_ssd"], 1) == 46.3
+    assert round(result["io_growth_hdd"], 1) == 25.5
+    # Two orders of magnitude between compute and I/O growth.
+    assert result["compute_growth"] / result["io_growth_ssd"] > 20

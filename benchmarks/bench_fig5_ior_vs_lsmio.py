@@ -1,0 +1,36 @@
+"""Figure 5: IOR baseline vs LSMIO write bandwidth (paper §4.1).
+
+Shape targets: IOR scales while nodes <= stripe count then drops hard at
+64K; 1M outperforms 64K at high concurrency; LSMIO starts below IOR but
+keeps scaling and wins decisively at 48 nodes.
+"""
+
+from conftest import run_figure
+
+from repro.bench.figures import fig5_ior_vs_lsmio
+
+
+def test_fig5_shape(benchmark):
+    figure = run_figure(benchmark, fig5_ior_vs_lsmio)
+    print()
+    print(figure.table())
+
+    nodes = figure.node_counts
+    ior64 = figure.series["ior/64K"]
+    lsmio64 = figure.series["lsmio/64K"]
+
+    # The cliff: IOR 64K peaks at/near the stripe count, then collapses.
+    assert ior64[0] == max(ior64)
+    assert max(ior64) / ior64[-1] > 3
+
+    # LSMIO keeps scaling: monotone over the sweep.
+    assert lsmio64 == sorted(lsmio64)
+
+    # LSMIO loses (or ~ties) at low concurrency, wins big at the top.
+    assert lsmio64[0] < 1.2 * ior64[0]
+    assert lsmio64[-1] / ior64[-1] > 5
+
+    # Block size matters for IOR at high concurrency, not for LSMIO.
+    assert figure.series["ior/1M"][-1] / ior64[-1] > 3
+    lsmio_ratio = figure.series["lsmio/1M"][-1] / lsmio64[-1]
+    assert 0.5 < lsmio_ratio < 2.0

@@ -1,0 +1,38 @@
+"""Figure 6: HDF5 and ADIOS2 vs IOR baseline and LSMIO (paper §4.2).
+
+Shape targets at max concurrency: LSMIO > ADIOS2 > IOR baseline >> HDF5,
+with HDF5 roughly flat across node counts.
+"""
+
+from conftest import run_figure
+
+from repro.bench.figures import fig6_hdf5_adios2
+
+
+def test_fig6_shape(benchmark):
+    figure = run_figure(benchmark, fig6_hdf5_adios2)
+    print()
+    print(figure.table())
+
+    last = -1
+    lsmio = figure.series["lsmio/64K"][last]
+    adios2 = figure.series["adios2/64K"][last]
+    ior = figure.series["ior/64K"][last]
+    hdf5 = figure.series["hdf5/64K"][last]
+
+    # The paper's ordering at 48 nodes.
+    assert lsmio > adios2 > ior > hdf5
+
+    # Magnitudes: LSMIO beats ADIOS2 by a small factor, HDF5 by a huge one.
+    assert 1.3 < lsmio / adios2 < 5
+    assert lsmio / hdf5 > 30
+
+    # ADIOS2 surpasses the baseline by ~an order of magnitude.
+    assert figure.ratios["ADIOS2 vs IOR at max concurrency (64K)"][0] > 4
+
+    # HDF5 is flat: no meaningful scaling with node count.
+    hdf5_series = figure.series["hdf5/64K"]
+    assert max(hdf5_series) / min(hdf5_series) < 3
+
+    # HDF5 benefits strongly from the larger block size (paper: 9.9x).
+    assert figure.series["hdf5/1M"][last] / hdf5 > 4

@@ -1,0 +1,29 @@
+"""Figure 7: the LSMIO plugin lands between ADIOS2 and native LSMIO
+(paper §4.3): ~1.5x over ADIOS2, ~1.5x under LSMIO.
+"""
+
+from conftest import run_figure
+
+from repro.bench.figures import fig7_plugin
+
+
+def test_fig7_shape(benchmark):
+    figure = run_figure(benchmark, fig7_plugin)
+    print()
+    print(figure.table())
+
+    for transfer in ("64K", "1M"):
+        adios2 = figure.series[f"adios2/{transfer}"][-1]
+        plugin = figure.series[f"lsmio-plugin/{transfer}"][-1]
+        native = figure.series[f"lsmio/{transfer}"][-1]
+
+        # Strict middle position at max concurrency.
+        assert adios2 < plugin < native
+
+        # Each step is a modest constant factor (paper: ~1.5x each).
+        assert 1.1 < plugin / adios2 < 2.5
+        assert 1.1 < native / plugin < 2.5
+
+    # All three engines keep scaling with node count (paper §4.3).
+    for label, series in figure.series.items():
+        assert series[-1] > series[0], label

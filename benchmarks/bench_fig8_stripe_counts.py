@@ -1,0 +1,28 @@
+"""Figure 8: the Figure-7 ordering holds across stripe counts 4 and 16
+(paper §4.3: "Different stripe sizes and counts show similar results").
+"""
+
+from conftest import run_figure
+
+from repro.bench.figures import fig8_stripe_counts
+
+
+def test_fig8_shape(benchmark):
+    figure = run_figure(benchmark, fig8_stripe_counts)
+    print()
+    print(figure.table())
+
+    for stripe_count in (4, 16):
+        adios2 = figure.series[f"adios2/sc{stripe_count}"][-1]
+        plugin = figure.series[f"lsmio-plugin/sc{stripe_count}"][-1]
+        native = figure.series[f"lsmio/sc{stripe_count}"][-1]
+        # The ordering is insensitive to the stripe count.
+        assert adios2 < plugin < native
+
+    # And the two stripe counts give broadly similar absolute results
+    # for the LSM-backed engines (per-rank DBs spread over all OSTs
+    # regardless).
+    for api in ("lsmio", "lsmio-plugin"):
+        sc4 = figure.series[f"{api}/sc4"][-1]
+        sc16 = figure.series[f"{api}/sc16"][-1]
+        assert 0.4 < sc16 / sc4 < 2.5

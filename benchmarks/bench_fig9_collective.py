@@ -1,0 +1,43 @@
+"""Figure 9: collective I/O for IOR and HDF5 vs LSMIO (paper §4.4).
+
+Shape targets: collective buffering lifts the IOR baseline by a large
+factor once the baseline has fallen off its cliff; LSMIO (no collective
+implementation needed) still beats IOR+collective; collective HDF5 is no
+silver bullet.  Also exercises the paper's §5.1 future-work series:
+LSMIO's own MPI-collective mode.
+"""
+
+from conftest import run_figure
+
+from repro.bench.figures import fig9_collective
+
+
+def test_fig9_shape(benchmark):
+    figure = run_figure(benchmark, fig9_collective)
+    print()
+    print(figure.table())
+
+    last = -1
+    ior = figure.series["ior"][last]
+    ior_col = figure.series["ior+col"][last]
+    hdf5 = figure.series["hdf5"][last]
+    hdf5_col = figure.series["hdf5+col"][last]
+    lsmio = figure.series["lsmio"][last]
+
+    # Collective buffering rescues the strided baseline dramatically.
+    assert ior_col / ior > 4
+
+    # LSMIO outperforms even the collectivized baseline (paper: 2.2x).
+    assert lsmio > ior_col
+
+    # Collective HDF5 is far below collective IOR: the metadata path
+    # stays serialized no matter how the data moves.
+    assert hdf5_col < ior_col / 5
+
+    # Collective never rescues HDF5 to baseline-IOR levels either.
+    assert hdf5_col < ior
+
+    # §5.1 future work: the grouped-aggregation LSMIO mode runs and
+    # produces usable bandwidth (within an order of magnitude of native).
+    lsmio_col = figure.series["lsmio+col(fw)"][last]
+    assert lsmio_col > lsmio / 10

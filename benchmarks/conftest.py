@@ -1,0 +1,29 @@
+"""Shared settings for the figure benchmarks.
+
+Each ``bench_fig*.py`` regenerates one of the paper's figures at reduced
+scale (node counts 4/16/48, 4 MiB per task by default) so the whole suite
+stays tractable on one machine; ``python -m repro.bench <figN>`` runs the
+full sweeps.  The ``benchmark`` fixture wraps one deterministic run; the
+assertions check the figure's *shape* (who wins, where the crossovers
+fall), which is the reproduction target per DESIGN.md.
+"""
+
+import pytest
+
+#: reduced sweep used by the pytest-benchmark wrappers
+BENCH_NODE_COUNTS = (4, 16, 48)
+BENCH_BYTES_PER_TASK = 4 << 20
+
+
+@pytest.fixture(scope="session")
+def bench_nodes():
+    return BENCH_NODE_COUNTS
+
+
+def run_figure(benchmark, figure_fn, **kwargs):
+    """Run a figure driver once under pytest-benchmark and return it."""
+    kwargs.setdefault("node_counts", BENCH_NODE_COUNTS)
+    kwargs.setdefault("bytes_per_task", BENCH_BYTES_PER_TASK)
+    return benchmark.pedantic(
+        lambda: figure_fn(**kwargs), rounds=1, iterations=1
+    )

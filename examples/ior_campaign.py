@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""A miniature IOR campaign on the simulated Viking cluster.
+
+Sweeps the paper's five APIs over a few node counts and prints the
+Figure-5/6-style table — the fastest way to see the paper's headline
+result take shape.  For the full figure sweeps use
+``python -m repro.bench fig5`` etc.
+
+    python examples/ior_campaign.py [--nodes 4 16 48]
+"""
+
+import argparse
+import sys
+
+from repro.ior import IorConfig, run_ior
+from repro.ior.report import format_results_table
+from repro.pfs.configs import viking
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--nodes", type=int, nargs="+", default=[4, 16, 48])
+    parser.add_argument("--transfer", default="64K")
+    parser.add_argument("--per-task", default="2M")
+    args = parser.parse_args()
+
+    from repro.util.humanize import parse_size
+
+    transfer = parse_size(args.transfer)
+    per_task = parse_size(args.per_task)
+    cluster = viking(store_data=False, client_jitter=0.8e-3)
+
+    series: dict[str, list[float]] = {}
+    for api in ("posix", "hdf5", "adios2", "lsmio-plugin", "lsmio"):
+        label = "ior" if api == "posix" else api
+        series[label] = []
+        for nodes in args.nodes:
+            config = IorConfig(
+                api=api,
+                num_tasks=nodes,
+                block_size=transfer,
+                transfer_size=transfer,
+                segment_count=max(1, per_task // transfer),
+                stripe_count=4,
+                stripe_size=transfer,
+            )
+            result = run_ior(config, cluster)
+            series[label].append(result.max_write_bw)
+            print(f"  {label:12s} N={nodes:3d}: "
+                  f"{result.max_write_bw / (1 << 20):8.1f} MB/s",
+                  file=sys.stderr)
+
+    print()
+    print(format_results_table(
+        f"IOR campaign — write bandwidth, transfer {args.transfer}, "
+        "stripe count 4 (simulated Viking)",
+        args.nodes,
+        series,
+    ))
+    last = -1
+    print()
+    print(f"LSMIO vs IOR baseline at {args.nodes[last]} nodes: "
+          f"{series['lsmio'][last] / series['ior'][last]:.1f}x "
+          "(paper: up to 23.1x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""repro — a from-scratch Python reproduction of LSMIO (Bulut & Wright, SC-W 2023).
+
+LSMIO routes HPC checkpoint data through a log-structured merge-tree so that
+bursty, write-once checkpoint traffic reaches a parallel file system as large
+sequential appends.  This package contains:
+
+- :mod:`repro.lsm` — a complete LSM-tree storage engine (memtable, WAL,
+  SSTables, compaction, block cache) with the customization knobs LSMIO
+  relies on (disable WAL / compression / caching / compaction, sync/async
+  writes, buffer and block size control);
+- :mod:`repro.core` — the LSMIO library itself: the K/V manager, the
+  FStream API and the ADIOS2-style plugin engine;
+- :mod:`repro.sim`, :mod:`repro.mpi`, :mod:`repro.pfs` — a discrete-event
+  simulation substrate (MPI ranks, Lustre file system with OSTs/OSSs/MDS and
+  an HDD mechanics model) used to reproduce the paper's cluster experiments;
+- :mod:`repro.iolibs` — operation-faithful models of the comparator
+  libraries (POSIX/IOR baseline, HDF5, ADIOS2 BP5) over the simulated PFS;
+- :mod:`repro.ior` — an IOR benchmark clone driving all of the above;
+- :mod:`repro.bench` — per-figure experiment harnesses.
+
+Quickstart::
+
+    from repro.core import LsmioManager, LsmioOptions
+
+    mgr = LsmioManager("/tmp/ckpt-db", LsmioOptions())
+    mgr.put("rank0/field/temperature", b"...bytes...")
+    mgr.write_barrier()
+    assert mgr.get("rank0/field/temperature") == b"...bytes..."
+    mgr.close()
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,41 @@
+"""Per-figure experiment harnesses.
+
+Each ``figN`` function regenerates the corresponding figure of the paper
+on the simulated Viking cluster and returns a :class:`FigureResult`
+(node-count series per API, paper-style ASCII table, and the headline
+ratios the paper reports).  ``python -m repro.bench <figN|all|ablations>``
+prints them; the ``benchmarks/`` pytest-benchmark suite wraps the same
+functions at reduced scale.
+"""
+
+from repro.bench.figures import (
+    FigureResult,
+    default_cluster,
+    fig5_ior_vs_lsmio,
+    fig6_hdf5_adios2,
+    fig7_plugin,
+    fig8_stripe_counts,
+    fig9_collective,
+    fig10_read,
+)
+from repro.bench.fig1_history import fig1_history
+from repro.bench.ablations import (
+    run_ablations,
+    run_collective_group_sweep,
+    run_media_comparison,
+)
+
+__all__ = [
+    "FigureResult",
+    "default_cluster",
+    "fig1_history",
+    "fig5_ior_vs_lsmio",
+    "fig6_hdf5_adios2",
+    "fig7_plugin",
+    "fig8_stripe_counts",
+    "fig9_collective",
+    "fig10_read",
+    "run_ablations",
+    "run_collective_group_sweep",
+    "run_media_comparison",
+]

@@ -1,0 +1,125 @@
+"""CLI: regenerate the paper's figures on the simulated cluster.
+
+Usage::
+
+    python -m repro.bench fig5            # one figure, full sweep
+    python -m repro.bench all             # every figure
+    python -m repro.bench fig1            # the introduction's growth plot
+    python -m repro.bench ablations       # §3.1.1 design-choice ablations
+    python -m repro.bench fig6 --nodes 4 16 48 --quick --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.ablations import (
+    run_ablations,
+    run_collective_group_sweep,
+    run_media_comparison,
+)
+from repro.bench.fig1_history import fig1_history, format_fig1
+from repro.bench.figures import (
+    DEFAULT_NODE_COUNTS,
+    FIGURES,
+    default_cluster,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables/figures (simulated Viking).",
+    )
+    parser.add_argument(
+        "target",
+        choices=sorted(FIGURES) + [
+            "fig1", "ablations", "media", "groups", "all",
+        ],
+        help="which figure to regenerate",
+    )
+    parser.add_argument(
+        "--nodes", type=int, nargs="+", default=None,
+        help=f"node counts to sweep (default {DEFAULT_NODE_COUNTS})",
+    )
+    parser.add_argument(
+        "--bytes-per-task", default=None,
+        help="per-rank checkpoint volume (default 8M)",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=1,
+        help="repetitions per point; max reported (paper used 10)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small sweep (nodes 4/16/48, 2M per task)",
+    )
+    parser.add_argument("--json", help="also dump results to this JSON file")
+    args = parser.parse_args(argv)
+
+    node_counts = tuple(args.nodes) if args.nodes else DEFAULT_NODE_COUNTS
+    bytes_per_task = args.bytes_per_task or "8M"
+    if args.quick:
+        node_counts = tuple(args.nodes) if args.nodes else (4, 16, 48)
+        bytes_per_task = args.bytes_per_task or "2M"
+    from repro.util.humanize import parse_size
+
+    bytes_per_task = parse_size(bytes_per_task)
+
+    payload: dict = {}
+    if args.target == "fig1":
+        result = fig1_history()
+        print(format_fig1(result))
+        payload["fig1"] = result
+    elif args.target == "ablations":
+        result = run_ablations(default_cluster())
+        print(result.table())
+        payload["ablations"] = result.variants
+    elif args.target == "groups":
+        result = run_collective_group_sweep(default_cluster())
+        print("Collective-mode group-size sweep — LSMIO, 48 nodes, 64K")
+        print("=" * 56)
+        for group, bandwidth in result.items():
+            label = "native (per-rank stores)" if group == 1 else f"group={group}"
+            print(f"  {label:26s} {bandwidth / (1 << 20):8.1f} MB/s")
+        print("Aggregation saves metadata but serializes at the "
+              "aggregator's NIC past ~4 ranks/group.")
+        payload["groups"] = result
+    elif args.target == "media":
+        result = run_media_comparison()
+        mib = 1 << 20
+        print("Media ablation — LSMIO vs IOR baseline, 16 nodes, 64K")
+        print("=" * 54)
+        for media in ("hdd", "ssd"):
+            print(f"  {media.upper()}: ior={result[f'posix/{media}'] / mib:8.1f} "
+                  f"lsmio={result[f'lsmio/{media}'] / mib:8.1f} MB/s "
+                  f"(LSMIO advantage {result[f'lsmio_advantage_{media}']:.1f}x)")
+        print("LSMIO's edge is the seek arithmetic: flash erases most of it.")
+        payload["media"] = result
+    else:
+        targets = sorted(FIGURES) if args.target == "all" else [args.target]
+        for name in targets:
+            figure = FIGURES[name](
+                node_counts=node_counts,
+                bytes_per_task=bytes_per_task,
+                repetitions=args.reps,
+            )
+            print(figure.table())
+            print()
+            payload[name] = {
+                "node_counts": figure.node_counts,
+                "series": figure.series,
+                "ratios": figure.ratios,
+            }
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"results written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,225 @@
+"""Ablation benchmarks for the §3.1.1 design choices.
+
+The paper *asserts* that disabling the WAL, compression, caching, and
+compaction is the right configuration for checkpoint data; these
+experiments quantify each choice on the simulated cluster.
+
+The workload is the checkpoint lifecycle the paper motivates: several
+rounds of (put every block, write barrier) per rank — repeated rounds are
+what give compaction something to merge and make the WAL/sync costs
+visible.  Payloads are incompressible (seeded random bytes), as real
+simulation state is; compression CPU is charged through the engine's
+``cpu_charge`` hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro import sim
+from repro.core.manager import LsmioManager
+from repro.core.options import LsmioOptions
+from repro.mpi import run_world
+from repro.pfs.client import LustreClient
+from repro.pfs.lustre import LustreCluster, LustreConfig
+from repro.pfs.simenv import SimLustreEnv
+from repro.util.humanize import parse_size
+
+#: modeled CPU rates (bytes/s) for engine work under simulation
+MEMTABLE_BANDWIDTH = float(800 << 20)
+COMPRESSION_BANDWIDTH = float(150 << 20)
+
+
+def _cpu_charge(nbytes: int, kind: str) -> None:
+    if kind == "compress":
+        sim.sleep(nbytes / COMPRESSION_BANDWIDTH)
+    else:
+        sim.sleep(nbytes / MEMTABLE_BANDWIDTH)
+
+
+@dataclass
+class AblationResult:
+    """Write bandwidth per configuration variant (bytes/s)."""
+
+    num_tasks: int
+    transfer_size: int
+    rounds: int
+    variants: dict[str, float] = field(default_factory=dict)
+
+    def table(self) -> str:
+        base = self.variants.get("paper-config")
+        lines = [
+            (
+                f"Ablations — LSMIO write bandwidth, {self.num_tasks} nodes, "
+                f"{self.rounds} checkpoint rounds"
+            ),
+            "=" * 64,
+            f"{'variant':<28} {'MB/s':>10} {'vs paper-config':>16}",
+        ]
+        for name, bandwidth in self.variants.items():
+            rel = f"{bandwidth / base:6.2f}x" if base else "-"
+            lines.append(
+                f"{name:<28} {bandwidth / (1 << 20):>10.1f} {rel:>16}"
+            )
+        return "\n".join(lines)
+
+
+#: variant name → LsmioOptions overrides
+ABLATION_VARIANTS = {
+    # The configuration the paper ships (§3.1.1): everything disabled.
+    "paper-config": {},
+    # Re-enable the write-ahead log: every put hits the log file first.
+    "wal-enabled": {"enable_wal": True},
+    # Re-enable leveled compaction: background merges burn bandwidth.
+    "compaction-enabled": {"enable_compaction": True},
+    # Re-enable zlib compression of data blocks (CPU per byte, no size
+    # win on incompressible checkpoint state).
+    "compression-enabled": {"enable_compression": True},
+    # Re-enable the block cache (write path: pure maintenance overhead,
+    # expected ~neutral — the paper disables it for the read side).
+    "caching-enabled": {"enable_caching": True},
+    # Synchronous writes: with the paper's 32M buffer nothing flushes
+    # before the barrier, so the option is visible only with a smaller
+    # buffer that forces mid-checkpoint flushes.
+    "sync-writes-2M-buffer": {"sync_writes": True, "write_buffer_size": "2M"},
+    # LevelDB-style backend: WAL kept, writes batched (§3.1.2).
+    "leveldb-backend": {"backend": "leveldb"},
+    # Aggregation buffer sweep around the paper's 32M.
+    "buffer-2M": {"write_buffer_size": "2M"},
+    "buffer-8M": {"write_buffer_size": "8M"},
+    "buffer-128M": {"write_buffer_size": "128M"},
+}
+
+
+def _ablation_rank(comm, variant: dict, transfer: int, per_round: int,
+                   rounds: int) -> float:
+    """One rank's repeated-checkpoint workload; returns its write time."""
+    cluster = comm.world._cluster
+    client = LustreClient(cluster, comm.rank)
+    env = SimLustreEnv(client, stripe_count=4, stripe_size=transfer,
+                      readahead="2M")
+    options = LsmioOptions(cpu_charge=_cpu_charge, **variant)
+    manager = LsmioManager(
+        f"abl.lsmio/rank{comm.rank}", options=options, env=env
+    )
+    rng = np.random.default_rng(comm.rank)
+    blocks_per_round = per_round // transfer
+    comm.barrier()
+    start = sim.now()
+    for round_index in range(rounds):
+        for block in range(blocks_per_round):
+            payload = rng.bytes(transfer)  # incompressible, as real state
+            manager.put(f"ckpt{round_index}/b{block:05d}", payload)
+        manager.write_barrier(sync=True)
+    comm.barrier()
+    elapsed = sim.now() - start
+    manager.close()
+    return elapsed
+
+
+def run_media_comparison(
+    num_tasks: int = 16,
+    transfer_size: int | str = "64K",
+    bytes_per_task: int | str = "8M",
+) -> dict:
+    """LSMIO's edge on spinning vs. flash OSTs (DESIGN.md ablation).
+
+    The paper's premise is HDD-foundational storage ("HDDs are still
+    foundational building blocks", §1).  This experiment re-runs the
+    Figure-5 comparison on a hypothetical flash-tier Viking: with no
+    positioning penalty, the strided baseline stops collapsing and the
+    LSM advantage shrinks — quantifying how much of LSMIO's win is the
+    seek arithmetic.
+    """
+    from repro.ior import IorConfig, run_ior
+    from repro.pfs.configs import viking, viking_ssd_tier
+
+    transfer = parse_size(transfer_size)
+    per_task = parse_size(bytes_per_task)
+    out: dict = {}
+    for media, config_fn in (("hdd", viking), ("ssd", viking_ssd_tier)):
+        cluster = config_fn(store_data=False, client_jitter=0.8e-3)
+        for api in ("posix", "lsmio"):
+            config = IorConfig(
+                api=api,
+                num_tasks=num_tasks,
+                block_size=transfer,
+                transfer_size=transfer,
+                segment_count=max(1, per_task // transfer),
+                stripe_count=4,
+                stripe_size=transfer,
+            )
+            out[f"{api}/{media}"] = run_ior(config, cluster).max_write_bw
+    out["lsmio_advantage_hdd"] = out["lsmio/hdd"] / out["posix/hdd"]
+    out["lsmio_advantage_ssd"] = out["lsmio/ssd"] / out["posix/ssd"]
+    return out
+
+
+def run_collective_group_sweep(
+    cluster_config: LustreConfig,
+    num_tasks: int = 48,
+    transfer_size: int | str = "64K",
+    bytes_per_task: int | str = "4M",
+    group_sizes: tuple = (1, 2, 4, 8, 16, 48),
+) -> dict:
+    """Sweep the §5.1 collective mode's aggregation ratio.
+
+    ``group_size=1`` is native LSMIO (a store per rank); larger groups
+    funnel more ranks through one aggregator's store — fewer files and
+    fewer MDS ops, but the aggregator's NIC and flush path serialize the
+    group's data.  The sweep quantifies that trade-off.
+    """
+    from repro.ior import IorConfig, run_ior
+
+    transfer = parse_size(transfer_size)
+    per_task = parse_size(bytes_per_task)
+    out = {}
+    for group in group_sizes:
+        if group > num_tasks:
+            continue
+        params = {} if group <= 1 else {"collective_group_size": group}
+        config = IorConfig(
+            api="lsmio",
+            num_tasks=num_tasks,
+            block_size=transfer,
+            transfer_size=transfer,
+            segment_count=max(1, per_task // transfer),
+            stripe_count=4,
+            stripe_size=transfer,
+            engine_params=params,
+        )
+        out[group] = run_ior(config, cluster_config).max_write_bw
+    return out
+
+
+def run_ablations(
+    cluster_config: LustreConfig,
+    num_tasks: int = 16,
+    transfer_size: int | str = "64K",
+    bytes_per_round: int | str = "4M",
+    rounds: int = 6,
+    variants: Optional[dict] = None,
+) -> AblationResult:
+    """Measure every variant under the repeated-checkpoint workload."""
+    transfer = parse_size(transfer_size)
+    per_round = parse_size(bytes_per_round)
+    result = AblationResult(
+        num_tasks=num_tasks, transfer_size=transfer, rounds=rounds
+    )
+    total_bytes = num_tasks * per_round * rounds
+    for name, overrides in (variants or ABLATION_VARIANTS).items():
+        with sim.Engine() as engine:
+            cluster = LustreCluster(engine, cluster_config)
+
+            def setup(world, cluster=cluster):
+                world._cluster = cluster
+
+            times = run_world(
+                num_tasks, _ablation_rank, dict(overrides), transfer,
+                per_round, rounds, engine=engine, world_setup=setup,
+            )
+        result.variants[name] = total_bytes / max(times)
+    return result

@@ -1,0 +1,106 @@
+"""Figure 1: compute vs. I/O bandwidth growth on the #1 system, 2008–2023.
+
+The paper's introduction plots the headline compute performance (Top500
+Rmax) and the headline parallel-file-system bandwidth of the #1 machine
+from the start of the PetaFLOP era to the ExaFLOP era, concluding that
+compute grew 1074.1× while PFS bandwidth grew 46.3× (SSD tier) / 25.5×
+(HDD tier).  The series below embeds the public record the paper cites
+(Top500 lists; machine storage documentation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SystemRecord:
+    year: int
+    system: str
+    rmax_pflops: float          # Top500 Rmax, PetaFLOP/s
+    pfs_bandwidth_gbs: float    # headline PFS bandwidth, GB/s
+    tier: str = "HDD"
+
+
+#: #1 systems at the paper's sample points (Top500 June lists).
+HISTORY: tuple[SystemRecord, ...] = (
+    SystemRecord(2008, "Roadrunner", 1.026, 216.0),
+    SystemRecord(2010, "Jaguar", 1.759, 240.0),
+    SystemRecord(2012, "Sequoia", 16.325, 850.0),
+    SystemRecord(2013, "Tianhe-2", 33.863, 1000.0),
+    SystemRecord(2016, "Sunway TaihuLight", 93.015, 288.0),
+    SystemRecord(2018, "Summit", 122.3, 2500.0),
+    SystemRecord(2020, "Fugaku", 415.53, 1500.0),
+    SystemRecord(2022, "Frontier", 1102.0, 5500.0, tier="HDD"),
+    SystemRecord(2022, "Frontier (SSD tier)", 1102.0, 10000.0, tier="SSD"),
+)
+
+
+def compute_growth() -> float:
+    """Compute growth 2008 → 2022 (paper: 1074.1×)."""
+    first = HISTORY[0]
+    last = max(HISTORY, key=lambda r: r.rmax_pflops)
+    return last.rmax_pflops / first.rmax_pflops
+
+
+def io_growth(tier: str = "SSD") -> float:
+    """PFS bandwidth growth 2008 → 2022 (paper: 46.3× SSD, 25.5× HDD)."""
+    first = HISTORY[0]
+    candidates = [r for r in HISTORY if r.year == 2022 and r.tier == tier]
+    return candidates[0].pfs_bandwidth_gbs / first.pfs_bandwidth_gbs
+
+
+def doubling_period_years(total_growth: float, years: float) -> float:
+    """How many years per doubling the observed growth implies."""
+    import math
+
+    return years / math.log2(total_growth)
+
+
+def fig1_history() -> dict:
+    """Regenerate the Figure 1 series + the §1 headline numbers."""
+    years = 2022 - 2008
+    result = {
+        "series": [
+            {
+                "year": rec.year,
+                "system": rec.system,
+                "rmax_pflops": rec.rmax_pflops,
+                "pfs_gbs": rec.pfs_bandwidth_gbs,
+                "tier": rec.tier,
+            }
+            for rec in HISTORY
+        ],
+        "compute_growth": compute_growth(),
+        "io_growth_ssd": io_growth("SSD"),
+        "io_growth_hdd": io_growth("HDD"),
+        "compute_doubling_years": doubling_period_years(compute_growth(), years),
+        "io_doubling_years": doubling_period_years(io_growth("SSD"), years),
+    }
+    return result
+
+
+def format_fig1(result: dict) -> str:
+    lines = [
+        "Figure 1 — #1-system compute vs. PFS bandwidth growth",
+        "=" * 56,
+        f"{'year':>4}  {'system':<22} {'Rmax (PF/s)':>12} {'PFS (GB/s)':>11}",
+    ]
+    for row in result["series"]:
+        lines.append(
+            f"{row['year']:>4}  {row['system']:<22} "
+            f"{row['rmax_pflops']:>12.3f} {row['pfs_gbs']:>11.0f}"
+        )
+    lines += [
+        "",
+        f"compute growth 2008→2022: {result['compute_growth']:.1f}x "
+        "(paper: 1074.1x)",
+        f"I/O growth (SSD tier):    {result['io_growth_ssd']:.1f}x "
+        "(paper: 46.3x)",
+        f"I/O growth (HDD tier):    {result['io_growth_hdd']:.1f}x "
+        "(paper: 25.5x)",
+        f"compute doubling every {result['compute_doubling_years'] * 12:.0f} "
+        "months (paper: ~18); I/O every "
+        f"{result['io_doubling_years']:.1f} years (paper: ~3)",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,284 @@
+"""The FStream API (Table 3): a C++-iostream-like facade over the store.
+
+"In essence this becomes a user-space POSIX implementation" (§3.1.6): a
+named file is stored as fixed-size chunks under keys
+``f\\x00<name>\\x00<chunk index>`` plus a size record, so sequential
+checkpoint streams become append-friendly chunk puts while ``seekp`` still
+works anywhere (read-modify-write of the affected chunks).
+
+Class-level ``initialize``/``cleanup``/``write_barrier`` mirror the
+paper's static methods: one shared store serves every stream.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ClosedError, InvalidArgumentError, NotFoundError
+from repro.lsm.env import Env
+from repro.core.options import LsmioOptions
+from repro.core.store import LsmioStore
+from repro.util.varint import decode_fixed64, encode_fixed64
+
+_FILE_PREFIX = b"f\x00"
+_SIZE_PREFIX = b"s\x00"
+
+DEFAULT_CHUNK_SIZE = 1 << 20
+
+
+def _chunk_key(name: bytes, index: int) -> bytes:
+    return _FILE_PREFIX + name + b"\x00" + f"{index:016d}".encode()
+
+
+def _size_key(name: bytes) -> bytes:
+    return _SIZE_PREFIX + name
+
+
+class LsmioFStream:
+    """One open stream.  Modes: ``"w"`` (truncate), ``"r"``, ``"a"``."""
+
+    _store: Optional[LsmioStore] = None
+    # Safe to hold across the store's (possibly simulated) open/close I/O.
+    from repro.sim.locks import AdaptiveRLock as _AdaptiveRLock
+
+    _store_lock = _AdaptiveRLock()
+
+    # -- static lifecycle (Table 3) -----------------------------------------
+
+    @classmethod
+    def initialize(
+        cls,
+        path: str,
+        options: Optional[LsmioOptions] = None,
+        env: Optional[Env] = None,
+    ) -> None:
+        """Open the shared LSMIO store all streams write to."""
+        with cls._store_lock:
+            if cls._store is not None:
+                raise InvalidArgumentError("FStream already initialized")
+            cls._store = LsmioStore(path, options=options, env=env)
+
+    @classmethod
+    def cleanup(cls) -> None:
+        """Close the shared store."""
+        with cls._store_lock:
+            if cls._store is not None:
+                cls._store.close()
+                cls._store = None
+
+    @classmethod
+    def write_barrier(cls) -> None:
+        """Flush all pending writes to disk; blocks until done."""
+        store = cls._require_store()
+        store.write_barrier(sync=True)
+
+    @classmethod
+    def _require_store(cls) -> LsmioStore:
+        store = cls._store
+        if store is None:
+            raise InvalidArgumentError("FStream.initialize() has not been called")
+        return store
+
+    # -- instance API ---------------------------------------------------------
+
+    def __init__(
+        self,
+        name: str,
+        mode: str = "w",
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        store: Optional[LsmioStore] = None,
+    ):
+        if mode not in ("r", "w", "a"):
+            raise InvalidArgumentError(f"bad mode {mode!r}")
+        if chunk_size <= 0:
+            raise InvalidArgumentError("chunk_size must be positive")
+        self._store_ref = store if store is not None else self._require_store()
+        self.name = name
+        self._key = name.encode()
+        self.mode = mode
+        self.chunk_size = chunk_size
+        self._failed = False
+        self._closed = False
+        self._size = 0
+        if mode == "r":
+            try:
+                self._size = self._load_size()
+            except NotFoundError:
+                self._failed = True
+            self._pos = 0
+        elif mode == "a":
+            try:
+                self._size = self._load_size()
+            except NotFoundError:
+                self._size = 0
+            self._pos = self._size
+        else:  # w: truncate
+            self._truncate_existing()
+            self._pos = 0
+        # Current dirty chunk cache (index, bytearray) for write coalescing.
+        self._dirty_index: Optional[int] = None
+        self._dirty_data: Optional[bytearray] = None
+
+    # -- iostream-flavoured state ------------------------------------------
+
+    def good(self) -> bool:
+        """True when the stream is usable (C++ ``good()``)."""
+        return not self._failed and not self._closed
+
+    def fail(self) -> bool:
+        """True after an unrecoverable stream error (C++ ``fail()``)."""
+        return self._failed
+
+    def tellp(self) -> int:
+        """Current position."""
+        return self._pos
+
+    def seekp(self, offset: int, whence: int = 0) -> "LsmioFStream":
+        """Reposition: whence 0 = begin, 1 = current, 2 = end."""
+        if whence == 0:
+            target = offset
+        elif whence == 1:
+            target = self._pos + offset
+        elif whence == 2:
+            target = self._size + offset
+        else:
+            raise InvalidArgumentError(f"bad whence {whence}")
+        if target < 0:
+            self._failed = True
+            return self
+        self._pos = target
+        return self
+
+    def rdbuf(self) -> bytes:
+        """Entire current contents (C++ ``rdbuf()`` convenience)."""
+        self._flush_dirty()
+        return self._read_range(0, self._size)
+
+    # -- data ------------------------------------------------------------
+
+    def write(self, data: bytes) -> "LsmioFStream":
+        """Write at the current position, growing the file as needed."""
+        self._check_writable()
+        data = bytes(data)
+        position = self._pos
+        remaining = memoryview(data)
+        while len(remaining):
+            index = position // self.chunk_size
+            within = position % self.chunk_size
+            room = self.chunk_size - within
+            piece = remaining[:room]
+            self._write_into_chunk(index, within, bytes(piece))
+            position += len(piece)
+            remaining = remaining[len(piece):]
+        self._pos = position
+        self._size = max(self._size, position)
+        return self
+
+    def read(self, nbytes: int = -1) -> bytes:
+        """Read from the current position (to EOF when ``nbytes < 0``)."""
+        if self._closed:
+            raise ClosedError("stream is closed")
+        if self._failed:
+            return b""
+        if nbytes < 0:
+            nbytes = max(0, self._size - self._pos)
+        self._flush_dirty()
+        out = self._read_range(self._pos, nbytes)
+        self._pos += len(out)
+        return out
+
+    def flush(self) -> "LsmioFStream":
+        """Persist dirty chunk + size record (no durability barrier)."""
+        self._check_writable(allow_readonly=True)
+        self._flush_dirty()
+        if self.mode != "r":
+            self._store_ref.put(_size_key(self._key), encode_fixed64(self._size))
+        return self
+
+    def close(self) -> None:
+        """Flush and mark the stream unusable.
+
+        LSMIO "calls the write-barrier implicitly at the end of the
+        checkpoint file write" (§3.1.1).
+        """
+        if self._closed:
+            return
+        if self.mode != "r" and not self._failed:
+            self.flush()
+            self._store_ref.write_barrier(sync=True)
+        self._closed = True
+
+    def __enter__(self) -> "LsmioFStream":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- internals ---------------------------------------------------------
+
+    def _check_writable(self, allow_readonly: bool = False) -> None:
+        if self._closed:
+            raise ClosedError("stream is closed")
+        if self.mode == "r" and not allow_readonly:
+            raise InvalidArgumentError("stream opened read-only")
+
+    def _load_size(self) -> int:
+        return decode_fixed64(self._store_ref.get(_size_key(self._key)))
+
+    def _truncate_existing(self) -> None:
+        try:
+            old_size = self._load_size()
+        except NotFoundError:
+            return
+        for index in range((old_size + self.chunk_size - 1) // self.chunk_size):
+            self._store_ref.delete(_chunk_key(self._key, index))
+        self._store_ref.delete(_size_key(self._key))
+
+    def _write_into_chunk(self, index: int, within: int, piece: bytes) -> None:
+        if self._dirty_index != index:
+            self._flush_dirty()
+            self._dirty_index = index
+            self._dirty_data = bytearray(self._load_chunk(index))
+        chunk = self._dirty_data
+        end = within + len(piece)
+        if end > len(chunk):
+            chunk.extend(b"\x00" * (end - len(chunk)))
+        chunk[within:end] = piece
+
+    def _flush_dirty(self) -> None:
+        if self._dirty_index is not None and self._dirty_data is not None:
+            self._store_ref.put(
+                _chunk_key(self._key, self._dirty_index),
+                bytes(self._dirty_data),
+            )
+            self._dirty_index = None
+            self._dirty_data = None
+
+    def _load_chunk(self, index: int) -> bytes:
+        try:
+            return self._store_ref.get(_chunk_key(self._key, index))
+        except NotFoundError:
+            return b""
+
+    def _read_range(self, offset: int, nbytes: int) -> bytes:
+        end = min(offset + nbytes, self._size)
+        if end <= offset:
+            return b""
+        pieces = []
+        position = offset
+        while position < end:
+            index = position // self.chunk_size
+            within = position % self.chunk_size
+            take = min(end - position, self.chunk_size - within)
+            chunk = self._load_chunk(index)
+            piece = chunk[within : within + take]
+            if len(piece) < take:  # hole
+                piece += b"\x00" * (take - len(piece))
+            pieces.append(piece)
+            position += take
+        return b"".join(pieces)
+
+
+def fstream_open(name: str, mode: str = "w", **kwargs) -> LsmioFStream:
+    """Factory function (the paper's FStream factory method)."""
+    return LsmioFStream(name, mode=mode, **kwargs)

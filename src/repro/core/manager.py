@@ -1,0 +1,351 @@
+"""The LSMIO Manager (Table 2): local store + MPI integration + K/V API.
+
+"The LSMIO manager manages the local store as well as the MPI
+integration.  It also provides the functionality for the external K/V
+interface with needs such as an append function, enabling MPI options,
+multiple put methods for different data types, performance counters, and
+an optional factory method" (§3.1.4).
+
+Collective I/O (§3.1.3 / §5.1 future work, implemented here): when
+constructed with ``collective=True`` and a communicator, ranks are grouped
+(``collective_group_size`` consecutive ranks per group) and only each
+group's first rank owns a store; other members forward their operations as
+MPI messages, so "a single LSM-tree store [is] created for all or a group
+of nodes participating in checkpointing".
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterator, Optional
+
+from repro.errors import ClosedError, InvalidArgumentError
+from repro.lsm.env import Env
+from repro.core.counters import PerfCounters, ambient_clock
+from repro.core.options import LsmioOptions
+from repro.core.serialization import deserialize_value, serialize_value
+from repro.core.store import LsmioStore
+
+_OPS_CHANNEL = "lsmio.ops"
+
+
+def _reply_channel(rank: int) -> str:
+    return f"lsmio.reply.{rank}"
+
+
+def _as_key(key: bytes | str) -> bytes:
+    if isinstance(key, str):
+        return key.encode("utf-8")
+    if isinstance(key, (bytes, bytearray)):
+        return bytes(key)
+    raise InvalidArgumentError(f"keys must be bytes or str, got {type(key)}")
+
+
+def _as_value(value: bytes | str) -> bytes:
+    if isinstance(value, str):
+        return value.encode("utf-8")
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return bytes(value)
+    raise InvalidArgumentError(
+        f"raw values must be bytes or str, got {type(value)}; "
+        "use put_typed() for numbers and arrays"
+    )
+
+
+class LsmioManager:
+    """The external K/V interface of LSMIO."""
+
+    _registry: dict[str, "LsmioManager"] = {}
+    _registry_lock = threading.Lock()
+
+    def __init__(
+        self,
+        path: str,
+        options: Optional[LsmioOptions] = None,
+        env: Optional[Env] = None,
+        comm=None,
+        collective: bool = False,
+        collective_group_size: Optional[int] = None,
+    ):
+        self.path = path
+        self.options = options or LsmioOptions()
+        self.comm = comm
+        self.counters = PerfCounters()
+        self._closed = False
+
+        self.collective = bool(collective and comm is not None and comm.size > 1)
+        if collective and comm is None:
+            raise InvalidArgumentError("collective mode requires a communicator")
+        if self.collective:
+            group = collective_group_size or comm.size
+            if group < 1:
+                raise InvalidArgumentError("collective_group_size must be >= 1")
+            self.aggregator_rank = (comm.rank // group) * group
+            self._group_ranks = [
+                r
+                for r in range(self.aggregator_rank, self.aggregator_rank + group)
+                if r < comm.size
+            ]
+        else:
+            self.aggregator_rank = comm.rank if comm is not None else 0
+            self._group_ranks = [self.aggregator_rank]
+
+        self.is_aggregator = (
+            not self.collective or comm.rank == self.aggregator_rank
+        )
+        self.store: Optional[LsmioStore] = None
+        self._server = None
+        if self.is_aggregator:
+            self.store = LsmioStore(path, options=self.options, env=env)
+            if self.collective:
+                self._start_server()
+
+    # ------------------------------------------------------------------
+    # K/V API (Table 2)
+    # ------------------------------------------------------------------
+
+    def put(self, key: bytes | str, value: bytes | str, sync: Optional[bool] = None) -> None:
+        """Write the value locally or remotely (collective I/O)."""
+        key, value = _as_key(key), _as_value(value)
+        start = ambient_clock()
+        self._forward_or_apply(("put", key, value, sync))
+        self.counters.record("put", len(value), ambient_clock() - start)
+
+    def append(self, key: bytes | str, value: bytes | str, sync: Optional[bool] = None) -> None:
+        """Append to the existing value, locally or remotely."""
+        key, value = _as_key(key), _as_value(value)
+        start = ambient_clock()
+        self._forward_or_apply(("append", key, value, sync))
+        self.counters.record("append", len(value), ambient_clock() - start)
+
+    def delete(self, key: bytes | str) -> None:
+        """Delete the value, locally or remotely."""
+        key = _as_key(key)
+        self._forward_or_apply(("delete", key, b"", None))
+        self.counters.record("delete")
+
+    def get(self, key: bytes | str) -> bytes:
+        """Get the value for the key.  Always synchronous (Table 2)."""
+        key = _as_key(key)
+        start = ambient_clock()
+        self._check_open()
+        if self.is_aggregator:
+            value = self.store.get(key)
+        else:
+            self.comm.channel_send(
+                _OPS_CHANNEL, ("get", self.comm.rank, key), self.aggregator_rank
+            )
+            status, payload = self.comm.channel_recv(
+                _reply_channel(self.comm.rank)
+            )
+            if status == "err":
+                raise payload
+            value = payload
+        self.counters.record("get", len(value), ambient_clock() - start)
+        return value
+
+    def write_barrier(self, sync: bool = True) -> None:
+        """Flush buffered writes locally or remotely (collective I/O)."""
+        start = ambient_clock()
+        self._check_open()
+        if self.is_aggregator:
+            self.store.write_barrier(sync=sync)
+        else:
+            self.comm.channel_send(
+                _OPS_CHANNEL,
+                ("barrier", self.comm.rank, sync),
+                self.aggregator_rank,
+            )
+            self.comm.channel_recv(_reply_channel(self.comm.rank))
+        self.counters.record("barrier", elapsed=ambient_clock() - start)
+
+    # -- typed puts (Table 2: "multiple put methods for different data types")
+
+    def put_typed(self, key: bytes | str, value: Any, sync: Optional[bool] = None) -> None:
+        """Write a typed value (str, int, float, numpy array, bytes)."""
+        key = _as_key(key)
+        payload = serialize_value(value)
+        start = ambient_clock()
+        self._forward_or_apply(("put", key, payload, sync))
+        self.counters.record("put", len(payload), ambient_clock() - start)
+
+    def get_typed(self, key: bytes | str) -> Any:
+        """Read back a value written by :meth:`put_typed`."""
+        return deserialize_value(self.get(key))
+
+    def get_batch(self, keys) -> dict:
+        """Batch point lookups: {key: value-or-None}.
+
+        The §5.1 future-work read path: probing in sorted order turns the
+        block accesses sequential, letting client readahead do the work a
+        point-lookup stream wastes.
+        """
+        keys = [_as_key(k) for k in keys]
+        start = ambient_clock()
+        self._check_open()
+        if self.is_aggregator:
+            out = self.store.multi_get(keys)
+        else:
+            self.comm.channel_send(
+                _OPS_CHANNEL, ("mget", self.comm.rank, keys),
+                self.aggregator_rank,
+            )
+            status, payload = self.comm.channel_recv(
+                _reply_channel(self.comm.rank)
+            )
+            if status == "err":
+                raise payload
+            out = payload
+        nbytes = sum(len(v) for v in out.values() if v is not None)
+        self.counters.record("get", nbytes, ambient_clock() - start)
+        return out
+
+    def read_prefix(self, prefix: bytes | str) -> list[tuple[bytes, bytes]]:
+        """Bulk restore: every (key, value) under ``prefix``, by one scan.
+
+        One sequential sweep over the SSTables (§5.1: "sequential or
+        batch read of the variables from the LSM-Tree into memory
+        instead of random reading of each key").
+        """
+        prefix = _as_key(prefix)
+        start = ambient_clock()
+        self._check_open()
+        if not self.is_aggregator:
+            raise InvalidArgumentError(
+                "read_prefix is served by the aggregator rank in "
+                "collective mode"
+            )
+        stop = prefix + b"\xff" * 8
+        out = [
+            (key, value)
+            for key, value in self.store.scan(prefix, stop)
+            if key.startswith(prefix)
+        ]
+        nbytes = sum(len(v) for _, v in out)
+        self.counters.record("get", nbytes, ambient_clock() - start)
+        return out
+
+    def scan(
+        self, start: Optional[bytes] = None, stop: Optional[bytes] = None
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Ordered range scan (aggregator-local; §5.1 batch-read path)."""
+        self._check_open()
+        if not self.is_aggregator:
+            raise InvalidArgumentError(
+                "scan is served by the aggregator rank in collective mode"
+            )
+        return self.store.scan(start, stop)
+
+    # ------------------------------------------------------------------
+    # Collective plumbing
+    # ------------------------------------------------------------------
+
+    def _forward_or_apply(self, op: tuple) -> None:
+        self._check_open()
+        kind, key, value, sync = op
+        if self.is_aggregator:
+            if kind == "put":
+                self.store.put(key, value, sync=sync)
+            elif kind == "append":
+                self.store.append(key, value, sync=sync)
+            else:
+                self.store.delete(key)
+        else:
+            self.comm.channel_send(_OPS_CHANNEL, op, self.aggregator_rank)
+
+    def _start_server(self) -> None:
+        """Spawn the aggregator's service loop as a daemon sim process."""
+        from repro import sim
+
+        engine = sim.current_engine()
+        members = [r for r in self._group_ranks if r != self.comm.rank]
+        self._server = engine.spawn(
+            self._serve, set(members), name=f"lsmio-agg{self.comm.rank}",
+            daemon=True,
+        )
+
+    def _serve(self, members: set) -> None:
+        """Handle forwarded operations until every member disconnects."""
+        from repro.errors import ReproError
+
+        live = set(members)
+        while live:
+            msg = self.comm.channel_recv(_OPS_CHANNEL)
+            kind = msg[0]
+            if kind in ("put", "append", "delete"):
+                _, key, value, sync = msg
+                if kind == "put":
+                    self.store.put(key, value, sync=sync)
+                elif kind == "append":
+                    self.store.append(key, value, sync=sync)
+                else:
+                    self.store.delete(key)
+            elif kind == "get":
+                _, src, key = msg
+                try:
+                    reply = ("ok", self.store.get(key))
+                except ReproError as exc:
+                    reply = ("err", exc)
+                self.comm.channel_send(_reply_channel(src), reply, src)
+            elif kind == "mget":
+                _, src, keys = msg
+                try:
+                    reply = ("ok", self.store.multi_get(keys))
+                except ReproError as exc:
+                    reply = ("err", exc)
+                self.comm.channel_send(_reply_channel(src), reply, src)
+            elif kind == "barrier":
+                _, src, sync = msg
+                self.store.write_barrier(sync=sync)
+                self.comm.channel_send(_reply_channel(src), ("ok", None), src)
+            elif kind == "close":
+                _, src = msg
+                live.discard(src)
+            else:
+                raise InvalidArgumentError(f"unknown collective op {kind!r}")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def get_or_create(cls, path: str, **kwargs) -> "LsmioManager":
+        """Factory (Table 2): one manager instance per path."""
+        with cls._registry_lock:
+            manager = cls._registry.get(path)
+            if manager is None or manager._closed:
+                manager = cls(path, **kwargs)
+                cls._registry[path] = manager
+            return manager
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ClosedError("manager is closed")
+
+    def close(self) -> None:
+        """Barrier, disconnect from the aggregator, release the store."""
+        if self._closed:
+            return
+        if self.is_aggregator:
+            if self._server is not None:
+                # Wait for all members to disconnect before closing.
+                from repro import sim
+
+                if self._server.alive:
+                    sim.wait(self._server.done)
+            self.store.close()
+        else:
+            self.write_barrier(sync=True)
+            self.comm.channel_send(
+                _OPS_CHANNEL, ("close", self.comm.rank), self.aggregator_rank
+            )
+        self._closed = True
+        with self._registry_lock:
+            if self._registry.get(self.path) is self:
+                del self._registry[self.path]
+
+    def __enter__(self) -> "LsmioManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

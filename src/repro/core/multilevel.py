@@ -1,0 +1,180 @@
+"""Multi-level checkpointing on top of LSMIO (the §2.1 design space).
+
+The paper's background surveys multi-level checkpointing — buffering to
+local storage, mirroring to partner nodes, and periodically draining to
+the parallel file system (SCR/CRUISE [refs 27, 33], partner replication
+[ref 48]).  This module composes those levels from the pieces this
+repository already has:
+
+- **Level 1 — local**: an :class:`LsmioManager` on node-local storage
+  (any Env: a local directory, or a node-local slice of the simulated
+  cluster);
+- **Level 2 — partner**: the serialized checkpoint is mirrored to a
+  partner rank's local store over MPI, so a single-node loss is
+  recoverable from the partner (XOR/parity schemes in the literature
+  generalize this);
+- **Level 3 — PFS**: every ``pfs_every``-th checkpoint also lands in a
+  PFS-backed LSMIO store — the full-system-failure tier the paper's
+  write path accelerates.
+
+``restore_latest`` searches the levels fastest-first, exactly the
+recovery ladder the multi-level literature prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.errors import InvalidArgumentError, NotFoundError
+from repro.core.manager import LsmioManager
+from repro.core.serialization import deserialize_value, serialize_value
+
+_PARTNER_CHANNEL = "mlckpt.partner"
+
+
+@dataclass
+class CheckpointRecord:
+    """What ``restore_latest`` returns."""
+
+    step: int
+    level: str      # "local" | "partner" | "pfs"
+    payload: Any
+
+
+class MultilevelCheckpointer:
+    """SCR-style tiered checkpoints over LSMIO stores.
+
+    ``local`` is this rank's level-1 store; ``pfs`` (optional) the
+    level-3 store; ``comm`` (optional) enables level-2 partner mirroring
+    with partner rank ``(rank + 1) % size``.
+    """
+
+    def __init__(
+        self,
+        local: LsmioManager,
+        pfs: Optional[LsmioManager] = None,
+        comm=None,
+        pfs_every: int = 4,
+    ):
+        if pfs_every < 1:
+            raise InvalidArgumentError("pfs_every must be >= 1")
+        self.local = local
+        self.pfs = pfs
+        self.comm = comm
+        self.pfs_every = pfs_every
+        self._count = 0
+
+    # -- write side --------------------------------------------------------
+
+    def checkpoint(self, step: int, payload: Any) -> list[str]:
+        """Write one checkpoint; returns the levels it reached.
+
+        Level 1 always; level 2 when a communicator is attached (both
+        partners exchange, so the call is symmetric and deadlock-free);
+        level 3 on every ``pfs_every``-th call.
+        """
+        blob = serialize_value(payload)
+        levels = ["local"]
+        self.local.put(self._key("own", step), blob)
+        self.local.put(self._key("own", "latest"), str(step))
+        self.local.write_barrier()
+
+        if self.comm is not None and self.comm.size > 1:
+            partner_blob = self._exchange_with_partner(step, blob)
+            if partner_blob is not None:
+                partner_step, data = partner_blob
+                self.local.put(self._key("partner", partner_step), data)
+                self.local.put(
+                    self._key("partner", "latest"), str(partner_step)
+                )
+                self.local.write_barrier()
+                levels.append("partner")
+
+        self._count += 1
+        if self.pfs is not None and self._count % self.pfs_every == 0:
+            self.pfs.put(self._key("own", step), blob)
+            self.pfs.put(self._key("own", "latest"), str(step))
+            self.pfs.write_barrier()
+            levels.append("pfs")
+        return levels
+
+    def _exchange_with_partner(self, step: int, blob: bytes):
+        """Symmetric mirror exchange with rank±1 (ring neighbours)."""
+        right = (self.comm.rank + 1) % self.comm.size
+        left = (self.comm.rank - 1) % self.comm.size
+        # Send my checkpoint to the right neighbour; hold my left
+        # neighbour's copy.  sendrecv keeps the ring deadlock-free.
+        received = self.comm.sendrecv(
+            (step, blob), dest=right, source=left, tag=4040
+        )
+        return received
+
+    # -- read side -----------------------------------------------------------
+
+    def restore_latest(self) -> CheckpointRecord:
+        """Recover the newest checkpoint, fastest level first.
+
+        Order: own local copy → partner's mirror of *this* rank (fetched
+        over MPI) → the PFS copy.  **Collective** when a communicator is
+        attached: every rank must call it (each rank serves its left
+        neighbour's mirror request even if its own local copy is fine —
+        the standard SCR restart protocol).  Raises
+        :class:`NotFoundError` when no level holds one.
+        """
+        record: Optional[CheckpointRecord] = None
+        try:
+            step = int(self.local.get(self._key("own", "latest")))
+            blob = self.local.get(self._key("own", step))
+            record = CheckpointRecord(step, "local", deserialize_value(blob))
+        except NotFoundError:
+            pass
+
+        if self.comm is not None and self.comm.size > 1:
+            partner_record = self._fetch_from_partner()
+            if record is None:
+                record = partner_record
+        if record is not None:
+            return record
+
+        if self.pfs is not None:
+            try:
+                step = int(self.pfs.get(self._key("own", "latest")))
+                blob = self.pfs.get(self._key("own", step))
+                return CheckpointRecord(step, "pfs", deserialize_value(blob))
+            except NotFoundError:
+                pass
+        raise NotFoundError("no checkpoint at any level")
+
+    def _fetch_from_partner(self) -> Optional[CheckpointRecord]:
+        """Ask the right neighbour for its mirror of my checkpoints.
+
+        Collective: every rank must call ``restore_latest`` (the standard
+        SCR restart is a collective operation).
+        """
+        right = (self.comm.rank + 1) % self.comm.size
+        left = (self.comm.rank - 1) % self.comm.size
+        # Serve the left neighbour's request while asking the right.
+        try:
+            latest = int(self.local.get(self._key("partner", "latest")))
+            blob = self.local.get(self._key("partner", latest))
+            for_left = (latest, blob)
+        except NotFoundError:
+            for_left = None
+        mine = self.comm.sendrecv(for_left, dest=left, source=right, tag=4041)
+        if mine is None:
+            return None
+        step, blob = mine
+        return CheckpointRecord(step, "partner", deserialize_value(blob))
+
+    # -- maintenance ---------------------------------------------------------
+
+    def drop_local(self) -> None:
+        """Simulate losing this node's local storage (for tests/demos)."""
+        for key, _ in list(self.local.scan()):
+            self.local.delete(key)
+        self.local.write_barrier()
+
+    @staticmethod
+    def _key(kind: str, step) -> str:
+        return f"ml/{kind}/{step}"

@@ -1,0 +1,85 @@
+"""LSMIO configuration: the paper's §3.1.1 customization set, as options.
+
+The defaults *are* the paper's configuration: WAL off, compression off,
+block cache off, compaction off, 32 MB write buffer.  ``to_engine_options``
+renders them onto the underlying LSM engine.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import InvalidArgumentError
+from repro.lsm.options import ChecksumType, CompressionType, Options
+from repro.util.humanize import parse_size
+
+
+class Backend(enum.Enum):
+    """Which LSM-store behaviour to emulate (§3.1.2).
+
+    ``ROCKSDB`` writes through directly (the WAL can be disabled).
+    ``LEVELDB`` cannot disable its WAL, so LSMIO aggregates updates in a
+    ``WriteBatch`` and applies them at ``stopBatch``/``writeBarrier``.
+    """
+
+    ROCKSDB = "rocksdb"
+    LEVELDB = "leveldb"
+
+
+@dataclass
+class LsmioOptions:
+    """User-facing configuration for stores and managers."""
+
+    backend: Backend = Backend.ROCKSDB
+
+    # --- the §3.1.1 knobs, paper defaults -------------------------------
+    enable_wal: bool = False
+    enable_compression: bool = False
+    enable_caching: bool = False
+    enable_compaction: bool = False
+    #: True → puts return only after reaching the engine and (for sync
+    #: barriers) stable storage; False → flushes overlap computation and
+    #: ``write_barrier`` collects them (the paper's async mode).
+    sync_writes: bool = False
+    use_mmap: bool = False
+    #: in-memory aggregation buffer (matches ADIOS2's BufferChunkSize in
+    #: the paper's benchmarks)
+    write_buffer_size: int | str = "32M"
+    block_size: int | str = "4K"
+    # ---------------------------------------------------------------------
+
+    checksum: str | ChecksumType = ChecksumType.ZLIB_CRC32
+    bloom_bits_per_key: int = 10
+    #: charge hook for modeled CPU cost under simulation (None = off)
+    cpu_charge: Optional[object] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.backend, str):
+            self.backend = Backend(self.backend.lower())
+        self.write_buffer_size = parse_size(self.write_buffer_size)
+        self.block_size = parse_size(self.block_size)
+        if self.write_buffer_size <= 0 or self.block_size <= 0:
+            raise InvalidArgumentError("buffer and block size must be positive")
+        if isinstance(self.checksum, str):
+            self.checksum = ChecksumType(self.checksum)
+
+    def to_engine_options(self) -> Options:
+        """Render onto the LSM engine's option set."""
+        return Options(
+            enable_wal=self.enable_wal,
+            compression=(
+                CompressionType.ZLIB
+                if self.enable_compression
+                else CompressionType.NONE
+            ),
+            enable_block_cache=self.enable_caching,
+            enable_compaction=self.enable_compaction,
+            use_mmap_reads=self.use_mmap,
+            write_buffer_size=self.write_buffer_size,
+            block_size=self.block_size,
+            checksum=self.checksum,
+            bloom_bits_per_key=self.bloom_bits_per_key,
+            cpu_charge=self.cpu_charge,
+        )

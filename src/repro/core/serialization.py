@@ -1,0 +1,105 @@
+"""Value serialization for the typed K/V API and the ADIOS2 plugin.
+
+"When implementing multi-dimensional writes as an ADIOS2 plugin we use a
+simple serialization into a string to be stored in the lower layers of our
+stack" (§3.1.7).  The wire form is a compact self-describing header — a
+magic byte, a type tag, and for arrays the dtype string and shape — then
+raw little-endian payload bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Union
+
+import numpy as np
+
+from repro.errors import CorruptionError, InvalidArgumentError
+
+_MAGIC = 0xB5
+
+_TAG_BYTES = 0
+_TAG_STR = 1
+_TAG_INT = 2
+_TAG_FLOAT = 3
+_TAG_ARRAY = 4
+_TAG_JSON = 5
+
+
+def serialize_value(value: Any) -> bytes:
+    """Encode a supported Python/numpy value to bytes."""
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return bytes([_MAGIC, _TAG_BYTES]) + bytes(value)
+    if isinstance(value, str):
+        return bytes([_MAGIC, _TAG_STR]) + value.encode("utf-8")
+    if isinstance(value, bool):
+        raise InvalidArgumentError("bool values are not supported")
+    if isinstance(value, int):
+        return bytes([_MAGIC, _TAG_INT]) + struct.pack("<q", value)
+    if isinstance(value, float):
+        return bytes([_MAGIC, _TAG_FLOAT]) + struct.pack("<d", value)
+    if isinstance(value, (dict, list, tuple)):
+        import json
+
+        try:
+            body = json.dumps(value).encode("utf-8")
+        except (TypeError, ValueError) as exc:
+            raise InvalidArgumentError(
+                f"containers must be JSON-serializable: {exc}"
+            ) from exc
+        return bytes([_MAGIC, _TAG_JSON]) + body
+    if isinstance(value, np.ndarray):
+        dtype = value.dtype.str.encode("ascii")
+        header = struct.pack("<BB", len(dtype), value.ndim)
+        header += dtype
+        header += struct.pack(f"<{value.ndim}q", *value.shape)
+        return (
+            bytes([_MAGIC, _TAG_ARRAY])
+            + header
+            + np.ascontiguousarray(value).tobytes()
+        )
+    raise InvalidArgumentError(f"unsupported value type {type(value)!r}")
+
+
+def deserialize_value(data: bytes) -> Union[bytes, str, int, float, np.ndarray]:
+    """Decode bytes produced by :func:`serialize_value`."""
+    if len(data) < 2 or data[0] != _MAGIC:
+        raise CorruptionError("bad serialized value header")
+    tag = data[1]
+    body = data[2:]
+    if tag == _TAG_BYTES:
+        return bytes(body)
+    if tag == _TAG_STR:
+        return body.decode("utf-8")
+    if tag == _TAG_INT:
+        if len(body) != 8:
+            raise CorruptionError("bad int payload")
+        return struct.unpack("<q", body)[0]
+    if tag == _TAG_FLOAT:
+        if len(body) != 8:
+            raise CorruptionError("bad float payload")
+        return struct.unpack("<d", body)[0]
+    if tag == _TAG_JSON:
+        import json
+
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise CorruptionError("bad JSON payload") from exc
+    if tag == _TAG_ARRAY:
+        if len(body) < 2:
+            raise CorruptionError("bad array header")
+        dtype_len, ndim = struct.unpack_from("<BB", body, 0)
+        pos = 2
+        dtype = np.dtype(body[pos : pos + dtype_len].decode("ascii"))
+        pos += dtype_len
+        shape = struct.unpack_from(f"<{ndim}q", body, pos)
+        pos += 8 * ndim
+        expected = int(np.prod(shape)) * dtype.itemsize if ndim else dtype.itemsize
+        payload = body[pos:]
+        if len(payload) != expected:
+            raise CorruptionError(
+                f"array payload size {len(payload)} != expected {expected}"
+            )
+        return np.frombuffer(payload, dtype=dtype).reshape(shape).copy()
+    raise CorruptionError(f"unknown value tag {tag}")

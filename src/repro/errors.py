@@ -1,0 +1,48 @@
+"""Exception hierarchy shared across the repro packages.
+
+The hierarchy deliberately mirrors the status-code families of LevelDB /
+RocksDB (``NotFound``, ``Corruption``, ``InvalidArgument``, ``IOError``)
+because :mod:`repro.lsm` is a faithful LSM engine and :mod:`repro.core`
+(LSMIO) surfaces those statuses through its K/V API.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class NotFoundError(ReproError, KeyError):
+    """A key (or file) does not exist.
+
+    Subclasses :class:`KeyError` so idiomatic ``except KeyError`` works for
+    K/V lookups while still being catchable as :class:`ReproError`.
+    """
+
+    def __str__(self) -> str:  # KeyError.__str__ repr()s the message; undo that.
+        return Exception.__str__(self)
+
+
+class CorruptionError(ReproError):
+    """Stored data failed a checksum or structural validation."""
+
+
+class InvalidArgumentError(ReproError, ValueError):
+    """An API was called with arguments that can never be valid."""
+
+
+class StorageIOError(ReproError, IOError):
+    """An underlying storage operation failed."""
+
+
+class ClosedError(ReproError):
+    """An operation was attempted on a closed database, store, or stream."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """Every live simulated process is blocked and no events remain."""

@@ -1,0 +1,37 @@
+"""Operation-faithful models of the paper's comparator I/O libraries.
+
+Each module issues, against the simulated Lustre client, the same request
+pattern the real library would issue against a real Lustre mount:
+
+- :mod:`repro.iolibs.posixio` — the IOR baseline path: per-rank strided
+  pwrites/preads into a shared (or per-process) file;
+- :mod:`repro.iolibs.collective` — ROMIO-style two-phase collective I/O
+  (aggregators, file domains, exchange rounds);
+- :mod:`repro.iolibs.hdf5` — HDF5's chunked-dataset write path: superblock
+  and object headers at the file head, per-chunk B-tree index updates, and
+  eof-allocation — the small-shared-metadata traffic that floors Figure 6;
+- :mod:`repro.iolibs.adios2` — an ADIOS2 BP5-like engine: deferred puts
+  into 32 MB buffer chunks, N-to-N subfiles, aggregated metadata at close,
+  plus the **plugin registry** LSMIO's engine registers into (§3.1.7).
+"""
+
+from repro.iolibs.posixio import PosixFile
+from repro.iolibs.collective import two_phase_read, two_phase_write
+from repro.iolibs.hdf5 import Hdf5File
+from repro.iolibs.adios2 import (
+    Adios2Params,
+    Adios2Io,
+    register_plugin,
+    registered_plugins,
+)
+
+__all__ = [
+    "Adios2Io",
+    "Adios2Params",
+    "Hdf5File",
+    "PosixFile",
+    "register_plugin",
+    "registered_plugins",
+    "two_phase_read",
+    "two_phase_write",
+]

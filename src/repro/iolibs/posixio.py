@@ -1,0 +1,79 @@
+"""The IOR baseline: plain POSIX-style strided I/O on the parallel FS.
+
+IOR's default backend opens one shared file (or one file per process with
+``-F``) and each rank ``pwrite``s its ``transferSize`` blocks at
+rank-strided offsets.  On Lustre this is exactly a striped
+:meth:`LustreClient.write` per transfer, so the model here is a thin
+wrapper — the interesting behaviour (stripe confinement, lock ping-pong,
+head thrash) emerges in the PFS layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.errors import ClosedError
+from repro.pfs.client import LustreClient
+from repro.pfs.lustre import LustreFile
+
+Payload = Union[bytes, int]
+
+
+class PosixFile:
+    """A POSIX-flavoured handle: pwrite/pread + fsync + close."""
+
+    def __init__(self, client: LustreClient, file: LustreFile):
+        self.client = client
+        self.file = file
+        self._closed = False
+
+    @classmethod
+    def create(
+        cls,
+        client: LustreClient,
+        path: str,
+        stripe_count: Optional[int] = None,
+        stripe_size: Optional[int | str] = None,
+    ) -> "PosixFile":
+        """O_CREAT|O_TRUNC open (an MDS create)."""
+        return cls(client, client.create(path, stripe_count, stripe_size))
+
+    @classmethod
+    def open(cls, client: LustreClient, path: str) -> "PosixFile":
+        """O_RDONLY / O_WRONLY open of an existing file."""
+        return cls(client, client.open(path))
+
+    def pwrite(self, offset: int, data: Payload) -> None:
+        """Positioned write (bytes, or a length in data-less mode)."""
+        self._check_open()
+        self.client.write(self.file, offset, data)
+
+    def pread(self, offset: int, nbytes: int) -> bytes:
+        """Positioned read."""
+        self._check_open()
+        return self.client.read(self.file, offset, nbytes)
+
+    def fsync(self) -> None:
+        """Force write-behind data to the OSTs (IOR's ``-e``)."""
+        self._check_open()
+        self.client.fsync(self.file)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.client.close(self.file)
+        self._closed = True
+
+    @property
+    def size(self) -> int:
+        return self.file.size
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ClosedError(f"file {self.file.path} is closed")
+
+    def __enter__(self) -> "PosixFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

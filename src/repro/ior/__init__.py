@@ -1,0 +1,26 @@
+"""An IOR benchmark clone for the simulated cluster.
+
+Drives every I/O path in the reproduction with IOR's workload shape and
+the paper's measurement protocol (§4, §A.1):
+
+- APIs: ``posix`` (the IOR baseline), ``hdf5``, ``adios2``, ``lsmio``
+  (native), ``lsmio-plugin`` (through the ADIOS2 plugin);
+- geometry: ``block_size`` / ``transfer_size`` / ``segment_count``,
+  shared file or file-per-process, one task per node;
+- modes: independent or collective (two-phase) for posix and hdf5;
+- protocol: timer from the barrier before the first I/O operation to the
+  barrier after the last (including close/flush), N repetitions with the
+  **maximum** bandwidth reported.
+"""
+
+from repro.ior.config import IorConfig
+from repro.ior.report import IorPoint, IorResult, format_results_table
+from repro.ior.runner import run_ior
+
+__all__ = [
+    "IorConfig",
+    "IorPoint",
+    "IorResult",
+    "format_results_table",
+    "run_ior",
+]

@@ -1,0 +1,77 @@
+"""CLI: run one IOR configuration on the simulated cluster.
+
+Flag names follow IOR's where a short flag exists::
+
+    python -m repro.ior -a lsmio -N 48 -b 64K -t 64K -s 128 \
+        --stripe-count 4 --read --reps 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.ior.config import VALID_APIS, IorConfig
+from repro.ior.runner import run_ior
+from repro.pfs.configs import viking
+from repro.util.humanize import format_bandwidth, format_size
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.ior",
+        description="IOR clone on the simulated Viking cluster",
+    )
+    parser.add_argument("-a", "--api", choices=VALID_APIS, default="posix")
+    parser.add_argument("-N", "--num-tasks", type=int, default=4)
+    parser.add_argument("-b", "--block-size", default="1M")
+    parser.add_argument("-t", "--transfer-size", default=None,
+                        help="defaults to the block size (the paper's setup)")
+    parser.add_argument("-s", "--segment-count", type=int, default=8)
+    parser.add_argument("-F", "--file-per-process", action="store_true")
+    parser.add_argument("-c", "--collective", action="store_true")
+    parser.add_argument("-r", "--read", action="store_true",
+                        help="read the data back after writing")
+    parser.add_argument("--stripe-count", type=int, default=4)
+    parser.add_argument("--stripe-size", default=None)
+    parser.add_argument("--reps", type=int, default=1)
+    parser.add_argument("--jitter", type=float, default=0.8e-3,
+                        help="per-RPC arrival jitter in seconds")
+    parser.add_argument("--stats", action="store_true",
+                        help="print the cluster utilization report")
+    args = parser.parse_args(argv)
+
+    config = IorConfig(
+        api=args.api,
+        num_tasks=args.num_tasks,
+        block_size=args.block_size,
+        transfer_size=args.transfer_size or args.block_size,
+        segment_count=args.segment_count,
+        file_per_process=args.file_per_process,
+        collective=args.collective,
+        read_back=args.read,
+        stripe_count=args.stripe_count,
+        stripe_size=args.stripe_size or args.transfer_size or args.block_size,
+        repetitions=args.reps,
+    )
+    cluster = viking(store_data=False, client_jitter=args.jitter)
+
+    print(
+        f"api={config.api} tasks={config.num_tasks} "
+        f"block={format_size(config.block_size)} "
+        f"xfer={format_size(config.transfer_size)} "
+        f"segments={config.segment_count} "
+        f"stripe={config.stripe_count}x{format_size(config.stripe_size or 0)} "
+        f"total={format_size(config.total_bytes)} reps={config.repetitions}"
+    )
+    result = run_ior(config, cluster, collect_cluster_report=args.stats)
+    print(f"write: {format_bandwidth(result.max_write_bw)} (max of reps)")
+    if result.max_read_bw is not None:
+        print(f"read:  {format_bandwidth(result.max_read_bw)} (max of reps)")
+    if args.stats and result.cluster_report is not None:
+        print(result.cluster_report.summary())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""IOR result containers and table formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ior.config import IorConfig
+from repro.util.humanize import format_size
+from repro.util.stats import SummaryStats
+
+MIB = 1 << 20
+
+
+@dataclass
+class IorResult:
+    """All repetitions of one configuration."""
+
+    config: IorConfig
+    write_bw: SummaryStats = field(default_factory=SummaryStats)
+    read_bw: SummaryStats = field(default_factory=SummaryStats)
+    #: last repetition's utilization (set by run_ior on request)
+    cluster_report: Optional[object] = None
+
+    @property
+    def max_write_bw(self) -> float:
+        """Best write bandwidth across repetitions (the paper's statistic)."""
+        return self.write_bw.max
+
+    @property
+    def max_read_bw(self) -> Optional[float]:
+        return self.read_bw.max if len(self.read_bw) else None
+
+
+@dataclass
+class IorPoint:
+    """One (api, nodes) point in a figure's series."""
+
+    api: str
+    num_tasks: int
+    transfer_size: int
+    write_bw: float
+    read_bw: Optional[float] = None
+
+    @property
+    def label(self) -> str:
+        return f"{self.api}/{format_size(self.transfer_size)}"
+
+
+def format_results_table(
+    title: str,
+    node_counts: list[int],
+    series: dict[str, list[float]],
+    unit: str = "MB/s",
+) -> str:
+    """Render figure series as the aligned ASCII table the harness prints.
+
+    ``series`` maps a label (e.g. ``"lsmio/64K"``) to one bandwidth per
+    node count, in bytes/s.
+    """
+    header = ["nodes"] + [str(n) for n in node_counts]
+    rows = [header]
+    for label in sorted(series):
+        values = series[label]
+        row = [label]
+        for value in values:
+            row.append("-" if value is None else f"{value / MIB:.1f}")
+        rows.append(row)
+    widths = [
+        max(len(row[col]) for row in rows) for col in range(len(header))
+    ]
+    lines = [title, "=" * len(title)]
+    for index, row in enumerate(rows):
+        line = "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        lines.append(line)
+        if index == 0:
+            lines.append("-" * len(line))
+    lines.append(f"(values in {unit}, max of repetitions)")
+    return "\n".join(lines)

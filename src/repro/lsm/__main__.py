@@ -1,0 +1,62 @@
+"""CLI for database inspection: ``python -m repro.lsm <cmd> <dbdir>``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.lsm.tools import db_stats, dump_db, verify_db
+from repro.util.humanize import format_size
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lsm",
+        description="Inspect an LSM database directory",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    verify = sub.add_parser("verify", help="checksum/order-check every table")
+    verify.add_argument("dbdir")
+
+    stats = sub.add_parser("stats", help="level shape and counters")
+    stats.add_argument("dbdir")
+    stats.add_argument("--json", action="store_true")
+
+    dump = sub.add_parser("dump", help="print user-visible keys")
+    dump.add_argument("dbdir")
+    dump.add_argument("--limit", type=int, default=None)
+    dump.add_argument(
+        "--values", action="store_true", help="print value bytes too"
+    )
+    args = parser.parse_args(argv)
+
+    if args.command == "verify":
+        report = verify_db(args.dbdir)
+        print(report.summary())
+        return 0 if report.ok else 1
+    if args.command == "stats":
+        result = db_stats(args.dbdir)
+        if args.json:
+            print(json.dumps(result, indent=2))
+        else:
+            print(f"{result['dbname']}: {result['total_files']} tables, "
+                  f"{format_size(result['total_bytes'])}, "
+                  f"last sequence {result['last_sequence']}")
+            for item in result["levels"]:
+                print(f"  L{item['level']}: {item['files']} files, "
+                      f"{format_size(item['bytes'])}")
+        return 0
+    if args.command == "dump":
+        for key, value in dump_db(args.dbdir, limit=args.limit):
+            if args.values:
+                print(f"{key!r} = {value!r}")
+            else:
+                print(f"{key!r} ({len(value)} bytes)")
+        return 0
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,185 @@
+"""SSTable block format: prefix-compressed entries with restart points.
+
+LevelDB's data/index blocks store entries as::
+
+    shared_len   varint32   # prefix shared with the previous key
+    unshared_len varint32
+    value_len    varint32
+    key_suffix   unshared_len bytes
+    value        value_len bytes
+
+Every ``block_restart_interval`` entries the prefix compression resets and
+the entry's offset is recorded in a trailing array of fixed32 *restart
+points*, enabling binary search inside the block.  The block trailer
+(compression byte + checksum) is handled by the table layer, not here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import CorruptionError
+from repro.util.varint import (
+    decode_fixed32,
+    decode_varint32,
+    encode_fixed32,
+    encode_varint32,
+)
+
+
+def _shared_prefix_len(a: bytes, b: bytes) -> int:
+    n = min(len(a), len(b))
+    i = 0
+    while i < n and a[i] == b[i]:
+        i += 1
+    return i
+
+
+def _bytewise_compare(a: bytes, b: bytes) -> int:
+    if a < b:
+        return -1
+    if a > b:
+        return 1
+    return 0
+
+
+class BlockBuilder:
+    """Accumulates sorted entries into one serialized block.
+
+    ``compare`` is a three-way comparator over the keys being stored; data
+    blocks hold *internal* keys (which do not sort bytewise — the sequence
+    trailer sorts descending) so the table layer passes
+    :func:`repro.lsm.dbformat.internal_compare`.
+    """
+
+    def __init__(self, restart_interval: int = 16, compare=None):
+        if restart_interval < 1:
+            raise ValueError("restart_interval must be >= 1")
+        self._restart_interval = restart_interval
+        self._compare = compare if compare is not None else _bytewise_compare
+        self.reset()
+
+    def reset(self) -> None:
+        self._buf = bytearray()
+        self._restarts = [0]
+        self._counter = 0
+        self._last_key = b""
+        self._num_entries = 0
+
+    def add(self, key: bytes, value: bytes) -> None:
+        """Append an entry; keys must arrive in strictly increasing order."""
+        if self._num_entries and self._compare(key, self._last_key) <= 0:
+            raise ValueError("block entries must be added in sorted order")
+        if self._counter < self._restart_interval:
+            shared = _shared_prefix_len(self._last_key, key)
+        else:
+            shared = 0
+            self._restarts.append(len(self._buf))
+            self._counter = 0
+        unshared = len(key) - shared
+        self._buf += encode_varint32(shared)
+        self._buf += encode_varint32(unshared)
+        self._buf += encode_varint32(len(value))
+        self._buf += key[shared:]
+        self._buf += value
+        self._last_key = key
+        self._counter += 1
+        self._num_entries += 1
+
+    def finish(self) -> bytes:
+        """Serialize: entries, restart offsets, restart count."""
+        out = bytearray(self._buf)
+        for restart in self._restarts:
+            out += encode_fixed32(restart)
+        out += encode_fixed32(len(self._restarts))
+        return bytes(out)
+
+    def current_size_estimate(self) -> int:
+        return len(self._buf) + 4 * (len(self._restarts) + 1)
+
+    @property
+    def empty(self) -> bool:
+        return self._num_entries == 0
+
+    @property
+    def last_key(self) -> bytes:
+        return self._last_key
+
+
+class Block:
+    """Read-side view of a serialized block with binary-searchable seeks."""
+
+    def __init__(self, data: bytes, compare=None):
+        if len(data) < 4:
+            raise CorruptionError("block too small")
+        self._data = data
+        self._compare = compare if compare is not None else _bytewise_compare
+        num_restarts = decode_fixed32(data, len(data) - 4)
+        restarts_off = len(data) - 4 - 4 * num_restarts
+        if restarts_off < 0:
+            raise CorruptionError("bad restart array")
+        self._restarts = [
+            decode_fixed32(data, restarts_off + 4 * i) for i in range(num_restarts)
+        ]
+        self._limit = restarts_off
+
+    def _decode_entry(self, offset: int, prev_key: bytes) -> tuple[bytes, bytes, int]:
+        """Return (key, value, next_offset) for the entry at ``offset``."""
+        shared, pos = decode_varint32(self._data, offset)
+        unshared, pos = decode_varint32(self._data, pos)
+        value_len, pos = decode_varint32(self._data, pos)
+        if shared > len(prev_key):
+            raise CorruptionError("corrupted shared prefix length")
+        key_end = pos + unshared
+        value_end = key_end + value_len
+        if value_end > self._limit:
+            raise CorruptionError("block entry overruns restart array")
+        key = prev_key[:shared] + self._data[pos:key_end]
+        value = self._data[key_end:value_end]
+        return key, value, value_end
+
+    def _restart_key(self, index: int) -> bytes:
+        key, _, _ = self._decode_entry(self._restarts[index], b"")
+        return key
+
+    def iterate(self, start: int = 0) -> Iterator[tuple[bytes, bytes]]:
+        """Yield (key, value) from restart-region offset ``start``."""
+        offset = start
+        prev_key = b""
+        while offset < self._limit:
+            key, value, offset = self._decode_entry(offset, prev_key)
+            yield key, value
+            prev_key = key
+
+    def __iter__(self) -> Iterator[tuple[bytes, bytes]]:
+        return self.iterate(0)
+
+    def seek(self, target: bytes) -> Iterator[tuple[bytes, bytes]]:
+        """Yield entries with key >= ``target``.
+
+        Binary search over restart points, then a linear scan of at most
+        one restart interval.  Ordering is defined by the block's
+        comparator.
+        """
+        if not self._restarts or self._limit == 0:
+            return
+        lo, hi = 0, len(self._restarts) - 1
+        # Find the last restart whose key < target.
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._compare(self._restart_key(mid), target) < 0:
+                lo = mid
+            else:
+                hi = mid - 1
+        for key, value in self.iterate(self._restarts[lo]):
+            if self._compare(key, target) >= 0:
+                yield key, value
+
+    def first_key(self) -> Optional[bytes]:
+        if self._limit == 0:
+            return None
+        return self._restart_key(0)
+
+    @property
+    def num_restarts(self) -> int:
+        return len(self._restarts)

@@ -1,0 +1,182 @@
+"""Leveled compaction: picking and executing the rolling merge (§2.2).
+
+The paper's description — "leaf nodes in C1 are never edited in-place but
+instead new ones are added as part of an asynchronous rolling-merge process
+where the old ones are deleted afterwards" — is exactly a leveled
+compaction: merge-sort the input tables, write fresh output tables at the
+next level, then drop the inputs from the version.
+
+LSMIO *disables* compaction (checkpoints are write-once-read-rarely, so
+paying merge bandwidth buys nothing); the implementation is complete here
+because the engine is general and ``bench_ablations.py`` measures the cost
+of leaving it on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.lsm.dbformat import encode_internal_key
+from repro.lsm.iterator import MergingIterator, collapse_internal_entries
+from repro.lsm.manifest import FileMetaData, Version, VersionEdit
+from repro.lsm.options import Options
+
+
+@dataclass
+class CompactionTask:
+    """A chosen compaction: merge ``inputs[0]`` (level) with ``inputs[1]``."""
+
+    level: int                      # source level
+    inputs: list[list[FileMetaData]] = field(default_factory=lambda: [[], []])
+
+    @property
+    def target_level(self) -> int:
+        return self.level + 1
+
+    def all_inputs(self) -> list[FileMetaData]:
+        return self.inputs[0] + self.inputs[1]
+
+    def total_bytes(self) -> int:
+        return sum(f.file_size for f in self.all_inputs())
+
+
+def level_score(version: Version, level: int, options: Options) -> float:
+    """Compaction pressure for ``level`` (>= 1.0 means compaction due).
+
+    L0 is scored by file count (every L0 file is another sorted run each
+    read must merge); deeper levels by bytes versus their budget.
+    """
+    if level == 0:
+        return version.num_files(0) / options.level0_file_num_compaction_trigger
+    if level >= version.num_levels - 1:
+        return 0.0  # the bottom level has nowhere to compact into
+    return version.level_bytes(level) / options.max_bytes_for_level(level)
+
+
+def pick_compaction(version: Version, options: Options) -> Optional[CompactionTask]:
+    """Choose the level with the highest score >= 1.0, or None."""
+    best_level = -1
+    best_score = 1.0
+    for level in range(version.num_levels - 1):
+        score = level_score(version, level, options)
+        if score >= best_score:
+            best_level = level
+            best_score = score
+    if best_level < 0:
+        return None
+    task = CompactionTask(level=best_level)
+    if best_level == 0:
+        # All L0 files participate: they may mutually overlap, and taking
+        # every run keeps read amplification bounded after one pass.
+        task.inputs[0] = list(version.files[0])
+    else:
+        # Oldest-first rotation through the level (LevelDB uses a compact
+        # pointer; taking the file with the smallest number is the same
+        # round-robin effect with no extra persistent state).
+        task.inputs[0] = [min(version.files[best_level], key=lambda f: f.number)]
+    if not task.inputs[0]:
+        return None
+    lo = min(f.smallest_user_key for f in task.inputs[0])
+    hi = max(f.largest_user_key for f in task.inputs[0])
+    task.inputs[1] = version.overlapping_files(task.target_level, lo, hi)
+    return task
+
+
+def is_bottommost(version: Version, task: CompactionTask) -> bool:
+    """True when no level deeper than the target holds overlapping keys."""
+    inputs = task.all_inputs()
+    if not inputs:
+        return True
+    lo = min(f.smallest_user_key for f in inputs)
+    hi = max(f.largest_user_key for f in inputs)
+    for level in range(task.target_level + 1, version.num_levels):
+        if version.overlapping_files(level, lo, hi):
+            return False
+    return True
+
+
+class CompactionExecutor:
+    """Runs a :class:`CompactionTask`: merge inputs → new tables → edit.
+
+    Collaborators are injected as callables so this module stays free of
+    DB internals:
+
+    - ``open_table_iter(meta)`` → iterator of (internal key, value);
+    - ``new_table_writer()`` → (file_number, TableBuilder-like, finalize)
+      where ``finalize(builder)`` closes the file and returns its size.
+    """
+
+    def __init__(
+        self,
+        options: Options,
+        open_table_iter: Callable,
+        new_table_writer: Callable,
+    ):
+        self._options = options
+        self._open_table_iter = open_table_iter
+        self._new_table_writer = new_table_writer
+
+    def run(self, task: CompactionTask, drop_tombstones: bool) -> VersionEdit:
+        """Execute the merge; returns the edit to apply (files in/out)."""
+        # Input streams ordered newest-to-oldest: L0 files by descending
+        # file number, then the target level files (older than any L0).
+        streams = []
+        level0_sorted = sorted(
+            task.inputs[0], key=lambda f: f.number, reverse=(task.level == 0)
+        )
+        for meta in level0_sorted:
+            streams.append(self._open_table_iter(meta))
+        for meta in task.inputs[1]:
+            streams.append(self._open_table_iter(meta))
+
+        merged = MergingIterator(streams)
+        edit = VersionEdit()
+        builder = None
+        finalize = None
+        file_number = None
+        first_key = None
+
+        def roll_output() -> None:
+            nonlocal builder, finalize, file_number, first_key
+            if builder is None or builder.num_entries == 0:
+                return
+            size = finalize(builder)
+            edit.add_file(
+                task.target_level,
+                FileMetaData(
+                    number=file_number,
+                    file_size=size,
+                    smallest=builder.first_key,
+                    largest=builder.last_key,
+                ),
+            )
+            builder = None
+            finalize = None
+            first_key = None
+
+        for user_key, seq, value, vtype in collapse_internal_entries(
+            merged, drop_tombstones=drop_tombstones
+        ):
+            if builder is None:
+                file_number, builder, finalize = self._new_table_writer()
+            ikey = encode_internal_key(user_key, seq, vtype)
+            builder.add(ikey, value)
+            if builder.file_size >= self._options.target_file_size_base:
+                roll_output()
+        roll_output()
+
+        for meta in task.inputs[0]:
+            edit.delete_file(task.level, meta.number)
+        for meta in task.inputs[1]:
+            edit.delete_file(task.target_level, meta.number)
+        return edit
+
+
+__all__ = [
+    "CompactionExecutor",
+    "CompactionTask",
+    "is_bottommost",
+    "level_score",
+    "pick_compaction",
+]

@@ -1,0 +1,682 @@
+"""The database: LevelDB/RocksDB-shaped facade over all engine components.
+
+Write path (``put``/``append``/``delete``/``write``):
+
+1. stamp the batch with fresh sequence numbers;
+2. append it to the WAL (unless disabled — LSMIO's configuration);
+3. insert each operation into the memtable;
+4. when the memtable reaches ``write_buffer_size``, freeze it and hand a
+   flush job to the executor — the flush emits one SSTable with a single
+   long sequential write, which is the mechanism the paper leans on.
+
+Read path (``get``): memtable → frozen memtables → L0 newest-first → one
+file per deeper level, accumulating ``append`` operands until a base value
+or tombstone resolves the chain.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, Optional
+
+from repro.errors import (
+    ClosedError,
+    InvalidArgumentError,
+    NotFoundError,
+)
+from repro.lsm.batch import WriteBatch
+from repro.lsm.cache import LRUCache
+from repro.lsm.compaction import (
+    CompactionExecutor,
+    is_bottommost,
+    pick_compaction,
+)
+from repro.lsm.dbformat import (
+    MAX_SEQUENCE,
+    ValueType,
+    decode_internal_key,
+    seek_key,
+)
+from repro.lsm.env import Env, LocalFsEnv
+from repro.lsm.executors import Executor, SyncExecutor
+from repro.lsm.iterator import MergingIterator, resolve_user_entries
+from repro.lsm.manifest import FileMetaData, VersionEdit, VersionSet
+from repro.lsm.memtable import MemTable
+from repro.lsm.options import Options, ReadOptions, WriteOptions
+from repro.lsm.sstable import Table, TableBuilder
+from repro.lsm.wal import LogReader, LogWriter
+
+_FILE_RE = re.compile(r"^(\d{6})\.(log|sst)$")
+
+
+def table_file_name(number: int) -> str:
+    return f"{number:06d}.sst"
+
+
+def log_file_name(number: int) -> str:
+    return f"{number:06d}.log"
+
+
+class Snapshot:
+    """A consistent read point: sequences after it are invisible.
+
+    Live snapshots also pause compaction, so the versions they can see
+    are never merged away (a simple, safe policy — checkpoint readers
+    hold snapshots briefly).  Release with :meth:`release` or use as a
+    context manager.
+    """
+
+    __slots__ = ("sequence", "_db", "_released")
+
+    def __init__(self, db: "DB", sequence: int):
+        self.sequence = sequence
+        self._db = db
+        self._released = False
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._db._release_snapshot(self)
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class DBStats:
+    """Lifetime counters surfaced through :attr:`DB.stats`."""
+
+    def __init__(self) -> None:
+        self.writes = 0
+        self.bytes_written = 0
+        self.gets = 0
+        self.memtable_flushes = 0
+        self.flushed_bytes = 0
+        self.compactions = 0
+        self.compacted_bytes = 0
+        self.wal_records = 0
+        self.wal_syncs = 0
+
+    def snapshot(self) -> dict:
+        return dict(self.__dict__)
+
+
+class DB:
+    """An embedded LSM-tree key/value database."""
+
+    def __init__(self) -> None:
+        raise TypeError("use DB.open()")
+
+    @classmethod
+    def open(
+        cls,
+        dbname: str,
+        options: Optional[Options] = None,
+        env: Optional[Env] = None,
+        executor: Optional[Executor] = None,
+    ) -> "DB":
+        """Open (creating if configured) the database at ``dbname``."""
+        self = object.__new__(cls)
+        self._options = options or Options()
+        self._env = env or LocalFsEnv(use_mmap_reads=self._options.use_mmap_reads)
+        self._dbname = dbname
+        self._executor = executor or SyncExecutor()
+        self._owns_executor = executor is None
+        # Re-entrant and safe to hold across simulated I/O (manifest and
+        # WAL writes happen under it) — see repro.sim.locks.
+        from repro.sim.locks import AdaptiveRLock
+
+        self._lock = AdaptiveRLock()
+        self._closed = False
+        self.stats = DBStats()
+        self._mem = MemTable(seed=0)
+        self._imm: list[MemTable] = []
+        self._wal: Optional[LogWriter] = None
+        self._wal_number = 0
+        self._obsolete_wals: list[int] = []
+        self._table_cache = LRUCache(self._options.max_open_files)
+        self._block_cache = LRUCache(self._options.block_cache_capacity)
+        self._mem_seed = 1
+        self._snapshots: list[Snapshot] = []
+
+        self._env.create_dir(dbname)
+        # Exclusive advisory lock: two live DB handles on one directory
+        # would corrupt the manifest (LevelDB's LOCK file).
+        self._db_lock_token = self._env.lock_file(
+            self._env.join(dbname, "LOCK")
+        )
+        self._versions = VersionSet(self._env, dbname, self._options.num_levels)
+        current_exists = self._env.file_exists(
+            self._env.join(dbname, "CURRENT")
+        )
+        if current_exists:
+            if self._options.error_if_exists:
+                raise InvalidArgumentError(f"database exists: {dbname}")
+            self._versions.recover()
+            self._replay_wals()
+        else:
+            if not self._options.create_if_missing:
+                raise NotFoundError(f"database missing: {dbname}")
+            self._versions.create()
+        self._roll_wal()
+        if current_exists and self._options.enable_wal:
+            # Every pre-existing log was either replayed-and-flushed or
+            # empty; advance the manifest's log boundary past them.
+            self._versions.log_and_apply(VersionEdit(log_number=self._wal_number))
+            self._remove_obsolete_files()
+        return self
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def _replay_wals(self) -> None:
+        """Re-apply batches from log segments >= the manifest's log number."""
+        numbers = []
+        for name in self._env.get_children(self._dbname):
+            match = _FILE_RE.match(name)
+            if match and match.group(2) == "log":
+                number = int(match.group(1))
+                if number >= self._versions.log_number:
+                    numbers.append(number)
+        for number in sorted(numbers):
+            path = self._env.join(self._dbname, log_file_name(number))
+            reader = LogReader(
+                self._env.new_sequential_file(path),
+                checksum=self._options.checksum,
+                allow_partial=True,
+            )
+            try:
+                for record in reader:
+                    batch, sequence = WriteBatch.deserialize(record)
+                    self._apply_to_memtable(batch, sequence)
+                    self._versions.last_sequence = max(
+                        self._versions.last_sequence,
+                        sequence + len(batch) - 1,
+                    )
+                    if (
+                        self._mem.approximate_memory_usage()
+                        >= self._options.write_buffer_size
+                    ):
+                        self._freeze_memtable(roll_wal=False)
+            finally:
+                reader.close()
+            self._obsolete_wals.append(number)
+        # Flush whatever the replay accumulated so the logs can be dropped.
+        if len(self._mem) or self._imm:
+            self._freeze_memtable(roll_wal=False)
+        self._executor.drain()
+        self._remove_obsolete_files()
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def put(
+        self, key: bytes, value: bytes, write_options: Optional[WriteOptions] = None
+    ) -> None:
+        """Set ``key`` to ``value`` (overwriting)."""
+        batch = WriteBatch()
+        batch.put(key, value)
+        self.write(batch, write_options)
+
+    def append(
+        self, key: bytes, value: bytes, write_options: Optional[WriteOptions] = None
+    ) -> None:
+        """Append ``value`` to the existing value of ``key`` (merge op)."""
+        batch = WriteBatch()
+        batch.merge(key, value)
+        self.write(batch, write_options)
+
+    def delete(
+        self, key: bytes, write_options: Optional[WriteOptions] = None
+    ) -> None:
+        """Remove ``key`` (tombstone insert)."""
+        batch = WriteBatch()
+        batch.delete(key)
+        self.write(batch, write_options)
+
+    def write(
+        self, batch: WriteBatch, write_options: Optional[WriteOptions] = None
+    ) -> None:
+        """Apply ``batch`` atomically."""
+        write_options = write_options or WriteOptions()
+        if len(batch) == 0:
+            return
+        with self._lock:
+            self._check_open()
+            sequence = self._versions.last_sequence + 1
+            self._versions.last_sequence += len(batch)
+            use_wal = self._options.enable_wal and not write_options.disable_wal
+            if use_wal:
+                payload = batch.serialize(sequence)
+                self._wal.add_record(payload)
+                self.stats.wal_records += 1
+                if write_options.sync:
+                    self._wal.sync()
+                    self.stats.wal_syncs += 1
+            self._apply_to_memtable(batch, sequence)
+            self.stats.writes += len(batch)
+            for _, key, value in batch.items():
+                self.stats.bytes_written += len(key) + len(value)
+            if self._options.cpu_charge is not None:
+                self._options.cpu_charge(batch.approximate_size, "memtable-insert")
+            if (
+                self._mem.approximate_memory_usage()
+                >= self._options.write_buffer_size
+            ):
+                self._freeze_memtable(roll_wal=True)
+
+    def _apply_to_memtable(self, batch: WriteBatch, sequence: int) -> None:
+        for offset, (vtype, key, value) in enumerate(batch.items()):
+            self._mem.add(sequence + offset, vtype, key, value)
+
+    # ------------------------------------------------------------------
+    # Flush
+    # ------------------------------------------------------------------
+
+    def _roll_wal(self) -> None:
+        if not self._options.enable_wal:
+            return
+        if self._wal is not None:
+            self._wal.close()
+            self._obsolete_wals.append(self._wal_number)
+        self._wal_number = self._versions.new_file_number()
+        path = self._env.join(self._dbname, log_file_name(self._wal_number))
+        self._wal = LogWriter(
+            self._env.new_writable_file(path), checksum=self._options.checksum
+        )
+
+    def _freeze_memtable(self, roll_wal: bool) -> None:
+        """Move the active memtable to the frozen queue and schedule flush."""
+        if not len(self._mem):
+            return
+        frozen = self._mem
+        self._imm.append(frozen)
+        self._mem = MemTable(seed=self._mem_seed)
+        self._mem_seed += 1
+        min_log = None
+        if roll_wal:
+            self._roll_wal()
+            if self._options.enable_wal:
+                # Logs older than the fresh segment are covered by this
+                # flush; recording the boundary in the manifest keeps
+                # crash-recovery from replaying (and double-applying
+                # append operands from) already-flushed batches.
+                min_log = self._wal_number
+        wal_to_retire = self._obsolete_wals[:]
+        file_number = self._versions.new_file_number()
+        self._executor.submit(
+            lambda: self._flush_job(frozen, file_number, wal_to_retire, min_log)
+        )
+
+    def _flush_job(
+        self,
+        frozen: MemTable,
+        file_number: int,
+        retired_wals: list[int],
+        min_log: Optional[int] = None,
+    ) -> None:
+        """Write one frozen memtable as an L0 SSTable and install it."""
+        path = self._env.join(self._dbname, table_file_name(file_number))
+        dest = self._env.new_writable_file(path)
+        builder = TableBuilder(self._options, dest)
+        for ikey, value in frozen.entries():
+            builder.add(ikey, value)
+        size = builder.finish()
+        dest.sync()
+        dest.close()
+        meta = FileMetaData(
+            number=file_number,
+            file_size=size,
+            smallest=builder.first_key,
+            largest=builder.last_key,
+        )
+        with self._lock:
+            edit = VersionEdit(log_number=min_log)
+            edit.add_file(0, meta)
+            self._versions.log_and_apply(edit)
+            if frozen in self._imm:
+                self._imm.remove(frozen)
+            self.stats.memtable_flushes += 1
+            self.stats.flushed_bytes += size
+            for number in retired_wals:
+                if number in self._obsolete_wals:
+                    self._obsolete_wals.remove(number)
+                self._delete_if_exists(log_file_name(number))
+        if self._options.enable_compaction:
+            self._maybe_compact()
+
+    def flush(self, wait: bool = True) -> None:
+        """Flush buffered writes to SSTables (LSMIO's write barrier body)."""
+        with self._lock:
+            self._check_open()
+            self._freeze_memtable(roll_wal=True)
+        if wait:
+            self._executor.drain()
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+
+    def _maybe_compact(self) -> None:
+        while True:
+            with self._lock:
+                if self._snapshots:
+                    # Live snapshots pin every visible version; defer.
+                    return
+                task = pick_compaction(self._versions.current, self._options)
+                if task is None:
+                    return
+                drop = is_bottommost(self._versions.current, task)
+            self._run_compaction(task, drop)
+
+    def compact_range(self) -> None:
+        """Manually compact until no level is over budget."""
+        with self._lock:
+            self._check_open()
+        self.flush()
+        self._maybe_compact()
+
+    def _run_compaction(self, task, drop_tombstones: bool) -> None:
+        def open_table_iter(meta: FileMetaData):
+            return iter(self._table(meta.number))
+
+        def new_table_writer():
+            with self._lock:
+                number = self._versions.new_file_number()
+            path = self._env.join(self._dbname, table_file_name(number))
+            dest = self._env.new_writable_file(path)
+            builder = TableBuilder(self._options, dest)
+
+            def finalize(b: TableBuilder) -> int:
+                size = b.finish()
+                dest.sync()
+                dest.close()
+                return size
+
+            return number, builder, finalize
+
+        executor = CompactionExecutor(
+            self._options, open_table_iter, new_table_writer
+        )
+        edit = executor.run(task, drop_tombstones)
+        with self._lock:
+            self._versions.log_and_apply(edit)
+            self.stats.compactions += 1
+            self.stats.compacted_bytes += task.total_bytes()
+            self._remove_obsolete_files()
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def _table(self, file_number: int) -> Table:
+        table = self._table_cache.get(file_number)
+        if table is None:
+            path = self._env.join(self._dbname, table_file_name(file_number))
+            table = Table(
+                self._options,
+                self._env.new_random_access_file(path),
+                file_number=file_number,
+                block_cache=self._block_cache,
+            )
+            self._table_cache.insert(file_number, table, 1)
+        return table
+
+    def snapshot(self) -> Snapshot:
+        """Capture a consistent read point at the current sequence."""
+        with self._lock:
+            self._check_open()
+            snap = Snapshot(self, self._versions.last_sequence)
+            self._snapshots.append(snap)
+            return snap
+
+    def _release_snapshot(self, snap: Snapshot) -> None:
+        with self._lock:
+            if snap in self._snapshots:
+                self._snapshots.remove(snap)
+        if self._options.enable_compaction:
+            self._maybe_compact()
+
+    def multi_get(
+        self,
+        keys,
+        read_options: Optional[ReadOptions] = None,
+    ) -> dict:
+        """Batch lookup: {key: value-or-None} (None = absent).
+
+        The batch form exists for the paper's §5.1 read-path future work
+        ("batch read of the variables from the LSM-Tree"): keys are probed
+        in sorted order, so block/readahead locality is sequential rather
+        than random.
+        """
+        out = {}
+        for key in sorted(set(bytes(k) for k in keys)):
+            try:
+                out[key] = self.get(key, read_options)
+            except NotFoundError:
+                out[key] = None
+        return out
+
+    def get(
+        self, key: bytes, read_options: Optional[ReadOptions] = None
+    ) -> bytes:
+        """Return the value for ``key``; raises :class:`NotFoundError`."""
+        read_options = read_options or ReadOptions()
+        max_seq = (
+            read_options.snapshot.sequence
+            if read_options.snapshot is not None
+            else MAX_SEQUENCE
+        )
+        with self._lock:
+            self._check_open()
+            self.stats.gets += 1
+            memtables = [self._mem] + list(reversed(self._imm))
+            version = self._versions.current
+
+        operands: list[bytes] = []  # newest-first merge operands
+        for mem in memtables:
+            result = mem.get(key, max_sequence=max_seq)
+            if result.state == "found":
+                if operands:
+                    return result.value + b"".join(reversed(operands))
+                return result.value
+            if result.state == "deleted":
+                if operands:
+                    return b"".join(reversed(operands))
+                raise NotFoundError(f"key not found: {key!r}")
+            if result.state == "merge":
+                # memtable returned operands oldest→newest; we accumulate
+                # newest-first, so extend with them reversed.
+                operands.extend(reversed(result.operands))
+
+        for _, meta in version.files_for_get(key):
+            table = self._table(meta.number)
+            if not table.may_contain(key):
+                continue
+            outcome = self._search_table(
+                table, key, operands, read_options, max_seq
+            )
+            if outcome is not None:
+                state, value = outcome
+                if state == "found":
+                    return value
+                raise NotFoundError(f"key not found: {key!r}")
+
+        if operands:
+            return b"".join(reversed(operands))
+        raise NotFoundError(f"key not found: {key!r}")
+
+    def _search_table(
+        self,
+        table: Table,
+        user_key: bytes,
+        operands: list[bytes],
+        read_options: ReadOptions,
+        max_seq: int = MAX_SEQUENCE,
+    ) -> Optional[tuple[str, bytes]]:
+        """Scan one table's version chain for ``user_key``.
+
+        Mutates ``operands`` (newest-first accumulator).  Returns
+        ("found", value) / ("deleted", b"") to terminate, or None to
+        continue into older tables.
+        """
+        for ikey, value in table.seek(seek_key(user_key, max_seq), read_options):
+            parsed = decode_internal_key(ikey)
+            if parsed.user_key != user_key:
+                break
+            if parsed.value_type is ValueType.VALUE:
+                full = value + b"".join(reversed(operands)) if operands else value
+                return ("found", full)
+            if parsed.value_type is ValueType.DELETE:
+                if operands:
+                    return ("found", b"".join(reversed(operands)))
+                return ("deleted", b"")
+            operands.append(value)
+        return None
+
+    def __contains__(self, key: bytes) -> bool:
+        try:
+            self.get(key)
+            return True
+        except NotFoundError:
+            return False
+
+    def iterate(
+        self,
+        start: Optional[bytes] = None,
+        stop: Optional[bytes] = None,
+        read_options: Optional[ReadOptions] = None,
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Yield user-visible (key, value) pairs with start <= key <= stop."""
+        read_options = read_options or ReadOptions()
+        max_seq = (
+            read_options.snapshot.sequence
+            if read_options.snapshot is not None
+            else MAX_SEQUENCE
+        )
+        with self._lock:
+            self._check_open()
+            memtables = [self._mem] + list(reversed(self._imm))
+            version = self._versions.current
+
+        lo_ikey = seek_key(start if start is not None else b"", max_seq)
+        streams = [mem.seek(lo_ikey) for mem in memtables]
+        level0 = sorted(version.files[0], key=lambda f: f.number, reverse=True)
+        for meta in level0:
+            streams.append(self._table(meta.number).seek(lo_ikey, read_options))
+        for level in range(1, version.num_levels):
+            files = version.files[level]
+            if files:
+                streams.append(self._level_stream(files, lo_ikey, read_options))
+
+        merged = MergingIterator(streams)
+        if max_seq != MAX_SEQUENCE:
+            merged = (
+                (ikey, value)
+                for ikey, value in merged
+                if decode_internal_key(ikey).sequence <= max_seq
+            )
+        for key, value in resolve_user_entries(merged, stop_after_user_key=stop):
+            if start is not None and key < start:
+                continue
+            if stop is not None and key > stop:
+                return
+            yield key, value
+
+    def _level_stream(self, files, lo_ikey: bytes, read_options: ReadOptions):
+        """Chain a sorted level's tables, starting at ``lo_ikey``."""
+        started = False
+        lo_user = lo_ikey[:-8]
+        for meta in files:
+            if not started and meta.largest_user_key < lo_user:
+                continue
+            table = self._table(meta.number)
+            if not started:
+                started = True
+                yield from table.seek(lo_ikey, read_options)
+            else:
+                yield from iter(table)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def _delete_if_exists(self, name: str) -> None:
+        path = self._env.join(self._dbname, name)
+        if self._env.file_exists(path):
+            self._env.delete_file(path)
+
+    def _remove_obsolete_files(self) -> None:
+        live = self._versions.live_file_numbers()
+        for name in self._env.get_children(self._dbname):
+            match = _FILE_RE.match(name)
+            if not match:
+                continue
+            number, kind = int(match.group(1)), match.group(2)
+            if kind == "sst" and number not in live:
+                self._table_cache.erase(number)
+                self._delete_if_exists(name)
+            elif kind == "log" and number != self._wal_number:
+                if number < self._versions.log_number:
+                    self._delete_if_exists(name)
+
+    def approximate_level_shape(self) -> list[tuple[int, int]]:
+        """(file count, total bytes) per level — for tests and ablations."""
+        with self._lock:
+            version = self._versions.current
+            return [
+                (version.num_files(level), version.level_bytes(level))
+                for level in range(version.num_levels)
+            ]
+
+    @property
+    def options(self) -> Options:
+        return self._options
+
+    @property
+    def env(self) -> Env:
+        return self._env
+
+    @property
+    def name(self) -> str:
+        return self._dbname
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ClosedError("database is closed")
+
+    def close(self) -> None:
+        """Flush buffered writes and release every resource."""
+        with self._lock:
+            if self._closed:
+                return
+        self.flush()
+        if self._owns_executor:
+            self._executor.close()
+        else:
+            self._executor.drain()
+        with self._lock:
+            self._closed = True
+            if self._wal is not None:
+                self._wal.sync()
+                self._wal.close()
+                self._wal = None
+            self._versions.close()
+            self._block_cache.clear()
+            self._env.unlock_file(self._db_lock_token)
+        # Close cached table readers.
+        for number in list(self._table_cache._entries):  # noqa: SLF001
+            table = self._table_cache.get(number)
+            if table is not None:
+                table.close()
+        self._table_cache.clear()
+
+    def __enter__(self) -> "DB":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

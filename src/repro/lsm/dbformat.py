@@ -1,0 +1,130 @@
+"""Internal key format shared by the memtable, WAL, SSTables and iterators.
+
+An *internal key* is the user key followed by an 8-byte trailer packing
+``(sequence << 8) | value_type`` (LevelDB's layout).  Ordering is user key
+ascending, then sequence **descending**, so the newest version of a key is
+encountered first during forward iteration.
+
+Value types:
+
+- ``VALUE``  — a full value from ``put()``;
+- ``DELETE`` — a tombstone from ``delete()``;
+- ``MERGE``  — an append operand from ``append()`` (LSMIO's ``append()``
+  maps onto RocksDB's merge-operator machinery; our merge semantics is
+  byte-string concatenation, which is what a checkpoint stream needs).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple
+
+from repro.errors import CorruptionError
+from repro.util.varint import decode_fixed64, encode_fixed64
+
+MAX_SEQUENCE = (1 << 56) - 1
+
+
+class ValueType(enum.IntEnum):
+    """Discriminator stored in the low byte of the internal-key trailer."""
+
+    DELETE = 0
+    VALUE = 1
+    MERGE = 2
+
+
+# Seeking to (user_key, MAX_SEQUENCE, VALUE_FOR_SEEK) finds the newest entry
+# for user_key, because sequences sort descending and VALUE_FOR_SEEK is the
+# greatest type value.
+VALUE_TYPE_FOR_SEEK = ValueType.MERGE
+
+
+class ParsedInternalKey(NamedTuple):
+    """A decoded internal key."""
+
+    user_key: bytes
+    sequence: int
+    value_type: ValueType
+
+
+def pack_trailer(sequence: int, value_type: ValueType) -> int:
+    """Combine sequence and type into the 8-byte trailer integer."""
+    if not 0 <= sequence <= MAX_SEQUENCE:
+        raise ValueError(f"sequence out of range: {sequence}")
+    return (sequence << 8) | int(value_type)
+
+
+def encode_internal_key(
+    user_key: bytes, sequence: int, value_type: ValueType
+) -> bytes:
+    """Serialize an internal key: user key + little-endian fixed64 trailer."""
+    return user_key + encode_fixed64(pack_trailer(sequence, value_type))
+
+
+def decode_internal_key(ikey: bytes) -> ParsedInternalKey:
+    """Parse an internal key, validating the trailer."""
+    if len(ikey) < 8:
+        raise CorruptionError(f"internal key too short: {len(ikey)} bytes")
+    trailer = decode_fixed64(ikey, len(ikey) - 8)
+    value_type = trailer & 0xFF
+    try:
+        vt = ValueType(value_type)
+    except ValueError as exc:
+        raise CorruptionError(f"bad value type {value_type}") from exc
+    return ParsedInternalKey(bytes(ikey[:-8]), trailer >> 8, vt)
+
+
+def internal_key_user_key(ikey: bytes) -> bytes:
+    """Extract the user-key prefix without fully decoding."""
+    if len(ikey) < 8:
+        raise CorruptionError(f"internal key too short: {len(ikey)} bytes")
+    return bytes(ikey[:-8])
+
+
+def internal_compare(a: bytes, b: bytes) -> int:
+    """Three-way comparison of encoded internal keys.
+
+    User key ascending, then sequence descending, then type descending
+    (the trailer packs both, so one descending integer compare suffices).
+    """
+    ua, ub = a[:-8], b[:-8]
+    if ua < ub:
+        return -1
+    if ua > ub:
+        return 1
+    ta = decode_fixed64(a, len(a) - 8)
+    tb = decode_fixed64(b, len(b) - 8)
+    if ta > tb:  # larger trailer = newer = sorts FIRST
+        return -1
+    if ta < tb:
+        return 1
+    return 0
+
+
+class InternalKeyComparator:
+    """Comparator object for containers ordered by internal key."""
+
+    __slots__ = ()
+
+    @staticmethod
+    def compare(a: bytes, b: bytes) -> int:
+        return internal_compare(a, b)
+
+    @staticmethod
+    def less(a: bytes, b: bytes) -> bool:
+        return internal_compare(a, b) < 0
+
+    @staticmethod
+    def sort_key(ikey: bytes):
+        """A key function compatible with :func:`sorted`.
+
+        Inverts the trailer so plain tuple ordering reproduces
+        :func:`internal_compare`.
+        """
+        trailer = decode_fixed64(ikey, len(ikey) - 8)
+        return (bytes(ikey[:-8]), -trailer)
+
+
+def seek_key(user_key: bytes, sequence: int = MAX_SEQUENCE) -> bytes:
+    """Internal key positioned at-or-before all entries ≤ ``sequence``."""
+    return encode_internal_key(user_key, sequence, VALUE_TYPE_FOR_SEEK)

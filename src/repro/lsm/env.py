@@ -1,0 +1,451 @@
+"""Storage environment abstraction (LevelDB's ``Env``).
+
+Everything the engine does to stable storage flows through an :class:`Env`,
+so the same DB code runs against:
+
+- :class:`LocalFsEnv` — real files on a local filesystem (the standalone
+  LSMIO library and the test suite);
+- :class:`MemEnv` — an in-memory filesystem (fast unit tests);
+- ``repro.pfs.simenv.SimLustreEnv`` — the simulated Lustre parallel file
+  system, which stores the same bytes *and* charges simulated time for
+  every extent, enabling the paper's cluster experiments to execute the
+  genuine engine code path.
+
+The interface is deliberately the LevelDB quartet: writable (append-only)
+files, random-access files, sequential files, plus namespace operations.
+SSTables and WAL segments are append-only by construction, which is what
+lets an LSM turn checkpoint bursts into sequential disk traffic.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from repro.errors import NotFoundError, StorageIOError
+
+
+class WritableFile:
+    """Append-only output file."""
+
+    def append(self, data: bytes) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Push buffered bytes to the OS (no durability guarantee)."""
+        raise NotImplementedError
+
+    def sync(self) -> None:
+        """Force bytes to stable storage (fsync semantics)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def __enter__(self) -> "WritableFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class RandomAccessFile:
+    """Positioned reads over an immutable file."""
+
+    def read(self, offset: int, nbytes: int) -> bytes:
+        """Read up to ``nbytes`` at ``offset`` (short read only at EOF)."""
+        raise NotImplementedError
+
+    def size(self) -> int:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def __enter__(self) -> "RandomAccessFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SequentialFile:
+    """Forward-only reads (WAL recovery)."""
+
+    def read(self, nbytes: int) -> bytes:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def __enter__(self) -> "SequentialFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class Env:
+    """Filesystem namespace + file factories."""
+
+    def new_writable_file(self, path: str) -> WritableFile:
+        raise NotImplementedError
+
+    def new_random_access_file(self, path: str) -> RandomAccessFile:
+        raise NotImplementedError
+
+    def new_sequential_file(self, path: str) -> SequentialFile:
+        raise NotImplementedError
+
+    def file_exists(self, path: str) -> bool:
+        raise NotImplementedError
+
+    def file_size(self, path: str) -> int:
+        raise NotImplementedError
+
+    def delete_file(self, path: str) -> None:
+        raise NotImplementedError
+
+    def rename_file(self, src: str, dst: str) -> None:
+        raise NotImplementedError
+
+    def create_dir(self, path: str) -> None:
+        """Create a directory (and parents); idempotent."""
+        raise NotImplementedError
+
+    def get_children(self, path: str) -> list[str]:
+        """Names (not paths) of entries directly under ``path``."""
+        raise NotImplementedError
+
+    def join(self, *parts: str) -> str:
+        return "/".join(p.rstrip("/") for p in parts if p)
+
+    # -- advisory database locking ---------------------------------------
+
+    def lock_file(self, path: str) -> object:
+        """Take an exclusive advisory lock (LevelDB's LOCK file).
+
+        Returns an opaque token for :meth:`unlock_file`; raises
+        :class:`StorageIOError` if another holder owns it.  The base
+        implementation uses an in-process registry, which is what the
+        in-memory and simulated environments need; :class:`LocalFsEnv`
+        adds OS-level exclusivity.
+        """
+        holders = getattr(self, "_lock_holders", None)
+        if holders is None:
+            holders = self._lock_holders = set()
+        if path in holders:
+            raise StorageIOError(f"database already locked: {path}")
+        holders.add(path)
+        return path
+
+    def unlock_file(self, token: object) -> None:
+        """Release a lock taken by :meth:`lock_file`."""
+        holders = getattr(self, "_lock_holders", set())
+        holders.discard(token)
+
+
+# ---------------------------------------------------------------------------
+# Local filesystem
+# ---------------------------------------------------------------------------
+
+
+class _LocalWritableFile(WritableFile):
+    def __init__(self, path: str):
+        try:
+            self._fh = open(path, "wb")
+        except OSError as exc:
+            raise StorageIOError(str(exc)) from exc
+
+    def append(self, data: bytes) -> None:
+        self._fh.write(data)
+
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def sync(self) -> None:
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+class _LocalRandomAccessFile(RandomAccessFile):
+    def __init__(self, path: str, use_mmap: bool):
+        try:
+            self._fh = open(path, "rb")
+        except FileNotFoundError as exc:
+            raise NotFoundError(str(exc)) from exc
+        except OSError as exc:
+            raise StorageIOError(str(exc)) from exc
+        self._size = os.fstat(self._fh.fileno()).st_size
+        self._mm = None
+        if use_mmap and self._size > 0:
+            import mmap
+
+            self._mm = mmap.mmap(
+                self._fh.fileno(), self._size, access=mmap.ACCESS_READ
+            )
+        self._lock = threading.Lock()
+
+    def read(self, offset: int, nbytes: int) -> bytes:
+        if self._mm is not None:
+            return bytes(self._mm[offset : offset + nbytes])
+        with self._lock:  # seek+read must be atomic across reader threads
+            self._fh.seek(offset)
+            return self._fh.read(nbytes)
+
+    def size(self) -> int:
+        return self._size
+
+    def close(self) -> None:
+        if self._mm is not None:
+            self._mm.close()
+            self._mm = None
+        if not self._fh.closed:
+            self._fh.close()
+
+
+class _LocalSequentialFile(SequentialFile):
+    def __init__(self, path: str):
+        try:
+            self._fh = open(path, "rb")
+        except FileNotFoundError as exc:
+            raise NotFoundError(str(exc)) from exc
+
+    def read(self, nbytes: int) -> bytes:
+        return self._fh.read(nbytes)
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+class LocalFsEnv(Env):
+    """Real files under the host filesystem."""
+
+    def __init__(self, use_mmap_reads: bool = False):
+        self.use_mmap_reads = use_mmap_reads
+
+    def new_writable_file(self, path: str) -> WritableFile:
+        return _LocalWritableFile(path)
+
+    def new_random_access_file(self, path: str) -> RandomAccessFile:
+        return _LocalRandomAccessFile(path, self.use_mmap_reads)
+
+    def new_sequential_file(self, path: str) -> SequentialFile:
+        return _LocalSequentialFile(path)
+
+    def file_exists(self, path: str) -> bool:
+        return os.path.exists(path)
+
+    def file_size(self, path: str) -> int:
+        try:
+            return os.path.getsize(path)
+        except FileNotFoundError as exc:
+            raise NotFoundError(str(exc)) from exc
+
+    def delete_file(self, path: str) -> None:
+        try:
+            os.remove(path)
+        except FileNotFoundError as exc:
+            raise NotFoundError(str(exc)) from exc
+
+    def rename_file(self, src: str, dst: str) -> None:
+        os.replace(src, dst)
+
+    def create_dir(self, path: str) -> None:
+        os.makedirs(path, exist_ok=True)
+
+    def get_children(self, path: str) -> list[str]:
+        try:
+            return sorted(os.listdir(path))
+        except FileNotFoundError as exc:
+            raise NotFoundError(str(exc)) from exc
+
+    def join(self, *parts: str) -> str:
+        return os.path.join(*parts)
+
+    def lock_file(self, path: str) -> object:
+        """O_EXCL-based exclusive lock, robust across processes.
+
+        A stale LOCK file from a crashed process is broken if its
+        recorded PID no longer exists.
+        """
+        super().lock_file(path)  # in-process exclusivity first
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            stale = False
+            try:
+                with open(path) as fh:
+                    pid = int(fh.read().strip() or 0)
+                if pid and not _pid_alive(pid):
+                    stale = True
+            except (OSError, ValueError):
+                stale = True
+            if not stale:
+                super().unlock_file(path)
+                raise StorageIOError(
+                    f"database locked by another process: {path}"
+                )
+            os.remove(path)
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        os.write(fd, str(os.getpid()).encode())
+        os.close(fd)
+        return path
+
+    def unlock_file(self, token: object) -> None:
+        super().unlock_file(token)
+        try:
+            os.remove(token)
+        except FileNotFoundError:
+            pass
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+# ---------------------------------------------------------------------------
+# In-memory filesystem
+# ---------------------------------------------------------------------------
+
+
+class _MemFile:
+    __slots__ = ("data",)
+
+    def __init__(self):
+        self.data = bytearray()
+
+
+class _MemWritableFile(WritableFile):
+    def __init__(self, mem: _MemFile):
+        self._mem = mem
+        self._closed = False
+
+    def append(self, data: bytes) -> None:
+        self._mem.data.extend(data)
+
+    def flush(self) -> None:
+        pass
+
+    def sync(self) -> None:
+        pass
+
+    def close(self) -> None:
+        self._closed = True
+
+
+class _MemRandomAccessFile(RandomAccessFile):
+    def __init__(self, mem: _MemFile):
+        self._data = bytes(mem.data)
+
+    def read(self, offset: int, nbytes: int) -> bytes:
+        return self._data[offset : offset + nbytes]
+
+    def size(self) -> int:
+        return len(self._data)
+
+    def close(self) -> None:
+        pass
+
+
+class _MemSequentialFile(SequentialFile):
+    def __init__(self, mem: _MemFile):
+        self._data = bytes(mem.data)
+        self._pos = 0
+
+    def read(self, nbytes: int) -> bytes:
+        out = self._data[self._pos : self._pos + nbytes]
+        self._pos += len(out)
+        return out
+
+    def close(self) -> None:
+        pass
+
+
+class MemEnv(Env):
+    """A purely in-memory filesystem; paths are flat strings with ``/``."""
+
+    def __init__(self):
+        self._files: dict[str, _MemFile] = {}
+        self._dirs: set[str] = {""}
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def _norm(path: str) -> str:
+        return path.strip("/").replace("//", "/")
+
+    def new_writable_file(self, path: str) -> WritableFile:
+        with self._lock:
+            mem = _MemFile()
+            self._files[self._norm(path)] = mem
+            return _MemWritableFile(mem)
+
+    def _lookup(self, path: str) -> _MemFile:
+        try:
+            return self._files[self._norm(path)]
+        except KeyError as exc:
+            raise NotFoundError(f"no such file: {path}") from exc
+
+    def new_random_access_file(self, path: str) -> RandomAccessFile:
+        with self._lock:
+            return _MemRandomAccessFile(self._lookup(path))
+
+    def new_sequential_file(self, path: str) -> SequentialFile:
+        with self._lock:
+            return _MemSequentialFile(self._lookup(path))
+
+    def file_exists(self, path: str) -> bool:
+        with self._lock:
+            return self._norm(path) in self._files
+
+    def file_size(self, path: str) -> int:
+        with self._lock:
+            return len(self._lookup(path).data)
+
+    def delete_file(self, path: str) -> None:
+        with self._lock:
+            try:
+                del self._files[self._norm(path)]
+            except KeyError as exc:
+                raise NotFoundError(f"no such file: {path}") from exc
+
+    def rename_file(self, src: str, dst: str) -> None:
+        with self._lock:
+            try:
+                self._files[self._norm(dst)] = self._files.pop(self._norm(src))
+            except KeyError as exc:
+                raise NotFoundError(f"no such file: {src}") from exc
+
+    def create_dir(self, path: str) -> None:
+        with self._lock:
+            norm = self._norm(path)
+            pieces = norm.split("/")
+            for i in range(1, len(pieces) + 1):
+                self._dirs.add("/".join(pieces[:i]))
+
+    def get_children(self, path: str) -> list[str]:
+        norm = self._norm(path)
+        prefix = norm + "/" if norm else ""
+        with self._lock:
+            if norm not in self._dirs and not any(
+                name.startswith(prefix) for name in self._files
+            ):
+                raise NotFoundError(f"no such directory: {path}")
+            children: set[str] = set()
+            for name in self._files:
+                if name.startswith(prefix):
+                    children.add(name[len(prefix):].split("/", 1)[0])
+            for name in self._dirs:
+                if name.startswith(prefix) and name != norm:
+                    children.add(name[len(prefix):].split("/", 1)[0])
+            return sorted(children)

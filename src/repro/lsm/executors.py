@@ -1,0 +1,100 @@
+"""Flush/compaction executors: where background work runs.
+
+The paper configures "a single thread ... for flushing writes" (§3.1.2).
+The engine keeps that policy pluggable:
+
+- :class:`SyncExecutor` runs jobs inline (deterministic; the default);
+- :class:`ThreadExecutor` runs them on one daemon worker thread — real
+  asynchrony for the standalone library's async write mode;
+- the simulation substrate provides a ``SimExecutor`` that runs jobs as
+  discrete-event processes so flushes overlap compute in *simulated* time.
+
+All executors expose the same three methods; ``drain()`` is the write
+barrier's hook — it blocks until every submitted job has finished and
+re-raises the first job exception, so a failed background flush cannot be
+silently lost.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable, Optional
+
+
+class Executor:
+    """Interface: submit jobs, drain to a barrier, close."""
+
+    def submit(self, job: Callable[[], None]) -> None:
+        raise NotImplementedError
+
+    def drain(self) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+class SyncExecutor(Executor):
+    """Runs each job immediately on the calling thread."""
+
+    def submit(self, job: Callable[[], None]) -> None:
+        job()
+
+    def drain(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class ThreadExecutor(Executor):
+    """A single background worker thread with barrier-style drain."""
+
+    def __init__(self, name: str = "lsm-flush"):
+        self._queue: "queue.Queue[Optional[Callable[[], None]]]" = queue.Queue()
+        self._pending = 0
+        self._cond = threading.Condition()
+        self._error: Optional[BaseException] = None
+        self._worker = threading.Thread(target=self._run, name=name, daemon=True)
+        self._closed = False
+        self._worker.start()
+
+    def _run(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            try:
+                job()
+            except BaseException as exc:  # propagated at drain()
+                with self._cond:
+                    if self._error is None:
+                        self._error = exc
+            finally:
+                with self._cond:
+                    self._pending -= 1
+                    self._cond.notify_all()
+
+    def submit(self, job: Callable[[], None]) -> None:
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        with self._cond:
+            self._pending += 1
+        self._queue.put(job)
+
+    def drain(self) -> None:
+        with self._cond:
+            while self._pending > 0:
+                self._cond.wait()
+            if self._error is not None:
+                error, self._error = self._error, None
+                raise error
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.drain()
+        self._closed = True
+        self._queue.put(None)
+        self._worker.join()

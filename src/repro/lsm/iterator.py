@@ -1,0 +1,182 @@
+"""Iterators: k-way merging over sorted runs and user-visible resolution.
+
+Reading an LSM-tree is "a way similar to a merge sort" (§2.2): the
+memtable, every L0 file, and one file per deeper level each provide a
+sorted stream of internal entries; :class:`MergingIterator` interleaves
+them in internal-key order (user key ascending, sequence descending), and
+:func:`resolve_user_entries` collapses each user key's version chain into
+the value a reader should see — applying merge (append) operands and
+suppressing tombstones.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator, Optional
+
+from repro.lsm.dbformat import (
+    ValueType,
+    decode_internal_key,
+)
+from repro.util.varint import decode_fixed64
+
+
+def _heap_key(ikey: bytes, stream_index: int):
+    """Heap ordering: internal-key order, ties broken by stream index.
+
+    Stream index tie-breaking matters only when two streams carry the same
+    (user key, sequence), which the write path never produces; it keeps
+    the merge deterministic regardless.
+    """
+    trailer = decode_fixed64(ikey, len(ikey) - 8)
+    return (bytes(ikey[:-8]), -trailer, stream_index)
+
+
+class MergingIterator:
+    """Merges N sorted (internal key, value) streams into one."""
+
+    def __init__(self, streams: Iterable[Iterator[tuple[bytes, bytes]]]):
+        self._heap: list[tuple[tuple, bytes, bytes, int, Iterator]] = []
+        for index, stream in enumerate(streams):
+            stream = iter(stream)
+            first = next(stream, None)
+            if first is not None:
+                ikey, value = first
+                heapq.heappush(
+                    self._heap, (_heap_key(ikey, index), ikey, value, index, stream)
+                )
+
+    def __iter__(self) -> Iterator[tuple[bytes, bytes]]:
+        heap = self._heap
+        while heap:
+            _, ikey, value, index, stream = heapq.heappop(heap)
+            yield ikey, value
+            nxt = next(stream, None)
+            if nxt is not None:
+                nkey, nvalue = nxt
+                heapq.heappush(
+                    heap, (_heap_key(nkey, index), nkey, nvalue, index, stream)
+                )
+
+
+def resolve_user_entries(
+    merged: Iterable[tuple[bytes, bytes]],
+    stop_after_user_key: Optional[bytes] = None,
+) -> Iterator[tuple[bytes, bytes]]:
+    """Collapse internal entries into user-visible (user key, value) pairs.
+
+    For each user key (whose versions arrive newest-first):
+
+    - a ``VALUE`` terminates the chain: the result is the value plus any
+      newer ``MERGE`` operands appended after it (oldest→newest);
+    - a ``DELETE`` terminates the chain: the key is visible only if newer
+      ``MERGE`` operands exist (append-after-delete re-creates the key);
+    - a chain of only ``MERGE`` operands yields their concatenation
+      (append to a never-written key starts from empty).
+
+    ``stop_after_user_key`` bounds range scans without draining the merge.
+    """
+    current_key: Optional[bytes] = None
+    operands: list[bytes] = []
+    terminated = False  # saw VALUE or DELETE for current_key
+    visible = False
+    base = b""
+
+    def emit() -> Optional[tuple[bytes, bytes]]:
+        if current_key is None or not visible:
+            return None
+        return current_key, base + b"".join(reversed(operands))
+
+    for ikey, value in merged:
+        parsed = decode_internal_key(ikey)
+        if parsed.user_key != current_key:
+            result = emit()
+            if result is not None:
+                yield result
+            if (
+                stop_after_user_key is not None
+                and parsed.user_key > stop_after_user_key
+            ):
+                return
+            current_key = parsed.user_key
+            operands = []
+            terminated = False
+            visible = False
+            base = b""
+        if terminated:
+            continue  # older shadowed versions of the same user key
+        if parsed.value_type is ValueType.VALUE:
+            base = value
+            visible = True
+            terminated = True
+        elif parsed.value_type is ValueType.DELETE:
+            terminated = True
+            visible = bool(operands)  # append-after-delete resurrects
+        else:  # MERGE
+            operands.append(value)
+            visible = True
+    result = emit()
+    if result is not None:
+        yield result
+
+
+def collapse_internal_entries(
+    merged: Iterable[tuple[bytes, bytes]],
+    drop_tombstones: bool,
+) -> Iterator[tuple[bytes, int, bytes, ValueType]]:
+    """Compaction-side collapse: one output entry per user key.
+
+    Unlike :func:`resolve_user_entries` this keeps tombstones (unless the
+    compaction reaches the bottommost level, ``drop_tombstones=True``)
+    because deeper levels may still hold older versions that the tombstone
+    must continue to shadow.
+
+    Yields (user_key, sequence, value, value_type); ``sequence`` is the
+    newest sequence seen for the key so the collapsed entry keeps
+    shadowing everything it shadowed before.  Output types are ``VALUE``,
+    ``DELETE``, or ``MERGE`` (a pure append chain compacted above the
+    bottom level, whose base may still live deeper).
+    """
+    current_key: Optional[bytes] = None
+    newest_seq = 0
+    operands: list[bytes] = []
+    terminated = False
+    saw_delete = False
+    base = b""
+
+    def emit() -> Optional[tuple[bytes, int, bytes, ValueType]]:
+        if current_key is None:
+            return None
+        if saw_delete and not operands:
+            if drop_tombstones:
+                return None
+            return current_key, newest_seq, b"", ValueType.DELETE
+        value = base + b"".join(reversed(operands))
+        if not terminated and not saw_delete and not drop_tombstones:
+            return current_key, newest_seq, value, ValueType.MERGE
+        return current_key, newest_seq, value, ValueType.VALUE
+
+    for ikey, value in merged:
+        parsed = decode_internal_key(ikey)
+        if parsed.user_key != current_key:
+            result = emit()
+            if result is not None:
+                yield result
+            current_key = parsed.user_key
+            newest_seq = parsed.sequence
+            operands = []
+            terminated = False
+            saw_delete = False
+            base = b""
+        if terminated or saw_delete:
+            continue
+        if parsed.value_type is ValueType.VALUE:
+            base = value
+            terminated = True
+        elif parsed.value_type is ValueType.DELETE:
+            saw_delete = True
+        else:
+            operands.append(value)
+    result = emit()
+    if result is not None:
+        yield result

@@ -1,0 +1,117 @@
+"""The MemTable: the LSM-tree's C0 component (§2.2 of the paper).
+
+Holds the most recent updates in a skiplist ordered by internal key and
+answers point lookups before any SSTable is consulted.  When
+``approximate_memory_usage`` exceeds the write buffer size the DB freezes
+the memtable and flushes it to an L0 SSTable — that flush is the large
+sequential write the whole paper is about.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.lsm.dbformat import (
+    MAX_SEQUENCE,
+    ValueType,
+    decode_internal_key,
+    encode_internal_key,
+    internal_compare,
+    seek_key,
+)
+from repro.lsm.skiplist import SkipList
+
+# Rough per-entry bookkeeping overhead (node + list slots + key copy),
+# counted so the flush trigger tracks real memory, not just payload bytes.
+_ENTRY_OVERHEAD = 96
+
+
+class GetResult:
+    """Outcome of a memtable lookup for one user key.
+
+    The memtable alone cannot always resolve a read: a chain of MERGE
+    (append) operands without a base value underneath must fall through to
+    older tables.  ``state`` is one of:
+
+    - ``"found"``    — ``value`` is the fully-resolved bytes;
+    - ``"deleted"``  — a tombstone is the newest entry;
+    - ``"merge"``    — ``operands`` (oldest→newest) need a base from below;
+    - ``"missing"``  — no entry for this key at all.
+    """
+
+    __slots__ = ("state", "value", "operands")
+
+    def __init__(self, state: str, value: bytes = b"", operands=()):
+        self.state = state
+        self.value = value
+        self.operands = list(operands)
+
+
+class MemTable:
+    """Skiplist of (internal key → value) with LSM read semantics."""
+
+    def __init__(self, seed: int = 0):
+        self._entries: dict[bytes, bytes] = {}
+        self._index = SkipList(less=lambda a, b: internal_compare(a, b) < 0, seed=seed)
+        self._memory = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def approximate_memory_usage(self) -> int:
+        """Bytes of keys+values+overhead currently buffered."""
+        return self._memory
+
+    def add(
+        self, sequence: int, value_type: ValueType, user_key: bytes, value: bytes
+    ) -> None:
+        """Insert one update; (user_key, sequence) pairs must be unique."""
+        ikey = encode_internal_key(user_key, sequence, value_type)
+        self._index.insert(ikey)
+        self._entries[ikey] = value
+        self._memory += len(ikey) + len(value) + _ENTRY_OVERHEAD
+
+    def get(self, user_key: bytes, max_sequence: Optional[int] = None) -> GetResult:
+        """Resolve ``user_key`` against buffered updates (newest first).
+
+        ``max_sequence`` bounds visibility for snapshot reads: entries
+        newer than it are skipped.
+        """
+        operands: list[bytes] = []
+        for ikey in self._index.seek(seek_key(user_key, 
+                max_sequence if max_sequence is not None else MAX_SEQUENCE)):
+            parsed = decode_internal_key(ikey)
+            if parsed.user_key != user_key:
+                break
+            if parsed.value_type is ValueType.VALUE:
+                base = self._entries[ikey]
+                if operands:
+                    return GetResult(
+                        "found", base + b"".join(reversed(operands))
+                    )
+                return GetResult("found", base)
+            if parsed.value_type is ValueType.DELETE:
+                if operands:
+                    # Deleted base + later appends == appends on empty value.
+                    return GetResult("found", b"".join(reversed(operands)))
+                return GetResult("deleted")
+            operands.append(self._entries[ikey])  # MERGE, newest first
+        if operands:
+            return GetResult("merge", operands=list(reversed(operands)))
+        return GetResult("missing")
+
+    def entries(self) -> Iterator[tuple[bytes, bytes]]:
+        """All (internal key, value) pairs in internal-key order."""
+        for ikey in self._index:
+            yield ikey, self._entries[ikey]
+
+    def seek(self, ikey: bytes) -> Iterator[tuple[bytes, bytes]]:
+        """(internal key, value) pairs with internal key >= ``ikey``."""
+        for found in self._index.seek(ikey):
+            yield found, self._entries[found]
+
+    def smallest_key(self) -> Optional[bytes]:
+        return self._index.first()
+
+    def largest_key(self) -> Optional[bytes]:
+        return self._index.last()

@@ -1,0 +1,123 @@
+"""A probabilistic skiplist — the MemTable's ordered index (the C0 tree).
+
+LevelDB's memtable is a skiplist; we reproduce it rather than leaning on a
+``dict``-plus-sort because the structure provides exactly what the write
+path needs: O(log n) insert with already-sorted iteration at flush time,
+plus cheap seek for reads.  The list is append-only (no node removal):
+deletes in the LSM world are tombstone *insertions*, so removal support
+would be dead code.
+
+Randomness comes from a caller-seeded :class:`random.Random` so inserts are
+reproducible under the discrete-event simulation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterator, Optional
+
+MAX_HEIGHT = 12
+_BRANCHING = 4
+
+
+class _Node:
+    __slots__ = ("key", "nexts")
+
+    def __init__(self, key, height: int):
+        self.key = key
+        self.nexts: list[Optional[_Node]] = [None] * height
+
+
+class SkipList:
+    """Ordered container of opaque keys with a pluggable ``less`` function.
+
+    Keys are inserted once and never removed; duplicate keys (where
+    ``not less(a, b) and not less(b, a)``) are rejected because the
+    memtable encodes the sequence number into every key, making true
+    duplicates a logic error.
+    """
+
+    def __init__(self, less: Callable = None, seed: int = 0):
+        self._less = less if less is not None else (lambda a, b: a < b)
+        self._rng = random.Random(seed)
+        self._head = _Node(None, MAX_HEIGHT)
+        self._height = 1
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _random_height(self) -> int:
+        height = 1
+        while height < MAX_HEIGHT and self._rng.randrange(_BRANCHING) == 0:
+            height += 1
+        return height
+
+    def _find_greater_or_equal(
+        self, key, prevs: Optional[list[_Node]] = None
+    ) -> Optional[_Node]:
+        """First node with node.key >= key; fills ``prevs`` per level."""
+        node = self._head
+        level = self._height - 1
+        while True:
+            nxt = node.nexts[level]
+            if nxt is not None and self._less(nxt.key, key):
+                node = nxt
+            else:
+                if prevs is not None:
+                    prevs[level] = node
+                if level == 0:
+                    return nxt
+                level -= 1
+
+    def insert(self, key) -> None:
+        """Insert ``key``; raises ``ValueError`` on duplicates."""
+        prevs: list[_Node] = [self._head] * MAX_HEIGHT
+        nxt = self._find_greater_or_equal(key, prevs)
+        if nxt is not None and not self._less(key, nxt.key):
+            raise ValueError("duplicate key inserted into skiplist")
+        height = self._random_height()
+        if height > self._height:
+            for level in range(self._height, height):
+                prevs[level] = self._head
+            self._height = height
+        node = _Node(key, height)
+        for level in range(height):
+            node.nexts[level] = prevs[level].nexts[level]
+            prevs[level].nexts[level] = node
+        self._count += 1
+
+    def contains(self, key) -> bool:
+        node = self._find_greater_or_equal(key)
+        return node is not None and not self._less(key, node.key)
+
+    def seek(self, key):
+        """Iterate keys >= ``key`` in order."""
+        node = self._find_greater_or_equal(key)
+        while node is not None:
+            yield node.key
+            node = node.nexts[0]
+
+    def __iter__(self) -> Iterator:
+        node = self._head.nexts[0]
+        while node is not None:
+            yield node.key
+            node = node.nexts[0]
+
+    def first(self):
+        """Smallest key, or None when empty."""
+        node = self._head.nexts[0]
+        return None if node is None else node.key
+
+    def last(self):
+        """Largest key, or None when empty (O(log n) walk along top levels)."""
+        node = self._head
+        level = self._height - 1
+        while True:
+            nxt = node.nexts[level]
+            if nxt is not None:
+                node = nxt
+            elif level == 0:
+                return None if node is self._head else node.key
+            else:
+                level -= 1

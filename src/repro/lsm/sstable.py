@@ -1,0 +1,322 @@
+"""Sorted String Table (SSTable) writer and reader — the on-disk C1..Ck trees.
+
+File layout (LevelDB's, with a JSON properties block added)::
+
+    [data block 0]
+    [data block 1]
+    ...
+    [bloom filter block]
+    [properties block]
+    [metaindex block]   "filter.bloom" / "properties" → BlockHandle
+    [index block]       last internal key per data block → BlockHandle
+    [footer]            metaindex + index handles, padding, 8-byte magic
+
+Every block is followed by a 5-byte trailer: one compression-type byte and
+a fixed32 masked checksum over (payload ‖ type byte).  A ``BlockHandle``
+is (varint64 offset, varint64 payload size, trailer excluded).
+
+The builder only ever **appends** — an SSTable flush is one long sequential
+write, which is precisely the disk-access pattern the paper exploits for
+checkpoint bandwidth (§2.2).
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from typing import Iterator, NamedTuple, Optional
+
+from repro.errors import CorruptionError
+from repro.lsm.block import Block, BlockBuilder
+from repro.lsm.bloom import BloomFilter
+from repro.lsm.cache import LRUCache
+from repro.lsm.dbformat import internal_compare, internal_key_user_key
+from repro.lsm.env import RandomAccessFile, WritableFile
+from repro.lsm.options import ChecksumType, CompressionType, Options, ReadOptions
+from repro.util.varint import (
+    decode_varint64,
+    encode_varint64,
+)
+
+MAGIC = b"LSMIOSST"
+FOOTER_SIZE = 2 * 10 + 8  # two max-size varint64 handles (padded) + magic
+BLOCK_TRAILER_SIZE = 5
+
+FILTER_KEY = b"filter.bloom"
+PROPERTIES_KEY = b"properties"
+
+
+def _mask(crc: int) -> int:
+    return (((crc >> 15) | (crc << 17)) + 0xA282EAD8) & 0xFFFFFFFF
+
+
+class BlockHandle(NamedTuple):
+    """Location of a block's payload within the table file."""
+
+    offset: int
+    size: int
+
+    def encode(self) -> bytes:
+        return encode_varint64(self.offset) + encode_varint64(self.size)
+
+    @classmethod
+    def decode(cls, buf: bytes, pos: int = 0) -> tuple["BlockHandle", int]:
+        offset, pos = decode_varint64(buf, pos)
+        size, pos = decode_varint64(buf, pos)
+        return cls(offset, size), pos
+
+
+class TableBuilder:
+    """Streams sorted (internal key, value) pairs into an SSTable file."""
+
+    def __init__(self, options: Options, dest: WritableFile):
+        self._options = options
+        self._dest = dest
+        self._data_block = BlockBuilder(
+            options.block_restart_interval, compare=internal_compare
+        )
+        self._index_block = BlockBuilder(1, compare=internal_compare)
+        self._pending_index: Optional[tuple[bytes, BlockHandle]] = None
+        self._offset = 0
+        self._num_entries = 0
+        self._raw_bytes = 0
+        self._user_keys: list[bytes] = []
+        self._first_key: Optional[bytes] = None
+        self._last_key: Optional[bytes] = None
+        self._crc_fn = options.checksum.function()
+        self._checksum_enabled = options.checksum is not ChecksumType.NONE
+        self._finished = False
+
+    def add(self, ikey: bytes, value: bytes) -> None:
+        """Add one entry; internal keys must arrive in sorted order."""
+        if self._finished:
+            raise ValueError("TableBuilder already finished")
+        if self._pending_index is not None:
+            self._index_block.add(
+                self._pending_index[0], self._pending_index[1].encode()
+            )
+            self._pending_index = None
+        if self._first_key is None:
+            self._first_key = ikey
+        self._last_key = ikey
+        user_key = internal_key_user_key(ikey)
+        if not self._user_keys or self._user_keys[-1] != user_key:
+            self._user_keys.append(user_key)
+        self._data_block.add(ikey, value)
+        self._num_entries += 1
+        self._raw_bytes += len(ikey) + len(value)
+        if self._data_block.current_size_estimate() >= self._options.block_size:
+            self._flush_data_block()
+
+    def _flush_data_block(self) -> None:
+        if self._data_block.empty:
+            return
+        last_key = self._data_block.last_key
+        handle = self._write_block(self._data_block.finish())
+        self._data_block.reset()
+        # Defer the index entry so a future "shortest separator" policy
+        # could consult the next block's first key (LevelDB does this).
+        self._pending_index = (last_key, handle)
+
+    def _write_block(self, payload: bytes) -> BlockHandle:
+        ctype = CompressionType.NONE
+        if self._options.compression is CompressionType.ZLIB:
+            if self._options.cpu_charge is not None:
+                self._options.cpu_charge(len(payload), "compress")
+            compressed = zlib.compress(payload)
+            # Same heuristic as LevelDB: keep compression only if it pays.
+            if len(compressed) < len(payload) * 7 // 8:
+                payload = compressed
+                ctype = CompressionType.ZLIB
+        return self._write_raw_block(payload, ctype)
+
+    def _write_raw_block(self, payload: bytes, ctype: CompressionType) -> BlockHandle:
+        handle = BlockHandle(self._offset, len(payload))
+        type_byte = bytes([int(ctype)])
+        if self._checksum_enabled:
+            crc = _mask(self._crc_fn(payload + type_byte))
+        else:
+            crc = 0
+        trailer = type_byte + crc.to_bytes(4, "little")
+        self._dest.append(payload + trailer)
+        self._offset += len(payload) + BLOCK_TRAILER_SIZE
+        return handle
+
+    def finish(self) -> int:
+        """Write filter/properties/metaindex/index/footer; return file size."""
+        if self._finished:
+            raise ValueError("TableBuilder already finished")
+        self._flush_data_block()
+        if self._pending_index is not None:
+            self._index_block.add(
+                self._pending_index[0], self._pending_index[1].encode()
+            )
+            self._pending_index = None
+        self._finished = True
+
+        # Meta blocks are stored uncompressed: they are read once at open.
+        bloom = BloomFilter.build(self._user_keys, self._options.bloom_bits_per_key)
+        filter_handle = self._write_raw_block(bloom.encode(), CompressionType.NONE)
+        properties = {
+            "num_entries": self._num_entries,
+            "num_user_keys": len(self._user_keys),
+            "raw_bytes": self._raw_bytes,
+            "block_size": self._options.block_size,
+            "compression": self._options.compression.name,
+            "checksum": self._options.checksum.value,
+        }
+        props_handle = self._write_raw_block(
+            json.dumps(properties, sort_keys=True).encode(), CompressionType.NONE
+        )
+
+        metaindex = BlockBuilder(1)
+        metaindex.add(FILTER_KEY, filter_handle.encode())
+        metaindex.add(PROPERTIES_KEY, props_handle.encode())
+        metaindex_handle = self._write_raw_block(
+            metaindex.finish(), CompressionType.NONE
+        )
+        index_handle = self._write_raw_block(
+            self._index_block.finish(), CompressionType.NONE
+        )
+
+        footer = metaindex_handle.encode() + index_handle.encode()
+        footer += b"\x00" * (FOOTER_SIZE - 8 - len(footer))
+        footer += MAGIC
+        self._dest.append(footer)
+        self._offset += len(footer)
+        return self._offset
+
+    @property
+    def num_entries(self) -> int:
+        return self._num_entries
+
+    @property
+    def file_size(self) -> int:
+        return self._offset
+
+    @property
+    def first_key(self) -> Optional[bytes]:
+        return self._first_key
+
+    @property
+    def last_key(self) -> Optional[bytes]:
+        return self._last_key
+
+
+class Table:
+    """Random-access reader over one SSTable file."""
+
+    def __init__(
+        self,
+        options: Options,
+        file: RandomAccessFile,
+        file_number: int = 0,
+        block_cache: Optional[LRUCache] = None,
+    ):
+        self._options = options
+        self._file = file
+        self._file_number = file_number
+        self._cache = block_cache if options.enable_block_cache else None
+        self._crc_fn = options.checksum.function()
+
+        size = file.size()
+        if size < FOOTER_SIZE:
+            raise CorruptionError("file too small to be an SSTable")
+        footer = file.read(size - FOOTER_SIZE, FOOTER_SIZE)
+        if footer[-8:] != MAGIC:
+            raise CorruptionError("bad SSTable magic")
+        metaindex_handle, pos = BlockHandle.decode(footer, 0)
+        index_handle, _ = BlockHandle.decode(footer, pos)
+        self._index = Block(
+            self._read_block_payload(index_handle), compare=internal_compare
+        )
+        metaindex = Block(self._read_block_payload(metaindex_handle))
+        self._bloom: Optional[BloomFilter] = None
+        self._properties: dict = {}
+        for key, value in metaindex:
+            handle, _ = BlockHandle.decode(value, 0)
+            if key == FILTER_KEY:
+                self._bloom = BloomFilter.decode(self._read_block_payload(handle))
+            elif key == PROPERTIES_KEY:
+                self._properties = json.loads(self._read_block_payload(handle))
+
+    def _read_block_payload(
+        self, handle: BlockHandle, verify: bool = True
+    ) -> bytes:
+        raw = self._file.read(handle.offset, handle.size + BLOCK_TRAILER_SIZE)
+        if len(raw) != handle.size + BLOCK_TRAILER_SIZE:
+            raise CorruptionError("truncated block read")
+        payload = raw[: handle.size]
+        type_byte = raw[handle.size]
+        if verify and self._options.checksum is not ChecksumType.NONE:
+            expected = int.from_bytes(
+                raw[handle.size + 1 : handle.size + 5], "little"
+            )
+            actual = _mask(self._crc_fn(payload + raw[handle.size : handle.size + 1]))
+            if expected != actual:
+                raise CorruptionError(
+                    f"block checksum mismatch at offset {handle.offset}"
+                )
+        try:
+            ctype = CompressionType(type_byte)
+        except ValueError as exc:
+            raise CorruptionError(f"bad compression byte {type_byte}") from exc
+        if ctype is CompressionType.ZLIB:
+            try:
+                payload = zlib.decompress(payload)
+            except zlib.error as exc:
+                raise CorruptionError("block decompression failed") from exc
+        return payload
+
+    def _data_block(self, handle: BlockHandle, read_options: ReadOptions) -> Block:
+        cache_key = (self._file_number, handle.offset)
+        if self._cache is not None:
+            cached = self._cache.get(cache_key)
+            if cached is not None:
+                return cached
+        payload = self._read_block_payload(
+            handle, verify=read_options.verify_checksums
+        )
+        block = Block(payload, compare=internal_compare)
+        if self._cache is not None and read_options.fill_cache:
+            self._cache.insert(cache_key, block, len(payload))
+        return block
+
+    def may_contain(self, user_key: bytes) -> bool:
+        """Bloom-filter probe: False means the key is definitely absent."""
+        if self._bloom is None:
+            return True
+        return self._bloom.may_contain(user_key)
+
+    def seek(
+        self, target_ikey: bytes, read_options: Optional[ReadOptions] = None
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Yield (internal key, value) with key >= ``target_ikey``."""
+        read_options = read_options or ReadOptions()
+        started = False
+        for _, handle_bytes in self._index.seek(target_ikey):
+            handle, _ = BlockHandle.decode(handle_bytes, 0)
+            block = self._data_block(handle, read_options)
+            entries = block.seek(target_ikey) if not started else iter(block)
+            started = True
+            yield from entries
+
+    def __iter__(self) -> Iterator[tuple[bytes, bytes]]:
+        read_options = ReadOptions()
+        for _, handle_bytes in self._index:
+            handle, _ = BlockHandle.decode(handle_bytes, 0)
+            yield from self._data_block(handle, read_options)
+
+    @property
+    def properties(self) -> dict:
+        """The JSON properties block (entry counts, sizes, codec info)."""
+        return dict(self._properties)
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "Table":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,25 @@
+"""A simulated MPI: SPMD ranks as discrete-event processes.
+
+The paper uses MPI for benchmark barriers ("we started measuring right
+after the first MPI barrier ... until after the last I/O operation and a
+second MPI barrier", §A.1.7) and proposes collective I/O over MPI as future
+work.  This package provides a deterministic, single-machine stand-in with
+mpi4py-shaped semantics:
+
+- :func:`run_world` launches N ranks (one simulated process each — the
+  paper runs one task per node, §A.1.6);
+- :class:`Communicator` offers ``barrier``, ``send``/``recv``, ``bcast``,
+  ``scatter``/``gather``, ``allgather``, ``reduce``/``allreduce``,
+  ``alltoall``;
+- :class:`Network` models message cost (latency + size/bandwidth) and
+  per-rank NIC serialization.
+
+Messages move in simulated time, so communication cost shows up in the
+benchmark clocks exactly where a real cluster would pay it.
+"""
+
+from repro.mpi.network import Network
+from repro.mpi.comm import Communicator, World
+from repro.mpi.launcher import run_world
+
+__all__ = ["Communicator", "Network", "World", "run_world"]

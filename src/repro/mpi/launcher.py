@@ -1,0 +1,56 @@
+"""SPMD launcher: the simulated ``mpiexec``.
+
+``run_world(n, main)`` spawns ``main(comm, *args, **kwargs)`` once per
+rank inside a discrete-event engine (creating one if not supplied), runs
+to completion, and returns the per-rank results — the moral equivalent of
+``mpiexec -n <n> python script.py`` with one task per node (§A.1.6).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro import sim
+from repro.mpi.comm import World
+from repro.mpi.network import Network
+
+
+def run_world(
+    size: int,
+    main: Callable[..., Any],
+    *args: Any,
+    engine: Optional[sim.Engine] = None,
+    network: Optional[Network] = None,
+    world_setup: Optional[Callable[[World], None]] = None,
+    **kwargs: Any,
+) -> list[Any]:
+    """Run ``main(comm, *args, **kwargs)`` on ``size`` simulated ranks.
+
+    Returns ``[result_rank0, ..., result_rank{n-1}]``.  If ``engine`` is
+    provided it must not have been run yet for these processes; otherwise a
+    fresh engine is created and closed afterwards.
+
+    ``world_setup`` runs once (with the :class:`World`) before ranks start,
+    letting callers attach shared simulated hardware (e.g. the Lustre
+    cluster) to the same engine.
+    """
+    own_engine = engine is None
+    engine = engine or sim.Engine()
+    try:
+        world = World(engine, size, network=network)
+        if world_setup is not None:
+            world_setup(world)
+        procs = [
+            engine.spawn(
+                main, world.comm(rank), *args, name=f"rank{rank}", **kwargs
+            )
+            for rank in range(size)
+        ]
+        engine.run()
+        return [proc.result for proc in procs]
+    finally:
+        if own_engine:
+            engine.close()
+
+
+__all__ = ["run_world"]

@@ -1,0 +1,65 @@
+"""Interconnect cost model for the simulated MPI.
+
+A message of ``n`` bytes costs ``latency + n / bandwidth`` seconds on the
+wire (the classic Hockney model), and each rank's NIC serializes its own
+outbound transfers.  Defaults approximate the paper's cluster class
+(Viking: 25 GbE-era fabric on Intel Xeon 6138 nodes).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any
+
+import numpy as np
+
+from repro.errors import InvalidArgumentError
+from repro.util.humanize import parse_size
+
+
+def message_size(obj: Any) -> int:
+    """Estimate the wire size of a Python object in bytes.
+
+    Buffers report their true size; containers are summed recursively;
+    everything else falls back to ``sys.getsizeof`` (close enough for the
+    control-plane messages the benchmarks exchange).
+    """
+    if obj is None:
+        return 1
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return 16 + sum(message_size(item) for item in obj)
+    if isinstance(obj, dict):
+        return 16 + sum(
+            message_size(k) + message_size(v) for k, v in obj.items()
+        )
+    return sys.getsizeof(obj)
+
+
+class Network:
+    """Hockney-model interconnect parameters."""
+
+    def __init__(
+        self,
+        latency: float = 2e-6,
+        bandwidth: float | str = "2.8G",
+    ):
+        self.latency = float(latency)
+        self.bandwidth = float(parse_size(bandwidth))
+        if self.latency < 0:
+            raise InvalidArgumentError(f"negative latency: {latency}")
+        if self.bandwidth <= 0:
+            raise InvalidArgumentError(f"non-positive bandwidth: {bandwidth}")
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Wire time for one message of ``nbytes``."""
+        return self.latency + nbytes / self.bandwidth
+
+    def __repr__(self) -> str:
+        return (
+            f"Network(latency={self.latency!r}, "
+            f"bandwidth={self.bandwidth / (1 << 30):.2f} GiB/s)"
+        )

@@ -1,0 +1,45 @@
+"""A discrete-event model of a Lustre parallel file system.
+
+Reproduces the storage side of the paper's testbed (Table 4: 45 OSTs of
+10×8TB 7,200 RPM NL-SAS behind 2 OSSs, Lustre striping with configurable
+stripe size/count) at the level of mechanism that drives every result in
+the evaluation:
+
+- :mod:`repro.pfs.disk` — HDD mechanics: streaming bandwidth vs.
+  positioning penalty, the difference the LSM-tree exploits (§2.2);
+- :mod:`repro.pfs.layout` — RAID-0 stripe math mapping file extents to
+  OST objects;
+- :mod:`repro.pfs.ost` — object storage targets: FCFS service, per-object
+  head tracking, LDLM-style extent-lock ping-pong between clients;
+- :mod:`repro.pfs.oss` — object storage servers: shared network pipes
+  that cap aggregate bandwidth;
+- :mod:`repro.pfs.mds` — the metadata server: opens, creates, lookups and
+  lock traffic serialize here (HDF5's pain point);
+- :mod:`repro.pfs.lustre` — the cluster: namespace, files, configuration;
+- :mod:`repro.pfs.client` — per-node mount point: striped reads/writes
+  with client-side write-back buffering and RPC chunking;
+- :mod:`repro.pfs.simenv` — an :class:`repro.lsm.env.Env` over the
+  simulated cluster, so the *real* LSM engine runs on simulated Lustre;
+- :mod:`repro.pfs.configs` — ready-made cluster configs (``viking()``).
+"""
+
+from repro.pfs.client import LustreClient
+from repro.pfs.configs import viking
+from repro.pfs.disk import HDDProfile, SSDProfile
+from repro.pfs.layout import StripeLayout
+from repro.pfs.lustre import LustreCluster, LustreConfig
+from repro.pfs.simenv import SimLustreEnv
+from repro.pfs.stats import ClusterReport, collect_report
+
+__all__ = [
+    "ClusterReport",
+    "HDDProfile",
+    "collect_report",
+    "LustreClient",
+    "LustreCluster",
+    "LustreConfig",
+    "SSDProfile",
+    "SimLustreEnv",
+    "StripeLayout",
+    "viking",
+]

@@ -1,0 +1,293 @@
+"""The per-node Lustre client (mount point).
+
+Write path: the byte range is decomposed by the file's stripe layout,
+coalesced into per-OST RPCs of at most ``rpc_size`` (the client-side page
+cache batches dirty pages per object — this is why one rank's buffered
+32 MB flush becomes a handful of large sequential RPCs), and each RPC
+flows NIC → OSS pipe → OST disk.  Writes are **write-behind** by default:
+``write()`` returns once the bytes have left the node's NIC, and
+``fsync``/``close`` wait for the outstanding RPCs — matching a real
+client's dirty-page semantics and the paper's measurement protocol (IOR's
+close/fsync is inside the timed region).
+
+Read path: synchronous — the caller blocks for OST → OSS → NIC per RPC,
+with RPCs to distinct OSTs issued in parallel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple, Optional
+
+import numpy as np
+
+from repro import sim
+from repro.errors import InvalidArgumentError
+from repro.pfs.lustre import LustreCluster, LustreFile
+
+
+class Rpc(NamedTuple):
+    """One coalesced per-OST transfer."""
+
+    ost_index: int
+    object_id: int
+    object_offset: int
+    length: int
+
+
+@dataclass
+class ClientStats:
+    bytes_written: int = 0
+    bytes_read: int = 0
+    write_rpcs: int = 0
+    read_rpcs: int = 0
+    mds_ops: int = 0
+
+
+class LustreClient:
+    """One compute node's view of the file system."""
+
+    def __init__(self, cluster: LustreCluster, client_id: int):
+        self.cluster = cluster
+        self.client_id = client_id
+        config = cluster.config
+        self._nic = sim.Resource(
+            cluster.engine, capacity=1, name=f"client{client_id}.nic"
+        )
+        self._nic_bandwidth = config.client_bandwidth
+        self._rpc_latency = config.client_rpc_latency
+        self._rpc_size = config.rpc_size
+        self._max_rpcs_in_flight = config.max_rpcs_in_flight
+        self._jitter = config.client_jitter
+        self._rng = np.random.default_rng(
+            (config.jitter_seed * 1_000_003 + client_id) & 0xFFFFFFFF
+        )
+        self._outstanding: list[sim.Process] = []
+        self._last_arrival = 0.0
+        self.stats = ClientStats()
+
+    # ------------------------------------------------------------------
+    # Namespace operations (charge the MDS)
+    # ------------------------------------------------------------------
+
+    def create(
+        self,
+        path: str,
+        stripe_count: Optional[int] = None,
+        stripe_size: Optional[int | str] = None,
+        store_data: Optional[bool] = None,
+    ) -> LustreFile:
+        self.cluster.mds.perform("create")
+        self.stats.mds_ops += 1
+        return self.cluster.create(
+            path,
+            stripe_count=stripe_count,
+            stripe_size=stripe_size,
+            store_data=store_data,
+        )
+
+    def open(self, path: str) -> LustreFile:
+        self.cluster.mds.perform("open")
+        self.stats.mds_ops += 1
+        return self.cluster.lookup(path)
+
+    def close(self, file: LustreFile) -> None:
+        """Flush write-behind data, then release the handle at the MDS."""
+        self.fsync(file)
+        self.cluster.mds.perform("close")
+        self.stats.mds_ops += 1
+
+    def stat(self, path: str) -> LustreFile:
+        self.cluster.mds.perform("stat")
+        self.stats.mds_ops += 1
+        return self.cluster.lookup(path)
+
+    def unlink(self, path: str) -> None:
+        self.cluster.mds.perform("unlink")
+        self.stats.mds_ops += 1
+        self.cluster.unlink(path)
+
+    def metadata_op(self, op: str) -> None:
+        """Charge an arbitrary MDS operation (used by format models)."""
+        self.cluster.mds.perform(op)
+        self.stats.mds_ops += 1
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+
+    def _coalesce(self, file: LustreFile, offset: int, length: int) -> list[Rpc]:
+        """Coalesce one contiguous file range into per-OST RPCs."""
+        return self._coalesce_ranges(file, [(offset, length)])
+
+    def _coalesce_ranges(
+        self, file: LustreFile, ranges_in: list[tuple[int, int]]
+    ) -> list[Rpc]:
+        """Stripe-decompose file ranges, then batch per-object extents.
+
+        Mirrors the osc layer: dirty extents that land contiguously on the
+        same object merge — even across ``write`` call boundaries within
+        one vectored submission — then split at ``rpc_size``.  This is
+        what turns an aggregator's every-Nth-stripe file domain into one
+        large sequential RPC per object.
+        """
+        per_ost: dict[int, list[list[int]]] = {}
+        for file_offset, length in ranges_in:
+            for extent in file.layout.extents(file_offset, length):
+                ranges = per_ost.setdefault(extent.ost_index, [])
+                if (
+                    ranges
+                    and ranges[-1][0] + ranges[-1][1] == extent.object_offset
+                ):
+                    ranges[-1][1] += extent.length
+                else:
+                    ranges.append([extent.object_offset, extent.length])
+        rpcs: list[Rpc] = []
+        for ost_index, ranges in per_ost.items():
+            object_id = file.object_id(ost_index)
+            for obj_offset, total in ranges:
+                position = obj_offset
+                remaining = total
+                while remaining > 0:
+                    chunk = min(remaining, self._rpc_size)
+                    rpcs.append(Rpc(ost_index, object_id, position, chunk))
+                    position += chunk
+                    remaining -= chunk
+        return rpcs
+
+    def write(self, file: LustreFile, offset: int, data: bytes | int) -> None:
+        """Write ``data`` (bytes, or a length for data-less mode).
+
+        Returns when the bytes have left this node's NIC; the OSS/OST
+        stages complete in the background (write-behind).  Call
+        :meth:`fsync` or :meth:`close` for durability, as IOR does.
+        """
+        if isinstance(data, (bytes, bytearray, memoryview)):
+            length = len(data)
+            file.store(offset, bytes(data))
+        else:
+            length = int(data)
+            if length < 0:
+                raise InvalidArgumentError("negative write length")
+            file.extend_size(offset, length)
+        if length == 0:
+            return
+        self._issue_write_rpcs(self._coalesce(file, offset, length))
+        self.stats.bytes_written += length
+
+    def writev(
+        self, file: LustreFile, segments: list[tuple[int, "bytes | int"]]
+    ) -> None:
+        """Vectored write: all segments coalesce as one dirty-page set.
+
+        The collective-I/O aggregators use this so an every-Nth-stripe
+        file domain still reaches each OST as large sequential RPCs.
+        """
+        ranges: list[tuple[int, int]] = []
+        total = 0
+        for offset, data in segments:
+            if isinstance(data, (bytes, bytearray, memoryview)):
+                length = len(data)
+                file.store(offset, bytes(data))
+            else:
+                length = int(data)
+                if length < 0:
+                    raise InvalidArgumentError("negative write length")
+                file.extend_size(offset, length)
+            if length:
+                ranges.append((offset, length))
+                total += length
+        if not ranges:
+            return
+        self._issue_write_rpcs(self._coalesce_ranges(file, ranges))
+        self.stats.bytes_written += total
+
+    def _issue_write_rpcs(self, rpcs: list[Rpc]) -> None:
+        engine = self.cluster.engine
+        for rpc in rpcs:
+            # osc.max_rpcs_in_flight: block until a slot frees before
+            # issuing another RPC (real clients bound dirty RPCs too).
+            self._outstanding = [p for p in self._outstanding if p.alive]
+            while len(self._outstanding) >= self._max_rpcs_in_flight:
+                sim.wait(self._outstanding[0].done)
+                self._outstanding = [p for p in self._outstanding if p.alive]
+            # NIC stage: serialize this node's outbound traffic, in order.
+            with self._nic.request():
+                sim.sleep(self._rpc_latency + rpc.length / self._nic_bandwidth)
+            proc = engine.spawn(
+                self._write_behind,
+                rpc,
+                name=f"client{self.client_id}.wb",
+            )
+            self._outstanding.append(proc)
+            self.stats.write_rpcs += 1
+
+    def _write_behind(self, rpc: Rpc) -> None:
+        self._jitter_delay()
+        self.cluster.oss_for_ost(rpc.ost_index).transfer(rpc.length)
+        self.cluster.osts[rpc.ost_index].serve(
+            self.client_id, rpc.object_id, rpc.object_offset, rpc.length,
+            is_write=True,
+        )
+
+    def fsync(self, file: Optional[LustreFile] = None) -> None:
+        """Block until all of this client's outstanding writes are stable."""
+        pending, self._outstanding = self._outstanding, []
+        for proc in pending:
+            if proc.alive:
+                sim.wait(proc.done)
+
+    def read(self, file: LustreFile, offset: int, nbytes: int) -> bytes:
+        """Synchronous striped read; returns the logical bytes."""
+        nbytes = min(nbytes, max(0, file.size - offset))
+        if nbytes <= 0:
+            return b""
+        engine = self.cluster.engine
+        rpcs = self._coalesce(file, offset, nbytes)
+        # OST + OSS stages proceed in parallel across targets…
+        procs = [
+            engine.spawn(
+                self._read_remote, rpc, name=f"client{self.client_id}.rd"
+            )
+            for rpc in rpcs
+        ]
+        for proc in procs:
+            sim.wait(proc.done)
+        # …then the NIC serializes delivery into this node.
+        for rpc in rpcs:
+            with self._nic.request():
+                sim.sleep(self._rpc_latency + rpc.length / self._nic_bandwidth)
+        self.stats.read_rpcs += len(rpcs)
+        self.stats.bytes_read += nbytes
+        return file.load(offset, nbytes)
+
+    def _read_remote(self, rpc: Rpc) -> None:
+        self._jitter_delay()
+        self.cluster.osts[rpc.ost_index].serve(
+            self.client_id, rpc.object_id, rpc.object_offset, rpc.length,
+            is_write=False,
+        )
+        self.cluster.oss_for_ost(rpc.ost_index).transfer(rpc.length)
+
+    def _jitter_delay(self) -> None:
+        """Fabric/scheduling variance, order-preserving per client.
+
+        Perturbs *cross-client* arrival order at the servers (which is
+        what breaks the perfect elevator on shared objects) while keeping
+        each client's own RPC stream in issue order, as LNet delivery
+        ordering does.
+        """
+        if self._jitter <= 0:
+            return
+        now = sim.now()
+        arrival = max(
+            now + float(self._rng.uniform(0.0, self._jitter)),
+            self._last_arrival,
+        )
+        self._last_arrival = arrival
+        if arrival > now:
+            sim.sleep(arrival - now)
+
+    @property
+    def outstanding_writes(self) -> int:
+        return sum(1 for proc in self._outstanding if proc.alive)

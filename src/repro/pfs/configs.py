@@ -1,0 +1,56 @@
+"""Ready-made cluster configurations.
+
+:func:`viking` renders the paper's Table 4 into a :class:`LustreConfig`.
+The hardware inventory (45 OSTs, 2 OSSs, NL-SAS arrays, 137 nodes) is
+taken directly from the table; the rate/latency constants were calibrated
+so that the IOR baseline on the simulated cluster reproduces the paper's
+reported ratios (see EXPERIMENTS.md for the calibration record).
+"""
+
+from __future__ import annotations
+
+from repro.pfs.disk import HDDProfile, SSDProfile
+from repro.pfs.lustre import LustreConfig
+
+#: Viking's node count (Table 4); benchmark sweeps must stay under this.
+VIKING_NODES = 137
+
+
+def viking(**overrides) -> LustreConfig:
+    """The University of York Viking cluster model (Table 4)."""
+    params = dict(
+        num_osts=45,
+        num_oss=2,
+        disk=HDDProfile(
+            seq_bandwidth="1.4G",
+            positioning_time=7e-3,
+        ),
+        oss_bandwidth="1.4G",
+        lock_switch_time=1e-3,
+        default_stripe_size="1M",
+        default_stripe_count=4,
+        rpc_size="4M",
+        client_bandwidth="300M",
+        client_rpc_latency=1e-4,
+    )
+    params.update(overrides)
+    return LustreConfig(**params)
+
+
+def viking_ssd_tier(**overrides) -> LustreConfig:
+    """A hypothetical flash-OST Viking (the burst-buffer ablation)."""
+    params = dict(disk=SSDProfile(), client_bandwidth="1.2G")
+    params.update(overrides)
+    return viking(**params)
+
+
+def small_test_cluster(**overrides) -> LustreConfig:
+    """A tiny fast cluster for unit tests (4 OSTs, 1 OSS)."""
+    params = dict(
+        num_osts=4,
+        num_oss=1,
+        default_stripe_count=2,
+        default_stripe_size="64K",
+    )
+    params.update(overrides)
+    return LustreConfig(**params)

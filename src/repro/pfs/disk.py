@@ -1,0 +1,117 @@
+"""Disk mechanics: why sequential beats strided on spinning media.
+
+The whole premise of the paper is that "HDD performance is typically
+measured in sequential write throughput" (§2.2): a 7,200 RPM NL-SAS drive
+streams at high rate but pays milliseconds to reposition the head.  An OST
+built from a RAID array of such drives inherits the same asymmetry with a
+higher streaming rate.
+
+A :class:`DiskProfile` answers one question: how long does a request take,
+given where the head is now.  The OST tracks head position (object id +
+byte offset) and classifies each request as:
+
+- *sequential* — contiguous with the previous request on the same object:
+  pure streaming;
+- *same-object jump* — a seek whose cost grows with the distance the
+  head travels (floored at ``write_near_time``/``read_near_time``, capped
+  at ``positioning_time``); reads are cheaper thanks to array readahead;
+- *cross-object jump* — full positioning penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import InvalidArgumentError
+from repro.util.humanize import parse_size
+
+HeadPosition = Optional[Tuple[int, int]]  # (object id, next byte offset)
+
+
+@dataclass
+class DiskProfile:
+    """Service-time parameters for one OST's backing array."""
+
+    #: streaming bandwidth, bytes/s
+    seq_bandwidth: float = 1.4e9
+    #: full head repositioning penalty (different object / long jump), s
+    positioning_time: float = 7e-3
+    #: floor cost of any same-object jump on a write, s
+    write_near_time: float = 1.2e-3
+    #: floor cost of a same-object jump on a read (readahead helps), s
+    read_near_time: float = 6e-4
+    #: distance-proportional seek cost, s per byte of jump (the farther
+    #: the head travels, the longer the reposition, capped at
+    #: ``positioning_time``)
+    seek_time_per_byte: float = 1e-9
+    #: fixed per-request overhead (controller/RAID parity), s
+    per_request_overhead: float = 1e-4
+
+    def __post_init__(self) -> None:
+        self.seq_bandwidth = float(parse_size(self.seq_bandwidth))
+        if self.seq_bandwidth <= 0:
+            raise InvalidArgumentError("seq_bandwidth must be positive")
+        for value in (
+            self.positioning_time,
+            self.write_near_time,
+            self.read_near_time,
+            self.seek_time_per_byte,
+            self.per_request_overhead,
+        ):
+            if value < 0:
+                raise InvalidArgumentError("times must be non-negative")
+
+    def service_time(
+        self,
+        head: HeadPosition,
+        object_id: int,
+        offset: int,
+        nbytes: int,
+        is_write: bool,
+    ) -> tuple[float, bool]:
+        """(seconds, was_sequential) for a request given head position."""
+        time = self.per_request_overhead + nbytes / self.seq_bandwidth
+        sequential = head is not None and head == (object_id, offset)
+        if sequential:
+            return time, True
+        if head is not None and head[0] == object_id:
+            distance = abs(offset - head[1])
+            floor = self.write_near_time if is_write else self.read_near_time
+            time += min(
+                self.positioning_time,
+                floor + distance * self.seek_time_per_byte,
+            )
+            return time, False
+        time += self.positioning_time
+        return time, False
+
+
+def HDDProfile(
+    seq_bandwidth: float | str = "1.4G",
+    positioning_time: float = 8e-3,
+    **kwargs,
+) -> DiskProfile:
+    """An NL-SAS RAID OST like Viking's (10 × 8 TB 7,200 RPM per OST)."""
+    return DiskProfile(
+        seq_bandwidth=parse_size(seq_bandwidth),
+        positioning_time=positioning_time,
+        **kwargs,
+    )
+
+
+def SSDProfile(
+    seq_bandwidth: float | str = "6G",
+    positioning_time: float = 3e-5,
+    **kwargs,
+) -> DiskProfile:
+    """An NVMe flash OST (for the burst-buffer-tier ablation)."""
+    kwargs.setdefault("write_near_time", 2e-5)
+    kwargs.setdefault("read_near_time", 2e-5)
+    kwargs.setdefault("seek_time_per_byte", 0.0)
+    kwargs.setdefault("per_request_overhead", 2e-5)
+    return DiskProfile(
+        seq_bandwidth=parse_size(seq_bandwidth),
+        positioning_time=positioning_time,
+        **kwargs,
+    )

@@ -1,0 +1,226 @@
+"""The Lustre cluster: configuration, namespace, and striped files.
+
+:class:`LustreCluster` owns the simulated hardware (OSTs, OSSs, MDS) and a
+flat namespace of :class:`LustreFile` objects.  Logical file *contents*
+are stored eagerly (a bytearray per file) so the storage engine running on
+top gets its bytes back verbatim; *timing* is charged separately by the
+client/servers in simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro import sim
+from repro.errors import InvalidArgumentError, NotFoundError
+from repro.pfs.disk import DiskProfile, HDDProfile
+from repro.pfs.layout import StripeLayout
+from repro.pfs.mds import Mds
+from repro.pfs.oss import Oss
+from repro.pfs.ost import Ost
+from repro.util.humanize import parse_size
+
+
+@dataclass
+class LustreConfig:
+    """Cluster-wide parameters (defaults = the calibrated Viking model)."""
+
+    num_osts: int = 45
+    num_oss: int = 2
+    disk: DiskProfile = field(default_factory=HDDProfile)
+    oss_bandwidth: float | str = "1.4G"
+    oss_rpc_overhead: float = 3e-5
+    lock_switch_time: float = 1e-3
+    mds_op_costs: Optional[dict] = None
+    default_stripe_size: int | str = "1M"
+    default_stripe_count: int = 4
+    #: Lustre client max RPC size (osc.max_pages_per_rpc * page size)
+    rpc_size: int | str = "4M"
+    #: Lustre client max concurrent RPCs (osc.max_rpcs_in_flight)
+    max_rpcs_in_flight: int = 4
+    #: per-node storage NIC bandwidth (LNET)
+    client_bandwidth: float | str = "300M"
+    client_rpc_latency: float = 1e-4
+    #: max uniform per-RPC latency jitter (0 = fully deterministic);
+    #: repetitions draw from rep-seeded generators, and the harness takes
+    #: the max, matching the paper's 10-runs/max protocol (§4)
+    client_jitter: float = 0.0
+    #: seed base for jitter generators
+    jitter_seed: int = 0
+    #: keep logical file bytes (needed when a real engine runs on top)
+    store_data: bool = True
+
+    def __post_init__(self) -> None:
+        self.oss_bandwidth = float(parse_size(self.oss_bandwidth))
+        self.default_stripe_size = parse_size(self.default_stripe_size)
+        self.rpc_size = parse_size(self.rpc_size)
+        self.client_bandwidth = float(parse_size(self.client_bandwidth))
+        if self.num_osts < 1 or self.num_oss < 1:
+            raise InvalidArgumentError("need at least one OST and one OSS")
+        if not 1 <= self.default_stripe_count <= self.num_osts:
+            raise InvalidArgumentError("bad default stripe count")
+
+
+class LustreFile:
+    """One striped file: layout + logical contents."""
+
+    _MAX_OSTS_PER_FILE = 4096  # object-id namespace slot per file
+
+    def __init__(
+        self,
+        file_id: int,
+        path: str,
+        layout: StripeLayout,
+        store_data: bool,
+    ):
+        self.file_id = file_id
+        self.path = path
+        self.layout = layout
+        self.size = 0
+        self._data: Optional[bytearray] = bytearray() if store_data else None
+
+    def object_id(self, ost_index: int) -> int:
+        """Globally-unique id of this file's object on ``ost_index``."""
+        return self.file_id * self._MAX_OSTS_PER_FILE + ost_index
+
+    def store(self, offset: int, data: bytes) -> None:
+        """Record logical contents (no simulated cost — timing is separate)."""
+        end = offset + len(data)
+        if self._data is not None:
+            if end > len(self._data):
+                self._data.extend(b"\x00" * (end - len(self._data)))
+            self._data[offset:end] = data
+        self.size = max(self.size, end)
+
+    def load(self, offset: int, nbytes: int) -> bytes:
+        """Read logical contents (zero-filled holes, short at EOF)."""
+        end = min(offset + nbytes, self.size)
+        if end <= offset:
+            return b""
+        if self._data is None:
+            return b"\x00" * (end - offset)
+        chunk = bytes(self._data[offset:end])
+        if len(chunk) < end - offset:  # hole past stored bytes
+            chunk += b"\x00" * (end - offset - len(chunk))
+        return chunk
+
+    def extend_size(self, offset: int, nbytes: int) -> None:
+        """Size bookkeeping for data-less mode."""
+        self.size = max(self.size, offset + nbytes)
+
+
+class LustreCluster:
+    """Simulated hardware + namespace, attached to one engine."""
+
+    def __init__(self, engine: sim.Engine, config: Optional[LustreConfig] = None):
+        self.engine = engine
+        self.config = config or LustreConfig()
+        self.osts = [
+            Ost(
+                engine,
+                index,
+                self.config.disk,
+                lock_switch_time=self.config.lock_switch_time,
+            )
+            for index in range(self.config.num_osts)
+        ]
+        self.osses = [
+            Oss(
+                engine,
+                index,
+                bandwidth=self.config.oss_bandwidth,
+                rpc_overhead=self.config.oss_rpc_overhead,
+            )
+            for index in range(self.config.num_oss)
+        ]
+        self.mds = Mds(engine, op_costs=self.config.mds_op_costs)
+        self._files: dict[str, LustreFile] = {}
+        self._next_file_id = 1
+        self._next_start_ost = 0
+        #: scratch space for format models that need run-shared logical
+        #: state (e.g. the BP5 metadata catalog) — keyed by model/path.
+        self.app_state: dict = {}
+
+    # -- namespace (logical state; MDS *timing* is charged by the client) --
+
+    def create(
+        self,
+        path: str,
+        stripe_count: Optional[int] = None,
+        stripe_size: Optional[int | str] = None,
+        store_data: Optional[bool] = None,
+    ) -> LustreFile:
+        """Create (or truncate) a file with the given striping.
+
+        ``store_data`` overrides the cluster default per file: the LSM
+        engine's files must keep real bytes even when bulk benchmark
+        files run data-less.
+        """
+        layout = StripeLayout(
+            stripe_size=parse_size(
+                stripe_size
+                if stripe_size is not None
+                else self.config.default_stripe_size
+            ),
+            stripe_count=(
+                stripe_count
+                if stripe_count is not None
+                else self.config.default_stripe_count
+            ),
+            start_ost=self._next_start_ost,
+            num_osts=self.config.num_osts,
+        )
+        # Round-robin object allocation, Lustre's default QOS-free policy:
+        # each new file starts on the next OST, spreading files evenly.
+        self._next_start_ost = (
+            self._next_start_ost + layout.stripe_count
+        ) % self.config.num_osts
+        file = LustreFile(
+            self._next_file_id,
+            path,
+            layout,
+            self.config.store_data if store_data is None else store_data,
+        )
+        self._next_file_id += 1
+        self._files[path] = file
+        return file
+
+    def lookup(self, path: str) -> LustreFile:
+        try:
+            return self._files[path]
+        except KeyError as exc:
+            raise NotFoundError(f"no such file: {path}") from exc
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def unlink(self, path: str) -> None:
+        file = self.lookup(path)
+        del self._files[path]
+        for ost_index in range(self.config.num_osts):
+            self.osts[ost_index].drop_object_state(file.object_id(ost_index))
+
+    def rename(self, src: str, dst: str) -> None:
+        file = self.lookup(src)
+        del self._files[src]
+        file.path = dst
+        self._files[dst] = file
+
+    def list_paths(self, prefix: str = "") -> list[str]:
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    def oss_for_ost(self, ost_index: int) -> Oss:
+        """Static OST→OSS assignment (round-robin halves, as on Viking)."""
+        return self.osses[ost_index % len(self.osses)]
+
+    # -- aggregate stats ---------------------------------------------------
+
+    def total_bytes_written(self) -> int:
+        return sum(ost.stats.bytes_written for ost in self.osts)
+
+    def total_bytes_read(self) -> int:
+        return sum(ost.stats.bytes_read for ost in self.osts)
+
+    def total_lock_switches(self) -> int:
+        return sum(ost.stats.lock_switches for ost in self.osts)

@@ -1,0 +1,68 @@
+"""The MetaData Server: where namespace and layout operations serialize.
+
+Lustre funnels opens, creates, stats, and layout lookups through the MDS.
+Data writes bypass it, but metadata-chatty formats do not: HDF5's
+per-chunk index updates and header rewrites generate MDS and lock traffic
+that serializes the whole job — the mechanism behind the paper's Figure 6
+HDF5 floor ("the data performance improves at the expense of additional
+metadata operations", §2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import sim
+
+
+#: Service time (seconds) per metadata operation class.
+DEFAULT_OP_COSTS = {
+    "create": 2e-4,
+    "open": 1e-4,
+    "close": 5e-5,
+    "stat": 1e-4,
+    "setattr": 1e-4,
+    "unlink": 2e-4,
+    "mkdir": 2e-4,
+    "lookup": 1e-4,
+    "lock": 1e-4,
+}
+
+
+@dataclass
+class MdsStats:
+    requests: int = 0
+    busy_time: float = 0.0
+    ops: dict = field(default_factory=dict)
+
+
+class Mds:
+    """A single metadata server with one FCFS service unit."""
+
+    def __init__(
+        self,
+        engine: sim.Engine,
+        op_costs: dict | None = None,
+    ):
+        self.engine = engine
+        self.op_costs = dict(DEFAULT_OP_COSTS)
+        if op_costs:
+            self.op_costs.update(op_costs)
+        self._service = sim.Resource(engine, capacity=1, name="mds")
+        self.stats = MdsStats()
+
+    def perform(self, op: str) -> None:
+        """Execute one metadata op (called from a sim process)."""
+        cost = self.op_costs.get(op)
+        if cost is None:
+            raise KeyError(f"unknown MDS op {op!r}")
+        with self._service.request():
+            start = sim.now()
+            sim.sleep(cost)
+            self.stats.requests += 1
+            self.stats.ops[op] = self.stats.ops.get(op, 0) + 1
+            self.stats.busy_time += sim.now() - start
+
+    @property
+    def queue_length(self) -> int:
+        return self._service.queue_length

@@ -1,0 +1,56 @@
+"""Object Storage Servers: the shared pipes in front of the OSTs.
+
+Viking runs 45 OSTs behind only **2 OSSs** (Table 4), so however many
+disks are streaming, aggregate bandwidth is capped by two server network
+pipes.  This is the ceiling LSMIO's scaling curve flattens against at
+high node counts (DESIGN.md §5).
+
+Each OSS is modeled as a single FCFS pipe with a fixed bandwidth; a
+request occupies the pipe for ``nbytes / bandwidth`` seconds plus a fixed
+RPC service overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import sim
+from repro.util.humanize import parse_size
+
+
+@dataclass
+class OssStats:
+    bytes_moved: int = 0
+    requests: int = 0
+    busy_time: float = 0.0
+
+
+class Oss:
+    """One object storage server fronting a group of OSTs."""
+
+    def __init__(
+        self,
+        engine: sim.Engine,
+        index: int,
+        bandwidth: float | str = "2.6G",
+        rpc_overhead: float = 3e-5,
+    ):
+        self.engine = engine
+        self.index = index
+        self.bandwidth = float(parse_size(bandwidth))
+        self.rpc_overhead = rpc_overhead
+        self._pipe = sim.Resource(engine, capacity=1, name=f"oss{index}")
+        self.stats = OssStats()
+
+    def transfer(self, nbytes: int) -> None:
+        """Move ``nbytes`` through this server (called from a sim process)."""
+        with self._pipe.request():
+            start = sim.now()
+            sim.sleep(self.rpc_overhead + nbytes / self.bandwidth)
+            self.stats.bytes_moved += nbytes
+            self.stats.requests += 1
+            self.stats.busy_time += sim.now() - start
+
+    @property
+    def queue_length(self) -> int:
+        return self._pipe.queue_length

@@ -1,0 +1,87 @@
+"""Cluster-wide utilization reports (the model-insight companion).
+
+Summarizes where a run's simulated time went — per-OST busy fractions and
+sequentiality, OSS pipe utilization, MDS pressure, lock-recall counts —
+so a benchmark result can be *explained*, not just quoted.  Used by the
+IOR CLI's ``--stats`` flag and handy in notebooks/tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pfs.lustre import LustreCluster
+from repro.util.humanize import format_size
+
+
+@dataclass
+class ClusterReport:
+    """Aggregated counters over one simulated run."""
+
+    elapsed: float
+    bytes_written: int
+    bytes_read: int
+    ost_requests: int
+    ost_sequential: int
+    ost_busy: float
+    busiest_ost_busy: float
+    lock_switches: int
+    oss_busy: list[float] = field(default_factory=list)
+    oss_bytes: list[int] = field(default_factory=list)
+    mds_requests: int = 0
+    mds_busy: float = 0.0
+
+    @property
+    def sequential_fraction(self) -> float:
+        """Fraction of OST requests served without repositioning."""
+        return self.ost_sequential / self.ost_requests if self.ost_requests else 0.0
+
+    @property
+    def mean_request_bytes(self) -> float:
+        total = self.bytes_written + self.bytes_read
+        return total / self.ost_requests if self.ost_requests else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"cluster report over {self.elapsed:.3f}s simulated",
+            f"  data: {format_size(self.bytes_written)} written, "
+            f"{format_size(self.bytes_read)} read "
+            f"({self.ost_requests} OST requests, mean "
+            f"{format_size(self.mean_request_bytes)}/request)",
+            f"  disk: {self.sequential_fraction * 100:.0f}% of requests "
+            f"sequential; {self.lock_switches} extent-lock recalls",
+            f"  busiest OST {self.busiest_ost_busy * 100:.0f}% busy "
+            f"(mean {self.ost_busy * 100:.0f}%)",
+        ]
+        for index, (busy, moved) in enumerate(zip(self.oss_busy, self.oss_bytes)):
+            lines.append(
+                f"  OSS{index}: {busy * 100:.0f}% busy, "
+                f"{format_size(moved)} moved"
+            )
+        lines.append(
+            f"  MDS: {self.mds_requests} ops, "
+            f"{self.mds_busy * 1000:.1f}ms busy"
+        )
+        return "\n".join(lines)
+
+
+def collect_report(cluster: LustreCluster, elapsed: float) -> ClusterReport:
+    """Snapshot a cluster's counters after a run of ``elapsed`` sim time."""
+    elapsed = max(elapsed, 1e-12)
+    ost_busy = [ost.stats.busy_time / elapsed for ost in cluster.osts]
+    return ClusterReport(
+        elapsed=elapsed,
+        bytes_written=cluster.total_bytes_written(),
+        bytes_read=cluster.total_bytes_read(),
+        ost_requests=sum(ost.stats.requests for ost in cluster.osts),
+        ost_sequential=sum(
+            ost.stats.sequential_requests for ost in cluster.osts
+        ),
+        ost_busy=sum(ost_busy) / len(ost_busy),
+        busiest_ost_busy=max(ost_busy),
+        lock_switches=cluster.total_lock_switches(),
+        oss_busy=[oss.stats.busy_time / elapsed for oss in cluster.osses],
+        oss_bytes=[oss.stats.bytes_moved for oss in cluster.osses],
+        mds_requests=cluster.mds.stats.requests,
+        mds_busy=cluster.mds.stats.busy_time,
+    )

@@ -1,0 +1,56 @@
+"""A deterministic discrete-event simulation kernel with thread processes.
+
+The substrate that lets the paper's cluster experiments execute the *real*
+LSMIO/LSM-engine code under a simulated clock.  Simulated processes are OS
+threads, but **exactly one thread runs at a time**: the engine hands control
+to a process, the process runs ordinary Python (including the genuine
+storage-engine code path) until it calls a blocking primitive
+(:func:`sleep`, :func:`wait`, resource acquisition), then control returns
+to the engine, which advances simulated time to the next event.  Scheduling
+order is a strict (time, sequence) heap, so runs are bit-reproducible.
+
+Python CPU time never advances the clock — only modeled costs (disk
+service, network transfer, explicit :func:`sleep`) do, which is what makes
+a pure-Python reproduction of an I/O paper meaningful.
+
+Usage::
+
+    from repro import sim
+
+    engine = sim.Engine()
+
+    def worker(tag):
+        sim.sleep(1.5)
+        return f"{tag} done at {sim.now()}"
+
+    proc = engine.spawn(worker, "w0")
+    engine.run()
+    assert proc.result == "w0 done at 1.5"
+"""
+
+from repro.sim.engine import (
+    Engine,
+    Event,
+    Process,
+    ProcessKilled,
+    current_engine,
+    current_process,
+    now,
+    sleep,
+    wait,
+)
+from repro.sim.resources import Resource, Store
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Process",
+    "ProcessKilled",
+    "Resource",
+    "Store",
+    "current_engine",
+    "current_process",
+    "now",
+    "sleep",
+    "wait",
+]

@@ -1,0 +1,314 @@
+"""The event loop, events, and thread-backed simulated processes.
+
+Handoff protocol (the part that makes real library code runnable in
+simulated time):
+
+- every :class:`Process` owns a ``threading.Event`` turnstile; the engine
+  owns one too;
+- the engine pops the next (time, seq, action) off the heap, performs the
+  action — usually "resume process P" — and, if a process was resumed,
+  parks on its own turnstile until that process either blocks again or
+  finishes;
+- a process blocks by registering itself with an :class:`Event` /
+  resource queue, releasing the engine turnstile, and parking on its own.
+
+At most one thread is ever runnable, so shared state needs no locking and
+execution order is completely determined by the heap.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Any, Callable, Optional
+
+from repro.errors import DeadlockError, SimulationError
+
+
+class ProcessKilled(BaseException):
+    """Raised inside a process thread to unwind it during engine shutdown.
+
+    Derives from :class:`BaseException` so ``except Exception`` blocks in
+    library code under test cannot swallow it.
+    """
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    ``succeed(value)`` wakes all waiters (in registration order) at the
+    current simulated time; ``fail(exc)`` wakes them with an exception.
+    """
+
+    __slots__ = ("engine", "triggered", "value", "exception", "_waiters", "name")
+
+    def __init__(self, engine: "Engine", name: str = ""):
+        self.engine = engine
+        self.triggered = False
+        self.value: Any = None
+        self.exception: Optional[BaseException] = None
+        self._waiters: list[Process] = []
+        self.name = name
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        self.triggered = True
+        self.value = value
+        for proc in self._waiters:
+            self.engine._schedule(0.0, proc._resume_action)
+        self._waiters.clear()
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        self.triggered = True
+        self.exception = exception
+        for proc in self._waiters:
+            self.engine._schedule(0.0, proc._resume_action)
+        self._waiters.clear()
+        return self
+
+    def _add_waiter(self, proc: "Process") -> None:
+        self._waiters.append(proc)
+
+
+class Process:
+    """A simulated process backed by a daemon thread."""
+
+    def __init__(self, engine: "Engine", fn: Callable, args, kwargs, name: str,
+                 daemon: bool):
+        self.engine = engine
+        self.name = name
+        self.daemon = daemon
+        self.done = Event(engine, name=f"{name}.done")
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self._resume = threading.Event()
+        self._finished = False
+        self._killed = False
+        self._blocked = False
+        self._thread = threading.Thread(
+            target=self._bootstrap,
+            args=(fn, args, kwargs),
+            name=f"sim:{name}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    # -- engine side -----------------------------------------------------
+
+    def _resume_action(self) -> None:
+        """Heap action: hand control to this process until it yields."""
+        if self._finished:
+            return
+        self.engine._running_process = self
+        self._blocked = False
+        self._resume.set()
+        self.engine._engine_turnstile.wait()
+        self.engine._engine_turnstile.clear()
+        self.engine._running_process = None
+        if self.error is not None and not self.daemon:
+            # Surface crashes immediately instead of deadlocking later.
+            raise self.error
+
+    # -- process side ----------------------------------------------------
+
+    def _bootstrap(self, fn: Callable, args, kwargs) -> None:
+        self._park()  # wait for the engine's first resume
+        try:
+            self.result = fn(*args, **kwargs)
+        except ProcessKilled:
+            pass
+        except BaseException as exc:  # noqa: BLE001 — recorded, re-raised by engine
+            self.error = exc
+        finally:
+            self._finished = True
+            if not self._killed:
+                if not self.done.triggered:
+                    if self.error is not None:
+                        self.done.fail(self.error)
+                    else:
+                        self.done.succeed(self.result)
+            self.engine._engine_turnstile.set()
+
+    def _park(self) -> None:
+        """Block this process thread until the engine resumes it."""
+        self._resume.wait()
+        self._resume.clear()
+        if self._killed:
+            raise ProcessKilled()
+
+    def _block_and_switch(self) -> None:
+        """Yield control to the engine and park (process side)."""
+        self._blocked = True
+        self.engine._engine_turnstile.set()
+        self._park()
+
+    @property
+    def alive(self) -> bool:
+        return not self._finished
+
+
+class Engine:
+    """The discrete-event scheduler."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._engine_turnstile = threading.Event()
+        self._running_process: Optional[Process] = None
+        self._processes: list[Process] = []
+        self._local = _TLS
+        self._closed = False
+
+    # -- time ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def _schedule(self, delay: float, action: Callable[[], None]) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        heapq.heappush(self._heap, (self._now + delay, next(self._seq), action))
+
+    # -- processes ---------------------------------------------------------
+
+    def spawn(
+        self,
+        fn: Callable,
+        *args: Any,
+        name: Optional[str] = None,
+        daemon: bool = False,
+        **kwargs: Any,
+    ) -> Process:
+        """Create a process; it starts when the engine next runs."""
+        if self._closed:
+            raise SimulationError("engine is closed")
+        proc = Process(
+            self,
+            self._wrap(fn),
+            args,
+            kwargs,
+            name=name or getattr(fn, "__name__", "proc"),
+            daemon=daemon,
+        )
+        self._processes.append(proc)
+        self._schedule(0.0, proc._resume_action)
+        return proc
+
+    def _wrap(self, fn: Callable) -> Callable:
+        engine = self
+
+        def wrapped(*args: Any, **kwargs: Any) -> Any:
+            token_engine = getattr(_TLS, "engine", None)
+            token_proc = getattr(_TLS, "process", None)
+            _TLS.engine = engine
+            _TLS.process = engine._running_process
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                _TLS.engine = token_engine
+                _TLS.process = token_proc
+
+        return wrapped
+
+    # -- running -----------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drive events until the heap is empty (or ``until`` is reached).
+
+        Returns the final simulated time.  Raises :class:`DeadlockError`
+        if non-daemon processes remain blocked with no events pending.
+        """
+        if self._closed:
+            raise SimulationError("engine is closed")
+        while self._heap:
+            time, _, action = self._heap[0]
+            if until is not None and time > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._heap)
+            self._now = time
+            action()
+        blocked = [
+            p.name for p in self._processes if p.alive and not p.daemon
+        ]
+        if blocked:
+            raise DeadlockError(
+                f"no events pending but processes blocked: {blocked}"
+            )
+        return self._now
+
+    def close(self) -> None:
+        """Kill every remaining process thread and reject further use."""
+        if self._closed:
+            return
+        self._closed = True
+        for proc in self._processes:
+            if proc.alive:
+                proc._killed = True
+                proc._resume.set()
+                proc._thread.join(timeout=5)
+        self._heap.clear()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+_TLS = threading.local()
+
+
+def current_engine() -> Engine:
+    """The engine driving the calling simulated process."""
+    engine = getattr(_TLS, "engine", None)
+    if engine is None:
+        raise SimulationError("not inside a simulated process")
+    return engine
+
+
+def current_process() -> Process:
+    """The simulated process executing the caller."""
+    proc = getattr(_TLS, "process", None)
+    if proc is None:
+        raise SimulationError("not inside a simulated process")
+    return proc
+
+
+def now() -> float:
+    """Current simulated time (valid inside a simulated process)."""
+    return current_engine().now
+
+
+def sleep(delay: float) -> None:
+    """Advance this process's simulated time by ``delay``."""
+    engine = current_engine()
+    proc = current_process()
+    if delay < 0:
+        raise SimulationError(f"negative sleep: {delay}")
+    engine._schedule(delay, proc._resume_action)
+    proc._block_and_switch()
+
+
+def wait(event: Event) -> Any:
+    """Block until ``event`` triggers; returns its value.
+
+    If the event failed, its exception is raised here (in the waiter).
+    """
+    engine = current_engine()
+    proc = current_process()
+    if event.engine is not engine:
+        raise SimulationError("event belongs to a different engine")
+    if not event.triggered:
+        event._add_waiter(proc)
+        proc._block_and_switch()
+    if event.exception is not None:
+        raise event.exception
+    return event.value

@@ -1,0 +1,49 @@
+"""A flush executor that runs jobs as simulated background processes.
+
+Plugs into :class:`repro.lsm.db.DB` (and therefore LSMIO) when the engine
+runs under the discrete-event clock: an *asynchronous* flush becomes a
+sim process overlapping the writer's simulated time, exactly like the
+paper's single background flush thread (§3.1.2).  ``drain()`` is the
+write barrier.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro import sim
+from repro.lsm.executors import Executor
+
+
+class SimExecutor(Executor):
+    """Run jobs as (serialized) background processes on one engine.
+
+    Jobs are chained so at most one runs at a time — the paper's "single
+    thread ... configured for flushing writes".
+    """
+
+    def __init__(self, engine: sim.Engine, name: str = "lsm-flush"):
+        self._engine = engine
+        self._name = name
+        self._last: Optional[sim.Process] = None
+        self._count = 0
+
+    def submit(self, job: Callable[[], None]) -> None:
+        predecessor = self._last
+        self._count += 1
+
+        def run() -> None:
+            if predecessor is not None and predecessor.alive:
+                sim.wait(predecessor.done)
+            job()
+
+        self._last = self._engine.spawn(
+            run, name=f"{self._name}-{self._count}"
+        )
+
+    def drain(self) -> None:
+        if self._last is not None and self._last.alive:
+            sim.wait(self._last.done)
+
+    def close(self) -> None:
+        self.drain()

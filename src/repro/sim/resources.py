@@ -1,0 +1,116 @@
+"""Shared simulated resources: FCFS capacity slots and message stores.
+
+Because at most one simulated process ever runs at a time, these need no
+locking; correctness comes from the engine's deterministic event order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine, Event, wait
+
+
+class Resource:
+    """``capacity`` interchangeable slots granted in FCFS order.
+
+    The canonical usage is a disk or network pipe::
+
+        with resource.request():
+            sim.sleep(service_time)
+    """
+
+    def __init__(self, engine: Engine, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._queue: deque[Event] = deque()
+
+    def acquire(self) -> None:
+        """Block until a slot is free, then take it."""
+        if self._in_use < self.capacity and not self._queue:
+            self._in_use += 1
+            return
+        gate = Event(self.engine, name=f"{self.name}.acquire")
+        self._queue.append(gate)
+        wait(gate)
+        # The releaser transferred its slot to us (kept _in_use high).
+
+    def release(self) -> None:
+        """Free a slot, waking the longest-waiting acquirer."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._queue:
+            # Hand the slot directly to the next waiter (FCFS, no gap).
+            self._queue.popleft().succeed()
+        else:
+            self._in_use -= 1
+
+    def request(self) -> "_ResourceContext":
+        """Context manager form of acquire/release."""
+        return _ResourceContext(self)
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+
+class _ResourceContext:
+    __slots__ = ("_resource",)
+
+    def __init__(self, resource: Resource):
+        self._resource = resource
+
+    def __enter__(self) -> Resource:
+        self._resource.acquire()
+        return self._resource
+
+    def __exit__(self, *exc) -> None:
+        self._resource.release()
+
+
+class Store:
+    """An unbounded FIFO of items with blocking ``get`` (a mailbox).
+
+    The MPI layer builds point-to-point messaging on one Store per
+    (destination, tag) channel.
+    """
+
+    def __init__(self, engine: Engine, name: str = ""):
+        self.engine = engine
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def put(self, item: Any) -> None:
+        """Deposit an item; wakes the oldest blocked getter."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Any:
+        """Take the oldest item, blocking while the store is empty."""
+        if self._items:
+            return self._items.popleft()
+        gate = Event(self.engine, name=f"{self.name}.get")
+        self._getters.append(gate)
+        return wait(gate)
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking take; None when empty."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -1,0 +1,90 @@
+"""Checkpoint-interval analytics (the §2 fault-tolerance arithmetic).
+
+The paper motivates LSMIO with the checkpoint/restart economics of large
+machines: "checkpointing overhead is linearly proportional to the
+checkpointing size and I/O latency, and inversely proportional to the I/O
+bandwidth [37]; if the checkpointing time is close to the MTBF then an
+HPC system spends most of its time doing checkpoint and restart [6]".
+This module provides that arithmetic:
+
+- :func:`young_interval` — Young's first-order optimum checkpoint period
+  [paper ref 47];
+- :func:`daly_interval` — Daly's higher-order refinement, accurate when
+  the checkpoint time is not ≪ MTBF;
+- :func:`machine_efficiency` — expected useful-work fraction for a given
+  (checkpoint time, interval, MTBF), the quantity a faster checkpoint
+  path like LSMIO improves;
+- :func:`mtbf_scaled` — the §2 scaling: per-node MTBF divided by node
+  count (the "17 minutes at 100,000 nodes" arithmetic [36]).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import InvalidArgumentError
+
+
+def _check_positive(**values: float) -> None:
+    for name, value in values.items():
+        if value <= 0:
+            raise InvalidArgumentError(f"{name} must be positive, got {value}")
+
+
+def young_interval(checkpoint_time: float, mtbf: float) -> float:
+    """Young's optimum period between checkpoints: sqrt(2·δ·MTBF).
+
+    ``checkpoint_time`` (δ) and ``mtbf`` (M) in any consistent time unit.
+    """
+    _check_positive(checkpoint_time=checkpoint_time, mtbf=mtbf)
+    return math.sqrt(2.0 * checkpoint_time * mtbf)
+
+
+def daly_interval(checkpoint_time: float, mtbf: float) -> float:
+    """Daly's higher-order optimum (reduces to Young's for δ ≪ M)."""
+    _check_positive(checkpoint_time=checkpoint_time, mtbf=mtbf)
+    delta, m = checkpoint_time, mtbf
+    if delta >= 2.0 * m:
+        # Checkpointing costs more than the expected failure interval:
+        # the optimum degenerates to "checkpoint back to back".
+        return delta
+    root = math.sqrt(2.0 * delta * m)
+    return root * (1.0 + math.sqrt(delta / (2.0 * m)) / 3.0
+                   + (delta / (2.0 * m)) / 9.0) - delta
+
+
+def machine_efficiency(
+    checkpoint_time: float,
+    interval: float,
+    mtbf: float,
+    restart_time: float = 0.0,
+) -> float:
+    """Expected fraction of time spent on useful work.
+
+    First-order model: each period of length ``interval`` pays
+    ``checkpoint_time`` of overhead; failures arrive at rate 1/MTBF and
+    each costs the restart plus half a period of lost work.
+    """
+    _check_positive(interval=interval, mtbf=mtbf)
+    if checkpoint_time < 0 or restart_time < 0:
+        raise InvalidArgumentError("times must be non-negative")
+    overhead_fraction = checkpoint_time / (interval + checkpoint_time)
+    expected_loss = (restart_time + interval / 2.0) / mtbf
+    efficiency = (1.0 - overhead_fraction) * (1.0 - expected_loss)
+    return max(0.0, efficiency)
+
+
+def mtbf_scaled(node_mtbf: float, num_nodes: int) -> float:
+    """System MTBF for ``num_nodes`` of per-node MTBF ``node_mtbf``."""
+    _check_positive(node_mtbf=node_mtbf)
+    if num_nodes < 1:
+        raise InvalidArgumentError("num_nodes must be >= 1")
+    return node_mtbf / num_nodes
+
+
+def checkpoint_time(data_bytes: float, bandwidth: float, latency: float = 0.0) -> float:
+    """δ = latency + size/bandwidth — the quantity LSMIO shrinks (§2)."""
+    _check_positive(data_bytes=data_bytes, bandwidth=bandwidth)
+    if latency < 0:
+        raise InvalidArgumentError("latency must be non-negative")
+    return latency + data_bytes / bandwidth

@@ -1,0 +1,75 @@
+"""Human-friendly binary sizes and bandwidths.
+
+The benchmark harness, IOR clone, and cluster configs all speak in the
+paper's units ("64K", "1M", "32MB buffer", "GB/s"); this module is the single
+parser/formatter so every component agrees that K/M/G are powers of two
+(IOR convention) and bandwidths print in SI-style MiB/s-as-"MB/s" the way IOR
+reports them.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import InvalidArgumentError
+
+KIB = 1 << 10
+MIB = 1 << 20
+GIB = 1 << 30
+TIB = 1 << 40
+
+_SUFFIXES = {
+    "": 1,
+    "B": 1,
+    "K": KIB,
+    "KB": KIB,
+    "KIB": KIB,
+    "M": MIB,
+    "MB": MIB,
+    "MIB": MIB,
+    "G": GIB,
+    "GB": GIB,
+    "GIB": GIB,
+    "T": TIB,
+    "TB": TIB,
+    "TIB": TIB,
+}
+
+_SIZE_RE = re.compile(r"^\s*(\d+(?:\.\d+)?)\s*([A-Za-z]*)\s*$")
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse ``"64K"``, ``"1M"``, ``"32MB"``, ``1048576`` → bytes (int).
+
+    Suffixes follow the IOR convention: powers of two, case-insensitive,
+    optional trailing ``B``/``iB``.
+    """
+    if isinstance(text, bool):
+        raise InvalidArgumentError(f"not a size: {text!r}")
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise InvalidArgumentError(f"negative size: {text!r}")
+        return int(text)
+    match = _SIZE_RE.match(text)
+    if not match:
+        raise InvalidArgumentError(f"unparseable size: {text!r}")
+    number, suffix = match.groups()
+    factor = _SUFFIXES.get(suffix.upper())
+    if factor is None:
+        raise InvalidArgumentError(f"unknown size suffix {suffix!r} in {text!r}")
+    return int(float(number) * factor)
+
+
+def format_size(nbytes: int | float) -> str:
+    """Format a byte count compactly: 65536 → ``"64K"``, 1536 → ``"1.5K"``."""
+    nbytes = float(nbytes)
+    for factor, suffix in ((TIB, "T"), (GIB, "G"), (MIB, "M"), (KIB, "K")):
+        if abs(nbytes) >= factor:
+            value = nbytes / factor
+            return f"{value:g}{suffix}"
+    return f"{nbytes:g}B"
+
+
+def format_bandwidth(bytes_per_second: float) -> str:
+    """Format a bandwidth the way IOR prints it (MiB/s with 2 decimals)."""
+    return f"{bytes_per_second / MIB:.2f} MB/s"

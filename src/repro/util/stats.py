@@ -1,0 +1,73 @@
+"""Summary statistics for repeated benchmark runs.
+
+The paper runs each configuration 10 times and reports the *maximum*
+bandwidth (§4).  :class:`SummaryStats` keeps every sample so harnesses can
+report max (the paper's protocol) alongside mean/min/stddev for honesty.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidArgumentError
+
+
+@dataclass
+class SummaryStats:
+    """Accumulates float samples and derives summary statistics."""
+
+    samples: list[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        """Record one sample."""
+        self.samples.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def _require_samples(self) -> None:
+        if not self.samples:
+            raise InvalidArgumentError("no samples recorded")
+
+    @property
+    def max(self) -> float:
+        """Largest sample (the paper's reported statistic)."""
+        self._require_samples()
+        return max(self.samples)
+
+    @property
+    def min(self) -> float:
+        self._require_samples()
+        return min(self.samples)
+
+    @property
+    def mean(self) -> float:
+        self._require_samples()
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation (0.0 for a single sample)."""
+        self._require_samples()
+        n = len(self.samples)
+        if n < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((x - mu) ** 2 for x in self.samples) / (n - 1))
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile, ``q`` in [0, 100]."""
+        self._require_samples()
+        if not 0.0 <= q <= 100.0:
+            raise InvalidArgumentError(f"percentile out of range: {q}")
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        pos = (len(ordered) - 1) * (q / 100.0)
+        lo = math.floor(pos)
+        hi = math.ceil(pos)
+        if lo == hi:
+            return ordered[lo]
+        frac = pos - lo
+        return ordered[lo] * (1 - frac) + ordered[hi] * frac

@@ -1,0 +1,69 @@
+"""Tests for the ablation drivers (tiny scale; full runs in benchmarks/)."""
+
+import pytest
+
+from repro.bench.ablations import (
+    ABLATION_VARIANTS,
+    run_ablations,
+    run_collective_group_sweep,
+    run_media_comparison,
+)
+from repro.bench.figures import default_cluster
+
+
+@pytest.fixture(scope="module")
+def tiny_ablations():
+    return run_ablations(
+        default_cluster(),
+        num_tasks=4,
+        bytes_per_round="1M",
+        rounds=2,
+        variants={
+            "paper-config": {},
+            "wal-enabled": {"enable_wal": True},
+        },
+    )
+
+
+class TestAblations:
+    def test_requested_variants_run(self, tiny_ablations):
+        assert set(tiny_ablations.variants) == {"paper-config", "wal-enabled"}
+        assert all(v > 0 for v in tiny_ablations.variants.values())
+
+    def test_wal_costs_bandwidth(self, tiny_ablations):
+        assert (
+            tiny_ablations.variants["wal-enabled"]
+            < tiny_ablations.variants["paper-config"]
+        )
+
+    def test_table_renders(self, tiny_ablations):
+        text = tiny_ablations.table()
+        assert "paper-config" in text
+        assert "1.00x" in text
+
+    def test_default_variant_catalog(self):
+        assert "paper-config" in ABLATION_VARIANTS
+        assert "wal-enabled" in ABLATION_VARIANTS
+        assert "compaction-enabled" in ABLATION_VARIANTS
+
+
+class TestMediaComparison:
+    def test_tiny_run(self):
+        result = run_media_comparison(num_tasks=4, bytes_per_task="1M")
+        assert set(result) >= {
+            "posix/hdd", "posix/ssd", "lsmio/hdd", "lsmio/ssd",
+            "lsmio_advantage_hdd", "lsmio_advantage_ssd",
+        }
+        # Flash lifts the strided baseline.
+        assert result["posix/ssd"] > result["posix/hdd"]
+
+
+class TestGroupSweep:
+    def test_group_sizes_respected(self):
+        result = run_collective_group_sweep(
+            default_cluster(), num_tasks=4, bytes_per_task="1M",
+            group_sizes=(1, 2, 8),
+        )
+        # group=8 > num_tasks is skipped.
+        assert set(result) == {1, 2}
+        assert all(v > 0 for v in result.values())

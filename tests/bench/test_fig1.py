@@ -1,0 +1,38 @@
+"""Tests for the Figure 1 historical series."""
+
+from repro.bench.fig1_history import (
+    HISTORY,
+    compute_growth,
+    fig1_history,
+    format_fig1,
+    io_growth,
+)
+
+
+def test_paper_headline_numbers_exact():
+    """§1: 1074.1x compute, 46.3x SSD I/O, 25.5x HDD I/O."""
+    assert round(compute_growth(), 1) == 1074.1
+    assert round(io_growth("SSD"), 1) == 46.3
+    assert round(io_growth("HDD"), 1) == 25.5
+
+
+def test_two_orders_of_magnitude_gap():
+    assert compute_growth() / io_growth("SSD") > 20
+
+
+def test_history_is_chronological():
+    years = [rec.year for rec in HISTORY]
+    assert years == sorted(years)
+
+
+def test_fig1_result_structure():
+    result = fig1_history()
+    assert len(result["series"]) == len(HISTORY)
+    assert result["compute_doubling_years"] < result["io_doubling_years"]
+
+
+def test_format_contains_anchor_systems():
+    text = format_fig1(fig1_history())
+    assert "Roadrunner" in text
+    assert "Frontier" in text
+    assert "1074.1x" in text

@@ -1,0 +1,110 @@
+"""Conformance tests: the public API matches the paper's Tables 1–3.
+
+Method-for-method checks that every function the paper documents exists
+with the documented behaviour class (sync vs async, local vs collective).
+"""
+
+import inspect
+
+from repro.core import LsmioFStream, LsmioManager, LsmioStore
+
+
+def _methods(cls) -> set:
+    return {
+        name
+        for name, member in inspect.getmembers(cls)
+        if callable(member) and not name.startswith("_")
+    }
+
+
+class TestTable1LocalStore:
+    """Table 1: the Local Store's key functions."""
+
+    def test_all_table1_methods_exist(self):
+        methods = _methods(LsmioStore)
+        # startBatch / stopBatch / get / put / append / del / writeBarrier
+        assert "start_batch" in methods
+        assert "stop_batch" in methods
+        assert "get" in methods
+        assert "put" in methods
+        assert "append" in methods
+        assert "del_" in methods       # Python reserves ``del``
+        assert "delete" in methods
+        assert "write_barrier" in methods
+
+    def test_get_is_always_synchronous(self):
+        # Table 1: "Get ... Always executed synchronously" — get takes no
+        # sync/async knob.
+        signature = inspect.signature(LsmioStore.get)
+        assert "sync" not in signature.parameters
+
+    def test_put_and_append_take_sync_option(self):
+        # Table 1: "Has the option to execute asynchronously."
+        for method in (LsmioStore.put, LsmioStore.append):
+            assert "sync" in inspect.signature(method).parameters
+
+    def test_write_barrier_takes_sync_option(self):
+        # Table 1: "Can be synchronous or asynchronous."
+        assert "sync" in inspect.signature(LsmioStore.write_barrier).parameters
+
+
+class TestTable2Manager:
+    """Table 2: the LSMIO Manager's key functions."""
+
+    def test_all_table2_methods_exist(self):
+        methods = _methods(LsmioManager)
+        for name in ("get", "put", "append", "delete", "write_barrier"):
+            assert name in methods
+        # "multiple put methods for different data types"
+        assert "put_typed" in methods
+        assert "get_typed" in methods
+        # "an optional factory method"
+        assert "get_or_create" in methods
+
+    def test_factory_is_classmethod(self):
+        assert isinstance(
+            inspect.getattr_static(LsmioManager, "get_or_create"),
+            classmethod,
+        )
+
+    def test_manager_has_performance_counters(self):
+        # Table 2 context (§3.1.4): "performance counters".
+        from repro.core import PerfCounters
+        from repro.lsm.env import MemEnv
+
+        manager = LsmioManager("t2", env=MemEnv())
+        assert isinstance(manager.counters, PerfCounters)
+        manager.close()
+
+    def test_collective_parameters_exposed(self):
+        # §3.1.3/§5.1: "a single LSM-tree store could be created for all
+        # or a group of nodes".
+        signature = inspect.signature(LsmioManager.__init__)
+        assert "comm" in signature.parameters
+        assert "collective" in signature.parameters
+        assert "collective_group_size" in signature.parameters
+
+
+class TestTable3FStream:
+    """Table 3: the FStream API's key functions."""
+
+    def test_stream_methods(self):
+        methods = _methods(LsmioFStream)
+        # "open, read, write, seekp, tellp, rdbuf, fail, good, flush, close"
+        for name in (
+            "read", "write", "seekp", "tellp", "rdbuf", "fail", "good",
+            "flush", "close",
+        ):
+            assert name in methods, name
+
+    def test_static_lifecycle_methods(self):
+        # Table 3: initialize / cleanup / writeBarrier are static.
+        for name in ("initialize", "cleanup", "write_barrier"):
+            member = inspect.getattr_static(LsmioFStream, name)
+            assert isinstance(member, classmethod), name
+
+    def test_factory_function(self):
+        # §3.1.6: "including a factory method".
+        from repro.core.fstream import fstream_open
+
+        assert callable(fstream_open)

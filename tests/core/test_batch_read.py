@@ -1,0 +1,127 @@
+"""Tests for the §5.1 batch-read path: get_batch and read_prefix."""
+
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.core import LsmioManager, LsmioOptions, LsmioStore
+from repro.lsm.env import MemEnv
+from repro.mpi import run_world
+
+
+@pytest.fixture
+def mgr():
+    manager = LsmioManager(
+        "batch-db", LsmioOptions(write_buffer_size="64K"), env=MemEnv()
+    )
+    yield manager
+    manager.close()
+
+
+class TestStoreMultiGet:
+    def test_hits_and_misses(self):
+        with LsmioStore("s", LsmioOptions(), env=MemEnv()) as store:
+            store.put(b"a", b"1")
+            store.put(b"b", b"2")
+            out = store.multi_get([b"a", b"b", b"zzz"])
+            assert out == {b"a": b"1", b"b": b"2", b"zzz": None}
+
+    def test_observes_open_batch(self):
+        options = LsmioOptions(backend="leveldb")
+        with LsmioStore("s", options, env=MemEnv()) as store:
+            store.start_batch()
+            store.put(b"k", b"v")
+            assert store.multi_get([b"k"]) == {b"k": b"v"}
+            store.stop_batch()
+
+
+class TestManagerGetBatch:
+    def test_roundtrip(self, mgr):
+        for i in range(20):
+            mgr.put(f"x{i:03d}", bytes([i]) * 16)
+        mgr.write_barrier()
+        out = mgr.get_batch([f"x{i:03d}" for i in range(0, 20, 5)])
+        assert out[b"x005"] == bytes([5]) * 16
+        assert len(out) == 4
+
+    def test_counts_bytes(self, mgr):
+        mgr.put("k", b"12345678")
+        mgr.write_barrier()
+        before = mgr.counters.bytes_got
+        mgr.get_batch(["k", "missing"])
+        assert mgr.counters.bytes_got == before + 8
+
+
+class TestManagerReadPrefix:
+    def test_prefix_isolation(self, mgr):
+        mgr.put("ckpt1/a", b"1a")
+        mgr.put("ckpt1/b", b"1b")
+        mgr.put("ckpt2/a", b"2a")
+        mgr.write_barrier()
+        items = mgr.read_prefix("ckpt1/")
+        assert items == [(b"ckpt1/a", b"1a"), (b"ckpt1/b", b"1b")]
+
+    def test_empty_prefix_result(self, mgr):
+        mgr.put("k", b"v")
+        assert mgr.read_prefix("nothing/") == []
+
+    def test_bulk_restore_equals_point_gets(self, mgr):
+        expected = {}
+        for i in range(50):
+            key = f"field/{i:04d}"
+            value = bytes([i % 251]) * 64
+            mgr.put(key, value)
+            expected[key.encode()] = value
+        mgr.write_barrier()
+        scanned = dict(mgr.read_prefix("field/"))
+        assert scanned == expected
+
+
+class TestCollectiveBatchRead:
+    def test_remote_mget(self):
+        env = MemEnv()
+
+        def main(comm):
+            manager = LsmioManager(
+                "coll-batch",
+                options=LsmioOptions(write_buffer_size="64K"),
+                env=env,
+                comm=comm,
+                collective=True,
+            )
+            manager.put(f"rank{comm.rank}", bytes([comm.rank + 1]) * 8)
+            manager.write_barrier()
+            comm.barrier()  # every rank's barriered writes are now applied
+            out = manager.get_batch(["rank0", "rank1", "rank2", "nope"])
+            comm.barrier()
+            manager.close()
+            return out
+
+        results = run_world(3, main)
+        for out in results:
+            assert out[b"rank0"] == bytes([1]) * 8
+            assert out[b"rank2"] == bytes([3]) * 8
+            assert out[b"nope"] is None
+
+    def test_read_prefix_member_rejected(self):
+        env = MemEnv()
+
+        def main(comm):
+            manager = LsmioManager(
+                "coll-batch2",
+                options=LsmioOptions(write_buffer_size="64K"),
+                env=env,
+                comm=comm,
+                collective=True,
+            )
+            outcome = None
+            if not manager.is_aggregator:
+                try:
+                    manager.read_prefix("x")
+                except InvalidArgumentError:
+                    outcome = "rejected"
+            comm.barrier()
+            manager.close()
+            return outcome
+
+        results = run_world(2, main)
+        assert results[1] == "rejected"

@@ -1,0 +1,204 @@
+"""Tests for the FStream API (Table 3)."""
+
+import pytest
+
+from repro.errors import ClosedError, InvalidArgumentError
+from repro.core import LsmioFStream, LsmioOptions, LsmioStore
+from repro.core.fstream import fstream_open
+from repro.lsm.env import MemEnv
+
+
+@pytest.fixture
+def store():
+    store = LsmioStore(
+        "fs", LsmioOptions(write_buffer_size="256K"), env=MemEnv()
+    )
+    yield store
+    store.close()
+
+
+def stream(store, name, mode="w", **kwargs):
+    return LsmioFStream(name, mode=mode, store=store, **kwargs)
+
+
+class TestBasicIO:
+    def test_write_then_read(self, store):
+        with stream(store, "ckpt.dat") as fh:
+            fh.write(b"checkpoint contents")
+        with stream(store, "ckpt.dat", "r") as fh:
+            assert fh.read() == b"checkpoint contents"
+
+    def test_incremental_writes(self, store):
+        with stream(store, "f") as fh:
+            for i in range(10):
+                fh.write(f"part{i};".encode())
+        with stream(store, "f", "r") as fh:
+            assert fh.read() == b"".join(f"part{i};".encode() for i in range(10))
+
+    def test_multi_chunk_file(self, store):
+        payload = bytes(range(256)) * 1024  # 256 KiB
+        with stream(store, "big", chunk_size=4096) as fh:
+            fh.write(payload)
+        with stream(store, "big", "r", chunk_size=4096) as fh:
+            assert fh.read() == payload
+
+    def test_partial_reads(self, store):
+        with stream(store, "f") as fh:
+            fh.write(b"0123456789")
+        with stream(store, "f", "r") as fh:
+            assert fh.read(4) == b"0123"
+            assert fh.read(4) == b"4567"
+            assert fh.read(4) == b"89"
+            assert fh.read(4) == b""
+
+    def test_rdbuf(self, store):
+        with stream(store, "f") as fh:
+            fh.write(b"whole contents")
+            assert fh.rdbuf() == b"whole contents"
+
+    def test_write_mode_truncates(self, store):
+        with stream(store, "f") as fh:
+            fh.write(b"a long original body")
+        with stream(store, "f") as fh:
+            fh.write(b"new")
+        with stream(store, "f", "r") as fh:
+            assert fh.read() == b"new"
+
+    def test_append_mode(self, store):
+        with stream(store, "f") as fh:
+            fh.write(b"first|")
+        with stream(store, "f", "a") as fh:
+            assert fh.tellp() == 6
+            fh.write(b"second")
+        with stream(store, "f", "r") as fh:
+            assert fh.read() == b"first|second"
+
+
+class TestSeek:
+    def test_seekp_tellp(self, store):
+        with stream(store, "f") as fh:
+            fh.write(b"0123456789")
+            fh.seekp(2)
+            assert fh.tellp() == 2
+            fh.write(b"XY")
+            assert fh.tellp() == 4
+        with stream(store, "f", "r") as fh:
+            assert fh.read() == b"01XY456789"
+
+    def test_seekp_whence(self, store):
+        with stream(store, "f") as fh:
+            fh.write(b"abcdef")
+            fh.seekp(-2, whence=2)  # from end
+            fh.write(b"ZZ")
+            fh.seekp(1, whence=0).seekp(1, whence=1)  # begin + relative
+            assert fh.tellp() == 2
+        with stream(store, "f", "r") as fh:
+            assert fh.read() == b"abcdZZ"
+
+    def test_seek_past_end_creates_hole(self, store):
+        with stream(store, "f", chunk_size=64) as fh:
+            fh.write(b"head")
+            fh.seekp(200)
+            fh.write(b"tail")
+        with stream(store, "f", "r", chunk_size=64) as fh:
+            data = fh.read()
+            assert data[:4] == b"head"
+            assert data[4:200] == bytes(196)
+            assert data[200:] == b"tail"
+
+    def test_negative_seek_sets_fail(self, store):
+        with stream(store, "f") as fh:
+            fh.seekp(-5)
+            assert fh.fail()
+
+    def test_bad_whence(self, store):
+        with stream(store, "f") as fh:
+            with pytest.raises(InvalidArgumentError):
+                fh.seekp(0, whence=9)
+
+    def test_seek_spanning_chunks_rmw(self, store):
+        with stream(store, "f", chunk_size=8) as fh:
+            fh.write(b"A" * 24)
+            fh.seekp(6)
+            fh.write(b"BBBB")  # straddles the chunk 0/1 boundary
+        with stream(store, "f", "r", chunk_size=8) as fh:
+            assert fh.read() == b"A" * 6 + b"BBBB" + b"A" * 14
+
+
+class TestStreamState:
+    def test_good_fail_flags(self, store):
+        fh = stream(store, "f")
+        assert fh.good()
+        assert not fh.fail()
+        fh.close()
+        assert not fh.good()
+
+    def test_read_missing_file_fails(self, store):
+        fh = stream(store, "missing", "r")
+        assert fh.fail()
+        assert fh.read() == b""
+
+    def test_read_only_write_rejected(self, store):
+        with stream(store, "f") as fh:
+            fh.write(b"x")
+        fh = stream(store, "f", "r")
+        with pytest.raises(InvalidArgumentError):
+            fh.write(b"y")
+
+    def test_write_after_close_rejected(self, store):
+        fh = stream(store, "f")
+        fh.close()
+        with pytest.raises(ClosedError):
+            fh.write(b"x")
+
+    def test_bad_mode(self, store):
+        with pytest.raises(InvalidArgumentError):
+            stream(store, "f", "rw")
+
+    def test_bad_chunk_size(self, store):
+        with pytest.raises(InvalidArgumentError):
+            stream(store, "f", chunk_size=0)
+
+
+class TestStaticLifecycle:
+    def test_initialize_open_cleanup(self):
+        env = MemEnv()
+        LsmioFStream.initialize("shared", options=LsmioOptions(), env=env)
+        try:
+            with fstream_open("a.dat") as fh:
+                fh.write(b"via factory")
+            LsmioFStream.write_barrier()
+            with fstream_open("a.dat", "r") as fh:
+                assert fh.read() == b"via factory"
+        finally:
+            LsmioFStream.cleanup()
+
+    def test_double_initialize_rejected(self):
+        LsmioFStream.initialize("s1", env=MemEnv())
+        try:
+            with pytest.raises(InvalidArgumentError):
+                LsmioFStream.initialize("s2", env=MemEnv())
+        finally:
+            LsmioFStream.cleanup()
+
+    def test_stream_without_initialize_rejected(self):
+        LsmioFStream.cleanup()  # ensure clean state
+        with pytest.raises(InvalidArgumentError):
+            LsmioFStream("f")
+
+    def test_cleanup_idempotent(self):
+        LsmioFStream.cleanup()
+        LsmioFStream.cleanup()
+
+
+class TestDurability:
+    def test_close_persists_across_store_reopen(self):
+        env = MemEnv()
+        store = LsmioStore("s", LsmioOptions(), env=env)
+        with stream(store, "ckpt") as fh:
+            fh.write(b"survives")
+        store.close()
+        store2 = LsmioStore("s", LsmioOptions(), env=env)
+        with stream(store2, "ckpt", "r") as fh:
+            assert fh.read() == b"survives"
+        store2.close()

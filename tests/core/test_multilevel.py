@@ -1,0 +1,153 @@
+"""Tests for SCR-style multi-level checkpointing over LSMIO."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidArgumentError, NotFoundError
+from repro.core import LsmioManager, LsmioOptions
+from repro.core.multilevel import MultilevelCheckpointer
+from repro.lsm.env import MemEnv
+from repro.mpi import run_world
+
+
+def local_manager(name="local"):
+    return LsmioManager(
+        name, LsmioOptions(write_buffer_size="64K"), env=MemEnv()
+    )
+
+
+class TestSingleRank:
+    def test_local_checkpoint_restore(self):
+        ckpt = MultilevelCheckpointer(local_manager())
+        levels = ckpt.checkpoint(5, {"step": 5, "x": 1.5})
+        assert levels == ["local"]
+        record = ckpt.restore_latest()
+        assert record.level == "local"
+        assert record.step == 5
+        assert record.payload == {"step": 5, "x": 1.5}
+        ckpt.local.close()
+
+    def test_latest_wins(self):
+        ckpt = MultilevelCheckpointer(local_manager())
+        for step in (1, 2, 3):
+            ckpt.checkpoint(step, f"state-{step}")
+        assert ckpt.restore_latest().payload == "state-3"
+        ckpt.local.close()
+
+    def test_numpy_payloads(self):
+        ckpt = MultilevelCheckpointer(local_manager())
+        field = np.arange(100.0).reshape(10, 10)
+        ckpt.checkpoint(1, field)
+        np.testing.assert_array_equal(ckpt.restore_latest().payload, field)
+        ckpt.local.close()
+
+    def test_pfs_cadence(self):
+        local = local_manager("l")
+        pfs = local_manager("p")
+        ckpt = MultilevelCheckpointer(local, pfs=pfs, pfs_every=3)
+        reached = [ckpt.checkpoint(step, step) for step in range(1, 7)]
+        assert [("pfs" in levels) for levels in reached] == [
+            False, False, True, False, False, True
+        ]
+        local.close()
+        pfs.close()
+
+    def test_pfs_fallback_after_node_loss(self):
+        local = local_manager("l")
+        pfs = local_manager("p")
+        ckpt = MultilevelCheckpointer(local, pfs=pfs, pfs_every=1)
+        ckpt.checkpoint(7, "durable")
+        ckpt.drop_local()  # node dies
+        record = ckpt.restore_latest()
+        assert record.level == "pfs"
+        assert record.payload == "durable"
+        local.close()
+        pfs.close()
+
+    def test_no_checkpoint_raises(self):
+        ckpt = MultilevelCheckpointer(local_manager())
+        with pytest.raises(NotFoundError):
+            ckpt.restore_latest()
+        ckpt.local.close()
+
+    def test_validation(self):
+        with pytest.raises(InvalidArgumentError):
+            MultilevelCheckpointer(local_manager(), pfs_every=0)
+
+
+class TestPartnerMirroring:
+    @staticmethod
+    def _build(comm, lose_rank=None):
+        local = LsmioManager(
+            f"ml/rank{comm.rank}",
+            LsmioOptions(write_buffer_size="64K"),
+            env=MemEnv(),
+        )
+        ckpt = MultilevelCheckpointer(local, comm=comm)
+        levels = ckpt.checkpoint(9, f"rank{comm.rank}-state")
+        comm.barrier()
+        if lose_rank is not None and comm.rank == lose_rank:
+            ckpt.drop_local()
+        comm.barrier()
+        record = ckpt.restore_latest()
+        comm.barrier()
+        local.close()
+        return levels, record.level, record.payload
+
+    def test_mirror_levels_reported(self):
+        results = run_world(3, self._build)
+        for levels, _, _ in results:
+            assert levels == ["local", "partner"]
+
+    def test_healthy_ranks_restore_locally(self):
+        results = run_world(3, self._build)
+        for rank, (_, level, payload) in enumerate(results):
+            assert level == "local"
+            assert payload == f"rank{rank}-state"
+
+    def test_single_node_loss_recovers_from_partner(self):
+        results = run_world(4, lambda comm: self._build(comm, lose_rank=2))
+        for rank, (_, level, payload) in enumerate(results):
+            assert payload == f"rank{rank}-state"
+            assert level == ("partner" if rank == 2 else "local")
+
+    def test_two_rank_ring(self):
+        results = run_world(2, lambda comm: self._build(comm, lose_rank=0))
+        assert results[0][1] == "partner"
+        assert results[0][2] == "rank0-state"
+        assert results[1][1] == "local"
+
+
+class TestFullLadder:
+    def test_partner_then_pfs(self):
+        """Node loses local data AND its partner lost the mirror → PFS."""
+
+        def main(comm):
+            local = LsmioManager(
+                f"full/rank{comm.rank}",
+                LsmioOptions(write_buffer_size="64K"),
+                env=MemEnv(),
+            )
+            pfs = LsmioManager(
+                f"full-pfs/rank{comm.rank}",
+                LsmioOptions(write_buffer_size="64K"),
+                env=MemEnv(),
+            )
+            ckpt = MultilevelCheckpointer(local, pfs=pfs, comm=comm, pfs_every=1)
+            ckpt.checkpoint(3, f"deep-{comm.rank}")
+            comm.barrier()
+            # Ranks 0 AND 1 both lose local storage: rank 0's mirror
+            # (held by rank 1) is gone too, so rank 0 must reach PFS.
+            if comm.rank in (0, 1):
+                ckpt.drop_local()
+            comm.barrier()
+            record = ckpt.restore_latest()
+            comm.barrier()
+            local.close()
+            pfs.close()
+            return record.level, record.payload
+
+        results = run_world(3, main)
+        assert results[0] == ("pfs", "deep-0")
+        assert results[1][1] == "deep-1"   # partner (rank 2) or pfs
+        assert results[2] == ("local", "deep-2")

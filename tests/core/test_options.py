@@ -1,0 +1,66 @@
+"""Tests for LsmioOptions → engine option mapping (§3.1.1)."""
+
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.core import Backend, LsmioOptions
+from repro.lsm.options import ChecksumType, CompressionType
+
+
+def test_paper_defaults():
+    """The defaults are the paper's RocksDB customization (§3.1.1)."""
+    options = LsmioOptions()
+    assert options.backend is Backend.ROCKSDB
+    assert not options.enable_wal
+    assert not options.enable_compression
+    assert not options.enable_caching
+    assert not options.enable_compaction
+    assert options.write_buffer_size == 32 << 20  # the 32 MB buffer
+
+
+def test_engine_mapping_disables_everything():
+    engine_options = LsmioOptions().to_engine_options()
+    assert not engine_options.enable_wal
+    assert engine_options.compression is CompressionType.NONE
+    assert not engine_options.enable_block_cache
+    assert not engine_options.enable_compaction
+
+
+def test_engine_mapping_enables_on_request():
+    options = LsmioOptions(
+        enable_wal=True,
+        enable_compression=True,
+        enable_caching=True,
+        enable_compaction=True,
+        use_mmap=True,
+        block_size="16K",
+    )
+    engine_options = options.to_engine_options()
+    assert engine_options.enable_wal
+    assert engine_options.compression is CompressionType.ZLIB
+    assert engine_options.enable_block_cache
+    assert engine_options.enable_compaction
+    assert engine_options.use_mmap_reads
+    assert engine_options.block_size == 16384
+
+
+def test_size_strings_parsed():
+    options = LsmioOptions(write_buffer_size="1M", block_size="64K")
+    assert options.write_buffer_size == 1 << 20
+    assert options.block_size == 65536
+
+
+def test_backend_from_string():
+    assert LsmioOptions(backend="leveldb").backend is Backend.LEVELDB
+    assert LsmioOptions(backend="ROCKSDB").backend is Backend.ROCKSDB
+
+
+def test_checksum_from_string():
+    assert LsmioOptions(checksum="none").checksum is ChecksumType.NONE
+
+
+def test_validation():
+    with pytest.raises(InvalidArgumentError):
+        LsmioOptions(write_buffer_size=0)
+    with pytest.raises(InvalidArgumentError):
+        LsmioOptions(block_size=0)

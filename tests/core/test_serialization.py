@@ -1,0 +1,119 @@
+"""Tests for typed-value serialization (§3.1.7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import CorruptionError, InvalidArgumentError
+from repro.core.serialization import deserialize_value, serialize_value
+
+
+class TestScalars:
+    def test_bytes_roundtrip(self):
+        assert deserialize_value(serialize_value(b"\x00\xffraw")) == b"\x00\xffraw"
+
+    def test_str_roundtrip(self):
+        assert deserialize_value(serialize_value("héllo")) == "héllo"
+
+    def test_int_roundtrip(self):
+        for value in (0, -1, 2**62, -(2**62)):
+            assert deserialize_value(serialize_value(value)) == value
+
+    def test_float_roundtrip(self):
+        for value in (0.0, -1.5, 3.141592653589793, float("inf")):
+            assert deserialize_value(serialize_value(value)) == value
+
+    def test_bool_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            serialize_value(True)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            serialize_value(object())
+
+    def test_json_containers_roundtrip(self):
+        payload = {"step": 7, "coords": [1, 2.5, "z"], "nested": {"a": None}}
+        assert deserialize_value(serialize_value(payload)) == payload
+
+    def test_non_json_container_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            serialize_value({"bad": object()})
+
+    @given(st.binary(max_size=256))
+    def test_bytes_property(self, data):
+        assert deserialize_value(serialize_value(data)) == data
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_int_property(self, value):
+        assert deserialize_value(serialize_value(value)) == value
+
+
+class TestArrays:
+    def test_1d(self):
+        arr = np.arange(10, dtype=np.float64)
+        out = deserialize_value(serialize_value(arr))
+        np.testing.assert_array_equal(out, arr)
+        assert out.dtype == arr.dtype
+
+    def test_multidimensional(self):
+        arr = np.arange(24, dtype=np.int32).reshape(2, 3, 4)
+        out = deserialize_value(serialize_value(arr))
+        np.testing.assert_array_equal(out, arr)
+        assert out.shape == (2, 3, 4)
+
+    def test_zero_dim(self):
+        arr = np.array(7.5)
+        out = deserialize_value(serialize_value(arr))
+        assert out.shape == ()
+        assert float(out) == 7.5
+
+    def test_empty(self):
+        arr = np.empty((0, 3), dtype=np.float32)
+        out = deserialize_value(serialize_value(arr))
+        assert out.shape == (0, 3)
+
+    def test_non_contiguous_input(self):
+        arr = np.arange(16).reshape(4, 4)[:, ::2]
+        out = deserialize_value(serialize_value(arr))
+        np.testing.assert_array_equal(out, arr)
+
+    def test_result_is_writable_copy(self):
+        arr = np.zeros(4)
+        out = deserialize_value(serialize_value(arr))
+        out[0] = 1  # must not raise (frombuffer alone would be readonly)
+
+    @given(
+        hnp.arrays(
+            dtype=st.sampled_from([np.int32, np.float64, np.uint8]),
+            shape=hnp.array_shapes(max_dims=3, max_side=8),
+        )
+    )
+    def test_array_property(self, arr):
+        out = deserialize_value(serialize_value(arr))
+        np.testing.assert_array_equal(out, arr)
+
+
+class TestCorruption:
+    def test_bad_magic(self):
+        with pytest.raises(CorruptionError):
+            deserialize_value(b"\x00\x01data")
+
+    def test_empty(self):
+        with pytest.raises(CorruptionError):
+            deserialize_value(b"")
+
+    def test_truncated_int(self):
+        data = serialize_value(42)
+        with pytest.raises(CorruptionError):
+            deserialize_value(data[:-1])
+
+    def test_truncated_array(self):
+        data = serialize_value(np.arange(8))
+        with pytest.raises(CorruptionError):
+            deserialize_value(data[:-3])
+
+    def test_unknown_tag(self):
+        with pytest.raises(CorruptionError):
+            deserialize_value(bytes([0xB5, 200]) + b"x")

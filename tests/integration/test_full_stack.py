@@ -1,0 +1,216 @@
+"""Integration tests: the whole stack working together.
+
+These exercise the complete paths a downstream user would hit: multi-rank
+checkpoint/restart cycles on the simulated cluster, engine switching,
+failure injection, and cross-layer data integrity.
+"""
+
+import numpy as np
+import pytest
+
+from repro import sim
+from repro.core import LsmioFStream, LsmioManager, LsmioOptions
+from repro.core.serialization import deserialize_value, serialize_value
+from repro.errors import NotFoundError
+from repro.iolibs.adios2 import Adios2Io, Adios2Params
+from repro.lsm import DB, MemEnv, Options
+from repro.mpi import run_world
+from repro.pfs import LustreClient, LustreCluster, SimLustreEnv
+from repro.pfs.configs import small_test_cluster
+
+import repro.core.plugin  # noqa: F401
+
+
+def run_on_cluster(size, fn, config=None, *args):
+    with sim.Engine() as engine:
+        cluster = LustreCluster(engine, config or small_test_cluster())
+
+        def setup(world):
+            world._cluster = cluster
+
+        results = run_world(size, fn, *args, engine=engine, world_setup=setup)
+        return results, cluster
+
+
+class TestMultiRankCheckpointCycle:
+    def test_spmd_checkpoint_restart_roundtrip(self):
+        """Each rank checkpoints a distinct field; a second 'job' (new
+        managers over the same simulated FS) restores every byte."""
+
+        def writer(comm):
+            client = LustreClient(comm.world._cluster, comm.rank)
+            env = SimLustreEnv(client)
+            manager = LsmioManager(
+                f"job.lsmio/rank{comm.rank}",
+                options=LsmioOptions(write_buffer_size="256K"),
+                env=env,
+            )
+            rng = np.random.default_rng(comm.rank)
+            field = rng.standard_normal((64, 64))
+            manager.put_typed("field", field)
+            manager.put_typed("step", 7)
+            manager.write_barrier()
+            comm.barrier()
+            manager.close()
+            return float(field.sum())
+
+        def restarter(comm):
+            client = LustreClient(comm.world._cluster, comm.rank)
+            env = SimLustreEnv(client)
+            manager = LsmioManager(
+                f"job.lsmio/rank{comm.rank}",
+                options=LsmioOptions(write_buffer_size="256K"),
+                env=env,
+            )
+            field = manager.get_typed("field")
+            step = manager.get_typed("step")
+            comm.barrier()
+            manager.close()
+            return (step, float(field.sum()))
+
+        # Write with one set of managers, then restart with fresh ones
+        # over the same (persisted) simulated file system.
+        def session(comm):
+            wrote = writer(comm)
+            restored = restarter(comm)
+            return wrote, restored
+
+        results, _ = run_on_cluster(3, session)
+        for rank, (wrote, (step, restored)) in enumerate(results):
+            assert step == 7
+            assert restored == pytest.approx(wrote)
+
+
+class TestEngineSwitching:
+    def test_same_app_bp5_and_plugin_identical_data(self):
+        def app(comm, engine_name):
+            client = LustreClient(comm.world._cluster, comm.rank)
+            io = Adios2Io("io", Adios2Params(engine=engine_name))
+            arr = np.arange(100, dtype=np.float32) * (comm.rank + 1)
+            writer = io.open(f"{engine_name}.bp", "w", comm, client)
+            writer.put("arr", serialize_value(arr))
+            writer.perform_puts()
+            writer.close()
+            reader = io.open(f"{engine_name}.bp", "r", comm, client)
+            out = deserialize_value(reader.get("arr"))
+            reader.close()
+            comm.barrier()
+            return out
+
+        for engine_name in ("BP5", "lsmio"):
+            results, _ = run_on_cluster(
+                2, lambda comm: app(comm, engine_name)
+            )
+            for rank, out in enumerate(results):
+                np.testing.assert_array_equal(
+                    out, np.arange(100, dtype=np.float32) * (rank + 1)
+                )
+
+
+class TestFailureInjection:
+    def test_unflushed_data_lost_flushed_data_survives(self):
+        """The write barrier is the durability line (no WAL, §3.1.1)."""
+        env = MemEnv()
+        options = LsmioOptions(write_buffer_size="1M")
+        from repro.core import LsmioStore
+
+        store = LsmioStore("db", options, env=env)
+        store.put(b"durable", b"yes")
+        store.write_barrier()
+        store.put(b"volatile", b"gone")
+        # Crash: drop the store without close/barrier (process death
+        # releases the LOCK file).
+        env.unlock_file(store.db._db_lock_token)  # noqa: SLF001
+        del store
+
+        recovered = LsmioStore("db", options, env=env)
+        assert recovered.get(b"durable") == b"yes"
+        with pytest.raises(NotFoundError):
+            recovered.get(b"volatile")
+        recovered.close()
+
+    def test_wal_variant_survives_crash_without_barrier(self):
+        env = MemEnv()
+        options = LsmioOptions(enable_wal=True, sync_writes=True)
+        from repro.core import LsmioStore
+
+        store = LsmioStore("db", options, env=env)
+        store.put(b"k", b"v")
+        store.db._wal.sync()  # noqa: SLF001 — flush OS buffers, then crash
+        env.unlock_file(store.db._db_lock_token)  # noqa: SLF001
+        del store
+
+        recovered = LsmioStore("db", options, env=env)
+        assert recovered.get(b"k") == b"v"
+        recovered.close()
+
+    def test_torn_sstable_detected_on_read(self):
+        env = MemEnv()
+        db = DB.open("db", Options(write_buffer_size="32K"), env=env)
+        db.put(b"k", bytes(1 << 16))
+        db.flush()
+        db.close()
+        # Corrupt a byte in the newest SSTable.
+        sst = [n for n in env.get_children("db") if n.endswith(".sst")][0]
+        env._files[f"db/{sst}"].data[500] ^= 0xFF  # noqa: SLF001
+        db2 = DB.open("db", Options(write_buffer_size="32K"), env=env)
+        from repro.errors import CorruptionError
+
+        with pytest.raises(CorruptionError):
+            db2.get(b"k")
+        db2.close()
+
+
+class TestFStreamOverSimulatedCluster:
+    def test_fstream_on_lustre(self):
+        def main(comm):
+            client = LustreClient(comm.world._cluster, comm.rank)
+            env = SimLustreEnv(client)
+            from repro.core import LsmioStore
+
+            store = LsmioStore(
+                f"fs{comm.rank}", LsmioOptions(write_buffer_size="256K"),
+                env=env,
+            )
+            with LsmioFStream("ckpt.bin", "w", store=store) as fh:
+                fh.write(b"rank-%d-" % comm.rank * 100)
+            with LsmioFStream("ckpt.bin", "r", store=store) as fh:
+                data = fh.read()
+            store.close()
+            comm.barrier()
+            return data
+
+        results, cluster = run_on_cluster(2, main)
+        assert results[0] == b"rank-0-" * 100
+        assert results[1] == b"rank-1-" * 100
+        assert cluster.total_bytes_written() > 0
+
+
+class TestKvCollectiveIntegration:
+    def test_grouped_stores_share_data_within_group(self):
+        def main(comm):
+            client = LustreClient(comm.world._cluster, comm.rank)
+            env = SimLustreEnv(client)
+            group = (comm.rank // 2) * 2
+            manager = LsmioManager(
+                f"grp{group}.lsmio",
+                options=LsmioOptions(write_buffer_size="256K"),
+                env=env,
+                comm=comm,
+                collective=True,
+                collective_group_size=2,
+            )
+            manager.put(f"rank{comm.rank}", bytes([comm.rank]) * 64)
+            manager.write_barrier()
+            # Every member can read every group member's key.
+            peer = group + (1 - (comm.rank - group))
+            value = manager.get(f"rank{peer}")
+            comm.barrier()
+            manager.close()
+            return value
+
+        results, _ = run_on_cluster(4, main)
+        assert results[0] == bytes([1]) * 64
+        assert results[1] == bytes([0]) * 64
+        assert results[2] == bytes([3]) * 64
+        assert results[3] == bytes([2]) * 64

@@ -1,0 +1,210 @@
+"""Tests for the ADIOS2 BP5 model and plugin registry."""
+
+import pytest
+
+from repro import sim
+from repro.errors import InvalidArgumentError, NotFoundError
+from repro.iolibs import Adios2Io, Adios2Params, register_plugin, registered_plugins
+from repro.mpi import run_world
+from repro.pfs import LustreClient, LustreCluster
+from repro.pfs.configs import small_test_cluster
+
+import repro.core.plugin  # noqa: F401 — registers the "lsmio" plugin
+
+
+def run_many(size, fn, config=None):
+    with sim.Engine() as engine:
+        cluster = LustreCluster(engine, config or small_test_cluster())
+
+        def setup(world):
+            world._cluster = cluster
+
+        results = run_world(size, fn, engine=engine, world_setup=setup)
+        return results, cluster
+
+
+def _client(comm):
+    return LustreClient(comm.world._cluster, comm.rank)
+
+
+class TestBp5Writer:
+    def test_write_creates_subfiles_and_metadata(self):
+        def main(comm):
+            client = _client(comm)
+            io = Adios2Io("out", Adios2Params(buffer_chunk_size="64K"))
+            writer = io.open("run.bp", "w", comm, client)
+            writer.put("field", 131072)
+            writer.perform_puts()
+            writer.close()
+            return None
+
+        _, cluster = run_many(3, main)
+        paths = cluster.list_paths("run.bp/")
+        assert "run.bp/md.0" in paths
+        assert "run.bp/md.idx" in paths
+        for rank in range(3):
+            assert f"run.bp/data.{rank}" in paths
+
+    def test_roundtrip_real_bytes(self):
+        def main(comm):
+            client = _client(comm)
+            io = Adios2Io("out", Adios2Params())
+            writer = io.open("run.bp", "w", comm, client)
+            writer.put("v", f"rank{comm.rank}-payload".encode())
+            writer.close()
+            reader = io.open("run.bp", "r", comm, client)
+            data = reader.get("v")
+            reader.close()
+            return data
+
+        results, _ = run_many(3, main)
+        assert results == [f"rank{r}-payload".encode() for r in range(3)]
+
+    def test_deferred_puts_wait_for_perform_puts(self):
+        def main(comm):
+            client = _client(comm)
+            io = Adios2Io("out", Adios2Params(buffer_chunk_size="64K"))
+            writer = io.open("run.bp", "w", comm, client)
+            writer.put("v", 1 << 20)
+            before = sim.now()
+            writer.perform_puts()
+            after = sim.now()
+            writer.close()
+            return after > before
+
+        results, _ = run_many(1, main)
+        assert results == [True]
+
+    def test_buffer_chunks_drain_as_large_writes(self):
+        def main(comm):
+            client = _client(comm)
+            params = Adios2Params(buffer_chunk_size="256K", stripe_count=1)
+            io = Adios2Io("out", params)
+            writer = io.open("run.bp", "w", comm, client)
+            for _ in range(8):
+                writer.put("v", 262144)
+            writer.perform_puts()
+            writer.close()
+            return client.stats.write_rpcs
+
+        results, cluster = run_many(1, main)
+        # 2 MiB drains as 8 chunk-sized writes, plus md.0 and md.idx.
+        assert results[0] == 10
+        sequential = sum(o.stats.sequential_requests for o in cluster.osts)
+        assert sequential > 0
+
+    def test_reader_missing_run_raises(self):
+        def main(comm):
+            client = _client(comm)
+            io = Adios2Io("out", Adios2Params())
+            with pytest.raises(NotFoundError):
+                io.open("never-written.bp", "r", comm, client)
+            return True
+
+        results, _ = run_many(1, main)
+        assert results == [True]
+
+    def test_reader_missing_variable_raises(self):
+        def main(comm):
+            client = _client(comm)
+            io = Adios2Io("out", Adios2Params())
+            writer = io.open("run.bp", "w", comm, client)
+            writer.put("v", b"x")
+            writer.close()
+            reader = io.open("run.bp", "r", comm, client)
+            with pytest.raises(NotFoundError):
+                reader.get("unknown")
+            return True
+
+        results, _ = run_many(1, main)
+        assert results == [True]
+
+    def test_bad_mode(self):
+        def main(comm):
+            client = _client(comm)
+            io = Adios2Io("out", Adios2Params())
+            with pytest.raises(InvalidArgumentError):
+                io.open("run.bp", "a", comm, client)
+            return True
+
+        results, _ = run_many(1, main)
+        assert results == [True]
+
+
+class TestPluginRegistry:
+    def test_lsmio_plugin_registered(self):
+        assert "lsmio" in registered_plugins()
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            register_plugin("lsmio", lambda *a: None)
+
+    def test_unknown_plugin(self):
+        def main(comm):
+            client = _client(comm)
+            io = Adios2Io("out", Adios2Params(engine="no-such-plugin"))
+            with pytest.raises(InvalidArgumentError):
+                io.open("x.bp", "w", comm, client)
+            return True
+
+        results, _ = run_many(1, main)
+        assert results == [True]
+
+
+class TestLsmioPluginEngine:
+    def test_engine_switch_is_config_only(self):
+        """The same application code runs on BP5 and on the LSMIO plugin —
+        only the engine name differs (the paper's XML-only change)."""
+
+        def app(comm, engine_name):
+            client = _client(comm)
+            io = Adios2Io("out", Adios2Params(engine=engine_name,
+                                              buffer_chunk_size="64K"))
+            writer = io.open(f"{engine_name}-run.bp", "w", comm, client)
+            writer.put("field", f"data-from-{comm.rank}".encode())
+            writer.perform_puts()
+            writer.close()
+            reader = io.open(f"{engine_name}-run.bp", "r", comm, client)
+            data = reader.get("field")
+            reader.close()
+            comm.barrier()
+            return data
+
+        for engine_name in ("BP5", "lsmio"):
+            results, _ = run_many(2, lambda comm: app(comm, engine_name))
+            assert results == [b"data-from-0", b"data-from-1"]
+
+    def test_plugin_stores_per_rank_databases(self):
+        def main(comm):
+            client = _client(comm)
+            io = Adios2Io("out", Adios2Params(engine="lsmio"))
+            writer = io.open("run.bp", "w", comm, client)
+            writer.put("v", b"payload")
+            writer.close()
+            return None
+
+        _, cluster = run_many(2, main)
+        paths = cluster.list_paths("run.bp.lsmio/")
+        assert any(p.startswith("run.bp.lsmio/rank0/") for p in paths)
+        assert any(p.startswith("run.bp.lsmio/rank1/") for p in paths)
+
+    def test_plugin_cross_rank_read_rejected(self):
+        def main(comm):
+            client = _client(comm)
+            io = Adios2Io("out", Adios2Params(engine="lsmio"))
+            writer = io.open("run.bp", "w", comm, client)
+            writer.put("v", b"x")
+            writer.close()
+            reader = io.open("run.bp", "r", comm, client)
+            outcome = None
+            if comm.size > 1:
+                try:
+                    reader.get("v", writer_rank=(comm.rank + 1) % comm.size)
+                except NotFoundError:
+                    outcome = "raised"
+            reader.close()
+            comm.barrier()
+            return outcome
+
+        results, _ = run_many(2, main)
+        assert results == ["raised", "raised"]

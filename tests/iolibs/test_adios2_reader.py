@@ -1,0 +1,100 @@
+"""Additional BP5 reader tests: readahead, handle caching, multi-step."""
+
+from repro import sim
+from repro.iolibs.adios2 import Adios2Io, Adios2Params
+from repro.mpi import run_world
+from repro.pfs import LustreClient, LustreCluster
+from repro.pfs.configs import small_test_cluster
+
+
+def run_many(size, fn, config=None):
+    with sim.Engine() as engine:
+        cluster = LustreCluster(engine, config or small_test_cluster())
+
+        def setup(world):
+            world._cluster = cluster
+
+        results = run_world(size, fn, engine=engine, world_setup=setup)
+        return results, cluster
+
+
+def test_reader_handle_cached_across_gets():
+    def main(comm):
+        client = LustreClient(comm.world._cluster, comm.rank)
+        io = Adios2Io("io", Adios2Params())
+        writer = io.open("run.bp", "w", comm, client)
+        for i in range(8):
+            writer.put(f"v{i}", 4096)
+        writer.close()
+        opens_before = client.stats.mds_ops
+        reader = io.open("run.bp", "r", comm, client)
+        for i in range(8):
+            reader.get(f"v{i}")
+        reader.close()
+        # One subfile open for 8 gets (plus the metadata opens at init).
+        return client.stats.mds_ops - opens_before
+
+    results, _ = run_many(1, main)
+    assert results[0] <= 4
+
+
+def test_readahead_turns_gets_into_few_rpcs():
+    def main(comm):
+        client = LustreClient(comm.world._cluster, comm.rank)
+        io = Adios2Io(
+            "io", Adios2Params(plugin_params={"readahead": "1M"})
+        )
+        writer = io.open("run.bp", "w", comm, client)
+        for i in range(32):
+            writer.put(f"v{i:02d}", 65536)  # 2 MiB total
+        writer.close()
+        rpcs_before = client.stats.read_rpcs
+        reader = io.open("run.bp", "r", comm, client)
+        for i in range(32):
+            reader.get(f"v{i:02d}")
+        reader.close()
+        return client.stats.read_rpcs - rpcs_before
+
+    results, _ = run_many(1, main)
+    # 2 MiB at 1 MiB readahead windows: a handful of data RPCs, not 32.
+    assert results[0] <= 10
+
+
+def test_multi_step_variables():
+    def main(comm):
+        client = LustreClient(comm.world._cluster, comm.rank)
+        io = Adios2Io("io", Adios2Params())
+        writer = io.open("run.bp", "w", comm, client)
+        writer.put("field", b"step0-data")
+        writer.end_step()
+        writer.put("field", b"step1-data")
+        writer.end_step()
+        writer.close()
+        reader = io.open("run.bp", "r", comm, client)
+        first = reader.get("field", step=0)
+        second = reader.get("field", step=1)
+        reader.close()
+        comm.barrier()
+        return first, second
+
+    results, _ = run_many(2, main)
+    for first, second in results:
+        assert first == b"step0-data"
+        assert second == b"step1-data"
+
+
+def test_cross_rank_reads_via_catalog():
+    def main(comm):
+        client = LustreClient(comm.world._cluster, comm.rank)
+        io = Adios2Io("io", Adios2Params())
+        writer = io.open("run.bp", "w", comm, client)
+        writer.put("v", f"from-{comm.rank}".encode())
+        writer.close()
+        reader = io.open("run.bp", "r", comm, client)
+        other = reader.get("v", writer_rank=(comm.rank + 1) % comm.size)
+        reader.close()
+        comm.barrier()
+        return other
+
+    results, _ = run_many(3, main)
+    assert results == [b"from-1", b"from-2", b"from-0"]

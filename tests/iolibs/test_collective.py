@@ -1,0 +1,159 @@
+"""Tests for two-phase collective I/O."""
+
+from repro import sim
+from repro.iolibs import two_phase_read, two_phase_write
+from repro.mpi import run_world
+from repro.pfs import LustreClient, LustreCluster
+from repro.pfs.configs import small_test_cluster
+
+
+def run_collective(size, fn, config=None):
+    with sim.Engine() as engine:
+        cluster = LustreCluster(engine, config or small_test_cluster())
+
+        def setup(world):
+            world._cluster = cluster
+
+        results = run_world(size, fn, engine=engine, world_setup=setup)
+        return results, cluster
+
+
+def _client(comm):
+    return LustreClient(comm.world._cluster, comm.rank)
+
+
+BLOCK = 65536
+
+
+def test_collective_write_covers_range():
+    def main(comm):
+        client = _client(comm)
+        if comm.rank == 0:
+            client.create("shared", stripe_count=2, stripe_size="64K")
+        comm.barrier()
+        file = client.cluster.lookup("shared")
+        segments = [(comm.rank * BLOCK, BLOCK)]
+        two_phase_write(comm, client, file, segments, cb_buffer_size="256K")
+        return file.size
+
+    results, cluster = run_collective(4, main)
+    assert all(size == 4 * BLOCK for size in results)
+    assert cluster.total_bytes_written() == 4 * BLOCK
+
+
+def test_collective_write_real_bytes_roundtrip():
+    def main(comm):
+        client = _client(comm)
+        if comm.rank == 0:
+            client.create("shared", stripe_count=2, stripe_size="4K")
+        comm.barrier()
+        file = client.cluster.lookup("shared")
+        payload = bytes([comm.rank]) * 8192
+        two_phase_write(
+            comm, client, file, [(comm.rank * 8192, payload)],
+            cb_buffer_size="16K",
+        )
+        comm.barrier()
+        return client.read(file, comm.rank * 8192, 8192)
+
+    results, _ = run_collective(3, main)
+    for rank, data in enumerate(results):
+        assert data == bytes([rank]) * 8192
+
+
+def test_collective_write_fewer_writers_than_ranks():
+    def main(comm):
+        client = _client(comm)
+        if comm.rank == 0:
+            client.create("shared", stripe_count=2, stripe_size="64K")
+        comm.barrier()
+        file = client.cluster.lookup("shared")
+        two_phase_write(
+            comm, client, file, [(comm.rank * BLOCK, BLOCK)], cb_nodes=2
+        )
+        return None
+
+    _, cluster = run_collective(6, main)
+    # Only aggregator clients (0 and 1) issue data RPCs.
+    writers = {
+        ost._lock_holder.get(obj)  # noqa: SLF001
+        for ost in cluster.osts
+        for obj in ost._lock_holder  # noqa: SLF001
+    }
+    assert writers <= {0, 1}
+
+
+def test_collective_converts_strided_to_contiguous():
+    """The Figure 9 mechanism: collective aggregation eliminates the
+    interleaved-stream penalty on a shared file."""
+
+    def strided(comm):
+        client = _client(comm)
+        if comm.rank == 0:
+            client.create("s", stripe_count=1, stripe_size="64K")
+        comm.barrier()
+        file = client.cluster.lookup("s")
+        for seg in range(16):
+            client.write(file, (seg * comm.size + comm.rank) * BLOCK, BLOCK)
+        client.fsync(file)
+        comm.barrier()
+        return sim.now()
+
+    def collective(comm):
+        client = _client(comm)
+        if comm.rank == 0:
+            client.create("c", stripe_count=1, stripe_size="64K")
+        comm.barrier()
+        file = client.cluster.lookup("c")
+        segments = [
+            ((seg * comm.size + comm.rank) * BLOCK, BLOCK) for seg in range(16)
+        ]
+        two_phase_write(comm, client, file, segments, cb_buffer_size="1M")
+        comm.barrier()
+        return sim.now()
+
+    config = small_test_cluster(client_bandwidth="1G")
+    strided_results, strided_cluster = run_collective(4, strided, config)
+    collective_results, collective_cluster = run_collective(4, collective, config)
+    assert max(collective_results) < max(strided_results)
+    assert (
+        collective_cluster.total_lock_switches()
+        < strided_cluster.total_lock_switches()
+    )
+
+
+def test_collective_read_returns_each_ranks_data():
+    def main(comm):
+        client = _client(comm)
+        if comm.rank == 0:
+            client.create("shared", stripe_count=2, stripe_size="4K")
+        comm.barrier()
+        file = client.cluster.lookup("shared")
+        payload = bytes([comm.rank + 1]) * 4096
+        client.write(file, comm.rank * 4096, payload)
+        client.fsync(file)
+        comm.barrier()
+        out = two_phase_read(
+            comm, client, file, [(comm.rank * 4096, 4096)],
+            cb_buffer_size="8K",
+        )
+        return out[0]
+
+    results, _ = run_collective(4, main)
+    for rank, data in enumerate(results):
+        assert data == bytes([rank + 1]) * 4096
+
+
+def test_empty_segments_no_deadlock():
+    def main(comm):
+        client = _client(comm)
+        if comm.rank == 0:
+            client.create("f")
+        comm.barrier()
+        file = client.cluster.lookup("f")
+        two_phase_write(comm, client, file, [])
+        out = two_phase_read(comm, client, file, [])
+        return out
+
+    results, _ = run_collective(3, main)
+    assert results == [[], [], []]

@@ -1,0 +1,183 @@
+"""Tests for the HDF5 write-path model."""
+
+import pytest
+
+from repro import sim
+from repro.errors import InvalidArgumentError, NotFoundError
+from repro.iolibs import Hdf5File
+from repro.iolibs.hdf5 import METADATA_REGION
+from repro.mpi import run_world
+from repro.pfs import LustreClient, LustreCluster
+from repro.pfs.configs import small_test_cluster
+
+
+def run_one(fn, config=None):
+    with sim.Engine() as engine:
+        cluster = LustreCluster(engine, config or small_test_cluster())
+        client = LustreClient(cluster, 0)
+        proc = engine.spawn(fn, client)
+        elapsed = engine.run()
+        return proc.result, cluster, elapsed
+
+
+def run_many(size, fn, config=None):
+    with sim.Engine() as engine:
+        cluster = LustreCluster(engine, config or small_test_cluster())
+
+        def setup(world):
+            world._cluster = cluster
+
+        results = run_world(size, fn, engine=engine, world_setup=setup)
+        return results, cluster
+
+
+def test_create_dataset_write_read_chunk():
+    def main(client):
+        h5 = Hdf5File.create(client, "sim.h5", stripe_count=2)
+        h5.create_dataset("temperature", chunk_size="4K")
+        h5.write_chunk("temperature", 0, b"T" * 4096)
+        h5.write_chunk("temperature", 1, b"U" * 4096)
+        data = h5.read_chunk("temperature", 0)
+        h5.close()
+        return data
+
+    result, _, _ = run_one(main)
+    assert result == b"T" * 4096
+
+
+def test_chunks_allocated_past_metadata_region():
+    def main(client):
+        h5 = Hdf5File.create(client, "f.h5")
+        h5.create_dataset("d", chunk_size="64K")
+        h5.write_chunk("d", 0, 65536)
+        return h5._state.datasets["d"].chunk_index[0]  # noqa: SLF001
+
+    offset, _, _ = run_one(main)
+    assert offset >= METADATA_REGION
+
+
+def test_duplicate_dataset_rejected():
+    def main(client):
+        h5 = Hdf5File.create(client, "f.h5")
+        h5.create_dataset("d", chunk_size="4K")
+        with pytest.raises(InvalidArgumentError):
+            h5.create_dataset("d", chunk_size="4K")
+        return True
+
+    assert run_one(main)[0]
+
+
+def test_read_missing_chunk_raises():
+    def main(client):
+        h5 = Hdf5File.create(client, "f.h5")
+        h5.create_dataset("d", chunk_size="4K")
+        with pytest.raises(NotFoundError):
+            h5.read_chunk("d", 99)
+        with pytest.raises(NotFoundError):
+            h5.read_chunk("nope", 0)
+        return True
+
+    assert run_one(main)[0]
+
+
+def test_open_shares_structure_across_ranks():
+    def main(comm):
+        client = LustreClient(comm.world._cluster, comm.rank)
+        if comm.rank == 0:
+            h5 = Hdf5File.create(client, "par.h5", stripe_count=2)
+            h5.create_dataset("d", chunk_size="4K")
+        comm.barrier()
+        if comm.rank != 0:
+            h5 = Hdf5File.open(client, "par.h5", writable=True)
+        h5.write_chunk("d", comm.rank, bytes([comm.rank]) * 4096)
+        comm.barrier()
+        data = h5.read_chunk("d", (comm.rank + 1) % comm.size)
+        h5.close()
+        return data
+
+    results, _ = run_many(3, main)
+    for rank, data in enumerate(results):
+        assert data == bytes([(rank + 1) % 3]) * 4096
+
+
+def test_open_non_hdf5_raises():
+    def main(client):
+        client.create("plain")
+        with pytest.raises(NotFoundError):
+            Hdf5File.open(client, "plain")
+        return True
+
+    assert run_one(main)[0]
+
+
+def test_readonly_write_rejected():
+    def main(client):
+        h5 = Hdf5File.create(client, "f.h5")
+        h5.create_dataset("d", chunk_size="4K")
+        h5.close()
+        ro = Hdf5File.open(client, "f.h5")
+        with pytest.raises(InvalidArgumentError):
+            ro.write_chunk("d", 0, 4096)
+        return True
+
+    assert run_one(main)[0]
+
+
+def test_metadata_traffic_hits_first_stripe_object():
+    """Every chunk write must touch the file-head object — the shared
+    hotspot that floors HDF5 in Figure 6."""
+
+    def main(comm):
+        client = LustreClient(comm.world._cluster, comm.rank)
+        if comm.rank == 0:
+            h5 = Hdf5File.create(client, "hot.h5", stripe_count=2,
+                                 stripe_size="64K")
+            h5.create_dataset("d", chunk_size="64K")
+        comm.barrier()
+        if comm.rank != 0:
+            h5 = Hdf5File.open(client, "hot.h5", writable=True)
+        for i in range(4):
+            h5.write_chunk("d", comm.rank * 4 + i, 65536)
+        client.fsync()
+        comm.barrier()
+        return None
+
+    results, cluster = run_many(4, main)
+    # Multiple clients ping-ponged the head-region object's lock.
+    assert cluster.total_lock_switches() > 4
+
+
+def test_hdf5_slower_than_posix_for_same_payload():
+    """The model must reproduce the qualitative Figure 6 ordering."""
+
+    def hdf5_run(comm):
+        client = LustreClient(comm.world._cluster, comm.rank)
+        if comm.rank == 0:
+            h5 = Hdf5File.create(client, "a.h5", stripe_count=2,
+                                 stripe_size="64K")
+            h5.create_dataset("d", chunk_size="64K")
+        comm.barrier()
+        if comm.rank != 0:
+            h5 = Hdf5File.open(client, "a.h5", writable=True)
+        for i in range(8):
+            h5.write_chunk("d", comm.rank * 8 + i, 65536)
+        h5.flush()
+        comm.barrier()
+        return sim.now()
+
+    def posix_run(comm):
+        client = LustreClient(comm.world._cluster, comm.rank)
+        if comm.rank == 0:
+            client.create("a.dat", stripe_count=2, stripe_size="64K")
+        comm.barrier()
+        file = client.cluster.lookup("a.dat")
+        for i in range(8):
+            client.write(file, (comm.rank * 8 + i) * 65536, 65536)
+        client.fsync(file)
+        comm.barrier()
+        return sim.now()
+
+    config = small_test_cluster(client_bandwidth="1G")
+    h5_results, _ = run_many(4, hdf5_run, config)
+    posix_results, _ = run_many(4, posix_run, config)
+    assert max(h5_results) > max(posix_results)

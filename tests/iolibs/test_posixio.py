@@ -1,0 +1,76 @@
+"""Tests for the POSIX/IOR-baseline file wrapper."""
+
+import pytest
+
+from repro import sim
+from repro.errors import ClosedError, NotFoundError
+from repro.iolibs import PosixFile
+from repro.pfs import LustreClient, LustreCluster
+from repro.pfs.configs import small_test_cluster
+
+
+def run(fn, config=None, num_clients=1):
+    with sim.Engine() as engine:
+        cluster = LustreCluster(engine, config or small_test_cluster())
+        clients = [LustreClient(cluster, i) for i in range(num_clients)]
+        proc = engine.spawn(fn, clients if num_clients > 1 else clients[0])
+        elapsed = engine.run()
+        return proc.result, cluster, elapsed
+
+
+def test_create_write_read():
+    def main(client):
+        with PosixFile.create(client, "f", stripe_count=2) as fh:
+            fh.pwrite(0, b"hello")
+            fh.pwrite(5, b" world")
+            fh.fsync()
+            return fh.pread(0, 64)
+
+    result, _, _ = run(main)
+    assert result == b"hello world"
+
+
+def test_strided_writes():
+    def main(client):
+        fh = PosixFile.create(client, "shared", stripe_count=2, stripe_size="64K")
+        for i in range(8):
+            fh.pwrite(i * 131072, 65536)  # every other 64K block
+        fh.fsync()
+        size = fh.size
+        fh.close()
+        return size
+
+    size, cluster, _ = run(main)
+    assert size == 7 * 131072 + 65536
+    assert cluster.total_bytes_written() == 8 * 65536
+
+
+def test_open_existing():
+    def main(client):
+        with PosixFile.create(client, "f") as fh:
+            fh.pwrite(0, b"persisted")
+        with PosixFile.open(client, "f") as fh:
+            return fh.pread(0, 9)
+
+    assert run(main)[0] == b"persisted"
+
+
+def test_open_missing_raises():
+    def main(client):
+        with pytest.raises(NotFoundError):
+            PosixFile.open(client, "nope")
+        return True
+
+    assert run(main)[0]
+
+
+def test_closed_rejects():
+    def main(client):
+        fh = PosixFile.create(client, "f")
+        fh.close()
+        with pytest.raises(ClosedError):
+            fh.pwrite(0, b"x")
+        fh.close()  # idempotent
+        return True
+
+    assert run(main)[0]

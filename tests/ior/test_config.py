@@ -1,0 +1,78 @@
+"""Tests for IOR configuration and geometry."""
+
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.ior import IorConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = IorConfig()
+        assert config.api == "posix"
+        assert config.block_size == 1 << 20
+
+    def test_unknown_api(self):
+        with pytest.raises(InvalidArgumentError):
+            IorConfig(api="mystery")
+
+    def test_api_case_insensitive(self):
+        assert IorConfig(api="LSMIO").api == "lsmio"
+
+    def test_block_must_be_multiple_of_transfer(self):
+        with pytest.raises(InvalidArgumentError):
+            IorConfig(block_size="1M", transfer_size="768K")
+
+    def test_size_strings(self):
+        config = IorConfig(block_size="1M", transfer_size="64K")
+        assert config.transfers_per_block == 16
+
+    def test_positive_counts(self):
+        with pytest.raises(InvalidArgumentError):
+            IorConfig(num_tasks=0)
+        with pytest.raises(InvalidArgumentError):
+            IorConfig(segment_count=0)
+        with pytest.raises(InvalidArgumentError):
+            IorConfig(repetitions=0)
+
+    def test_collective_restricted_to_posix_hdf5(self):
+        IorConfig(api="posix", collective=True)
+        IorConfig(api="hdf5", collective=True)
+        for api in ("adios2", "lsmio", "lsmio-plugin"):
+            with pytest.raises(InvalidArgumentError):
+                IorConfig(api=api, collective=True)
+
+
+class TestGeometry:
+    def test_totals(self):
+        config = IorConfig(
+            num_tasks=4, block_size="1M", transfer_size="256K",
+            segment_count=3,
+        )
+        assert config.bytes_per_task == 3 << 20
+        assert config.total_bytes == 12 << 20
+
+    def test_rank_offsets_segmented_layout(self):
+        # IOR layout: segment s holds rank r's block at (s*N + r)*B.
+        config = IorConfig(
+            num_tasks=3, block_size=100, transfer_size=100, segment_count=2
+        )
+        assert config.rank_offsets(0) == [0, 300]
+        assert config.rank_offsets(1) == [100, 400]
+        assert config.rank_offsets(2) == [200, 500]
+
+    def test_rank_offsets_multiple_transfers(self):
+        config = IorConfig(
+            num_tasks=2, block_size=100, transfer_size=50, segment_count=1
+        )
+        assert config.rank_offsets(0) == [0, 50]
+        assert config.rank_offsets(1) == [100, 150]
+
+    def test_offsets_tile_file_exactly(self):
+        config = IorConfig(
+            num_tasks=4, block_size=64, transfer_size=32, segment_count=3
+        )
+        all_offsets = sorted(
+            off for r in range(4) for off in config.rank_offsets(r)
+        )
+        assert all_offsets == list(range(0, config.total_bytes, 32))

@@ -1,0 +1,47 @@
+"""Tests for IOR result containers and table formatting."""
+
+from repro.ior import IorConfig
+from repro.ior.report import IorPoint, IorResult, format_results_table
+
+
+def test_ior_result_max():
+    result = IorResult(config=IorConfig())
+    for value in (10.0, 30.0, 20.0):
+        result.write_bw.add(value)
+    assert result.max_write_bw == 30.0
+    assert result.max_read_bw is None
+
+
+def test_ior_result_read():
+    result = IorResult(config=IorConfig(read_back=True))
+    result.read_bw.add(5.0)
+    assert result.max_read_bw == 5.0
+
+
+def test_ior_point_label():
+    point = IorPoint(api="lsmio", num_tasks=8, transfer_size=65536,
+                     write_bw=1.0)
+    assert point.label == "lsmio/64K"
+
+
+def test_format_results_table():
+    table = format_results_table(
+        "Figure X",
+        [4, 48],
+        {"ior/64K": [400 * 2**20, 80 * 2**20],
+         "lsmio/64K": [300 * 2**20, None]},
+    )
+    assert "Figure X" in table
+    assert "400.0" in table
+    assert "80.0" in table
+    assert "-" in table          # None renders as a dash
+    assert "ior/64K" in table
+    lines = table.splitlines()
+    assert lines[1].startswith("=")
+
+
+def test_format_table_sorts_labels():
+    table = format_results_table(
+        "t", [1], {"zzz": [1.0], "aaa": [2.0]}
+    )
+    assert table.index("aaa") < table.index("zzz")

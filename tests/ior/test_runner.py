@@ -1,0 +1,140 @@
+"""Tests for the IOR clone: all APIs, protocol, reporting."""
+
+import pytest
+
+from repro.ior import IorConfig, run_ior
+from repro.ior.runner import available_apis
+from repro.pfs.configs import small_test_cluster
+
+
+def small_config(api, **kwargs):
+    defaults = dict(
+        api=api,
+        num_tasks=3,
+        block_size="64K",
+        transfer_size="64K",
+        segment_count=4,
+        stripe_count=2,
+        stripe_size="64K",
+    )
+    defaults.update(kwargs)
+    return IorConfig(**defaults)
+
+
+class TestAllApis:
+    @pytest.mark.parametrize("api", available_apis())
+    def test_write_produces_bandwidth(self, api):
+        result = run_ior(small_config(api), small_test_cluster())
+        assert result.max_write_bw > 0
+
+    @pytest.mark.parametrize("api", available_apis())
+    def test_read_back(self, api):
+        result = run_ior(
+            small_config(api, read_back=True), small_test_cluster()
+        )
+        assert result.max_read_bw is not None
+        assert result.max_read_bw > 0
+
+    @pytest.mark.parametrize("api", ["posix", "hdf5"])
+    def test_collective_modes(self, api):
+        result = run_ior(
+            small_config(api, collective=True, read_back=True),
+            small_test_cluster(),
+        )
+        assert result.max_write_bw > 0
+        assert result.max_read_bw > 0
+
+    def test_file_per_process(self):
+        result = run_ior(
+            small_config("posix", file_per_process=True, read_back=True),
+            small_test_cluster(),
+        )
+        assert result.max_write_bw > 0
+
+
+class TestProtocol:
+    def test_repetitions_counted(self):
+        config = small_config("posix", repetitions=3)
+        result = run_ior(config, small_test_cluster())
+        assert len(result.write_bw) == 3
+
+    def test_max_of_reps_is_reported(self):
+        config = small_config("posix", repetitions=3)
+        result = run_ior(config, small_test_cluster(client_jitter=1e-3))
+        assert result.max_write_bw == max(result.write_bw.samples)
+
+    def test_jittered_reps_vary(self):
+        config = small_config("posix", num_tasks=3, repetitions=3)
+        result = run_ior(config, small_test_cluster(client_jitter=2e-3))
+        assert len(set(result.write_bw.samples)) > 1
+
+    def test_zero_jitter_reps_identical(self):
+        config = small_config("posix", repetitions=2)
+        result = run_ior(config, small_test_cluster(client_jitter=0.0))
+        a, b = result.write_bw.samples
+        assert a == b
+
+    def test_deterministic_across_calls(self):
+        config = small_config("lsmio")
+        r1 = run_ior(config, small_test_cluster())
+        r2 = run_ior(config, small_test_cluster())
+        assert r1.max_write_bw == r2.max_write_bw
+
+    def test_no_read_without_read_back(self):
+        result = run_ior(small_config("posix"), small_test_cluster())
+        assert result.max_read_bw is None
+
+    def test_bandwidth_accounting(self):
+        # bandwidth * time == total bytes, by construction.
+        config = small_config("posix")
+        result = run_ior(config, small_test_cluster())
+        assert config.total_bytes == 3 * 4 * 65536
+
+
+class TestLsmioModes:
+    def test_engine_params_forwarded(self):
+        config = small_config(
+            "lsmio", engine_params={"enable_wal": True}
+        )
+        result = run_ior(config, small_test_cluster())
+        assert result.max_write_bw > 0
+
+    def test_collective_group_mode(self):
+        config = small_config(
+            "lsmio",
+            num_tasks=4,
+            engine_params={"collective_group_size": 2},
+            read_back=True,
+        )
+        result = run_ior(config, small_test_cluster())
+        assert result.max_write_bw > 0
+        assert result.max_read_bw > 0
+
+    def test_wal_slows_lsmio(self):
+        base = run_ior(small_config("lsmio"), small_test_cluster())
+        waled = run_ior(
+            small_config("lsmio", engine_params={"enable_wal": True}),
+            small_test_cluster(),
+        )
+        assert waled.max_write_bw < base.max_write_bw
+
+
+class TestShapeOnSmallCluster:
+    """Coarse orderings should already hold on the tiny test cluster."""
+
+    def test_lsmio_beats_shared_file_at_contention(self):
+        # Enough volume that fixed open/metadata costs amortize.
+        kwargs = dict(num_tasks=6, segment_count=32)
+        posix = run_ior(small_config("posix", **kwargs), small_test_cluster())
+        lsmio = run_ior(small_config("lsmio", **kwargs), small_test_cluster())
+        assert lsmio.max_write_bw > posix.max_write_bw
+
+    def test_hdf5_slowest_writer(self):
+        kwargs = dict(num_tasks=4, segment_count=8)
+        cluster = small_test_cluster()
+        results = {
+            api: run_ior(small_config(api, **kwargs), cluster).max_write_bw
+            for api in ("posix", "hdf5", "lsmio")
+        }
+        assert results["hdf5"] < results["posix"]
+        assert results["hdf5"] < results["lsmio"]

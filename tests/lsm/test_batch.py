@@ -1,0 +1,112 @@
+"""Tests for WriteBatch serialization (WAL payload format)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CorruptionError
+from repro.lsm.batch import WriteBatch
+from repro.lsm.dbformat import ValueType
+
+
+def test_empty_batch():
+    batch = WriteBatch()
+    assert len(batch) == 0
+    data = batch.serialize(1)
+    restored, seq = WriteBatch.deserialize(data)
+    assert len(restored) == 0
+    assert seq == 1
+
+
+def test_put_merge_delete_ops_in_order():
+    batch = WriteBatch()
+    batch.put(b"a", b"1")
+    batch.merge(b"b", b"2")
+    batch.delete(b"c")
+    ops = list(batch.items())
+    assert ops == [
+        (ValueType.VALUE, b"a", b"1"),
+        (ValueType.MERGE, b"b", b"2"),
+        (ValueType.DELETE, b"c", b""),
+    ]
+
+
+def test_serialize_roundtrip():
+    batch = WriteBatch()
+    batch.put(b"key", b"value")
+    batch.delete(b"gone")
+    batch.merge(b"stream", b"chunk")
+    restored, seq = WriteBatch.deserialize(batch.serialize(42))
+    assert seq == 42
+    assert list(restored.items()) == list(batch.items())
+
+
+def test_clear():
+    batch = WriteBatch()
+    batch.put(b"a", b"1")
+    batch.clear()
+    assert len(batch) == 0
+
+
+def test_approximate_size_grows():
+    batch = WriteBatch()
+    empty = batch.approximate_size
+    batch.put(b"key", b"x" * 1000)
+    assert batch.approximate_size >= empty + 1000
+
+
+def test_deserialize_garbage_raises():
+    with pytest.raises(CorruptionError):
+        WriteBatch.deserialize(b"short")
+
+
+def test_deserialize_truncated_value_raises():
+    batch = WriteBatch()
+    batch.put(b"key", b"value")
+    data = batch.serialize(1)
+    with pytest.raises(CorruptionError):
+        WriteBatch.deserialize(data[:-2])
+
+
+def test_deserialize_trailing_bytes_raises():
+    batch = WriteBatch()
+    batch.put(b"k", b"v")
+    with pytest.raises(CorruptionError):
+        WriteBatch.deserialize(batch.serialize(1) + b"x")
+
+
+def test_deserialize_bad_type_raises():
+    batch = WriteBatch()
+    batch.put(b"k", b"v")
+    data = bytearray(batch.serialize(1))
+    data[12] = 77  # corrupt the op type byte
+    with pytest.raises(CorruptionError):
+        WriteBatch.deserialize(bytes(data))
+
+
+def test_binary_safe_keys_and_values():
+    batch = WriteBatch()
+    batch.put(b"\x00\xff\x00", bytes(range(256)))
+    restored, _ = WriteBatch.deserialize(batch.serialize(1))
+    assert list(restored.items())[0] == (
+        ValueType.VALUE,
+        b"\x00\xff\x00",
+        bytes(range(256)),
+    )
+
+
+_op = st.tuples(
+    st.sampled_from(["put", "merge", "delete"]),
+    st.binary(min_size=1, max_size=24),
+    st.binary(max_size=64),
+)
+
+
+@given(st.lists(_op, max_size=40), st.integers(min_value=0, max_value=1 << 50))
+def test_roundtrip_property(ops, seq):
+    batch = WriteBatch()
+    for kind, key, value in ops:
+        getattr(batch, kind)(*((key,) if kind == "delete" else (key, value)))
+    restored, got_seq = WriteBatch.deserialize(batch.serialize(seq))
+    assert got_seq == seq
+    assert list(restored.items()) == list(batch.items())

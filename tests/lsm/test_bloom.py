@@ -1,0 +1,66 @@
+"""Tests for the bloom filter: no false negatives, bounded false positives."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsm.bloom import BloomFilter
+
+
+class TestBloomBasics:
+    def test_empty_filter_rejects_everything(self):
+        # An empty table contains no keys, so "definitely absent" is the
+        # correct (and cheapest) answer for every probe.
+        bloom = BloomFilter.build([])
+        assert not bloom.may_contain(b"anything")
+
+    def test_inserted_keys_always_found(self):
+        keys = [f"key-{i}".encode() for i in range(500)]
+        bloom = BloomFilter.build(keys)
+        for key in keys:
+            assert bloom.may_contain(key)
+
+    def test_false_positive_rate_reasonable(self):
+        keys = [f"present-{i}".encode() for i in range(2000)]
+        bloom = BloomFilter.build(keys, bits_per_key=10)
+        false_positives = sum(
+            bloom.may_contain(f"absent-{i}".encode()) for i in range(2000)
+        )
+        # 10 bits/key gives ~1% theoretical FPR; allow generous slack.
+        assert false_positives < 120
+
+    def test_more_bits_fewer_false_positives(self):
+        keys = [f"k{i}".encode() for i in range(1000)]
+        small = BloomFilter.build(keys, bits_per_key=4)
+        large = BloomFilter.build(keys, bits_per_key=16)
+        probes = [f"absent{i}".encode() for i in range(3000)]
+        fp_small = sum(small.may_contain(p) for p in probes)
+        fp_large = sum(large.may_contain(p) for p in probes)
+        assert fp_large <= fp_small
+
+    def test_encode_decode_roundtrip(self):
+        keys = [b"a", b"b", b"c"]
+        bloom = BloomFilter.build(keys)
+        decoded = BloomFilter.decode(bloom.encode())
+        assert decoded.num_probes == bloom.num_probes
+        for key in keys:
+            assert decoded.may_contain(key)
+
+    def test_decode_empty(self):
+        bloom = BloomFilter.decode(b"")
+        assert bloom.may_contain(b"x")
+
+    def test_probe_count_scales_with_bits(self):
+        assert BloomFilter.build([b"k"], bits_per_key=10).num_probes == 7
+        assert BloomFilter.build([b"k"], bits_per_key=4).num_probes == 3
+
+    @settings(max_examples=30)
+    @given(st.sets(st.binary(min_size=1, max_size=24), min_size=1, max_size=100))
+    def test_no_false_negatives_property(self, keys):
+        bloom = BloomFilter.build(sorted(keys))
+        assert all(bloom.may_contain(k) for k in keys)
+
+    @settings(max_examples=30)
+    @given(st.sets(st.binary(min_size=1, max_size=24), min_size=1, max_size=50))
+    def test_roundtrip_preserves_membership_property(self, keys):
+        bloom = BloomFilter.decode(BloomFilter.build(sorted(keys)).encode())
+        assert all(bloom.may_contain(k) for k in keys)

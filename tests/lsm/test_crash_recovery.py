@@ -1,0 +1,116 @@
+"""Crash-recovery property tests: arbitrary truncation never corrupts.
+
+The WAL's framing guarantees that any crash (modeled as truncating the
+log at an arbitrary byte) yields a clean *prefix* of the written records
+— never garbage, never reordering.  The DB-level test extends that to
+full recovery: after a truncated-WAL restart, the database state equals
+some prefix of the applied operations.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotFoundError
+from repro.lsm import DB, MemEnv, Options
+from repro.lsm.env import MemEnv as _MemEnv
+from repro.lsm.options import ChecksumType
+from repro.lsm.wal import LogReader, LogWriter
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.binary(min_size=1, max_size=2000), min_size=1, max_size=10),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_truncated_wal_yields_clean_prefix(records, cut_fraction):
+    env = _MemEnv()
+    writer = LogWriter(env.new_writable_file("wal"))
+    for record in records:
+        writer.add_record(record)
+    writer.close()
+
+    data = env._files["wal"].data  # noqa: SLF001
+    cut = int(len(data) * cut_fraction)
+    env._files["wal"].data = data[:cut]  # noqa: SLF001
+
+    reader = LogReader(env.new_sequential_file("wal"))
+    recovered = list(reader)
+    reader.close()
+
+    assert recovered == records[: len(recovered)]  # a clean prefix
+    # and nothing fabricated:
+    assert len(recovered) <= len(records)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.binary(min_size=1, max_size=500), min_size=1, max_size=8),
+    st.integers(min_value=0, max_value=10_000),
+    st.sampled_from([ChecksumType.ZLIB_CRC32, ChecksumType.CRC32C]),
+)
+def test_bitflip_never_yields_garbage(records, flip_at, checksum):
+    env = _MemEnv()
+    writer = LogWriter(env.new_writable_file("wal"), checksum=checksum)
+    for record in records:
+        writer.add_record(record)
+    writer.close()
+
+    data = env._files["wal"].data  # noqa: SLF001
+    if len(data):
+        data[flip_at % len(data)] ^= 0xA5
+
+    reader = LogReader(env.new_sequential_file("wal"), checksum=checksum)
+    recovered = list(reader)
+    reader.close()
+    # Recovery may stop early, but every record it does return must be
+    # one of the originals, in order (the flipped one is dropped, not
+    # mangled — unless the flip cancels in the payload AND the CRC,
+    # which a 1-byte flip cannot do).
+    index = 0
+    for item in recovered:
+        while index < len(records) and records[index] != item:
+            index += 1
+        assert index < len(records), "recovered a record never written"
+        index += 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=7),   # key id
+            st.binary(min_size=1, max_size=100),     # value
+        ),
+        min_size=1,
+        max_size=25,
+    ),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_db_recovery_is_an_operation_prefix(ops, cut_fraction):
+    env = MemEnv()
+    options = Options(write_buffer_size="1M")  # no flush: WAL is the record
+    db = DB.open("db", options, env=env)
+    for key_id, value in ops:
+        db.put(f"k{key_id}".encode(), value)
+    db._wal.sync()  # noqa: SLF001 — bytes reach the "OS"; then we crash
+    env.unlock_file(db._db_lock_token)  # noqa: SLF001 — process death
+    wal_name = [n for n in env.get_children("db") if n.endswith(".log")][0]
+    del db
+
+    # Crash: truncate the WAL at an arbitrary point.
+    data = env._files[f"db/{wal_name}"].data  # noqa: SLF001
+    cut = int(len(data) * cut_fraction)
+    env._files[f"db/{wal_name}"].data = data[:cut]  # noqa: SLF001
+
+    recovered = DB.open("db", options, env=env)
+    state = dict(recovered.iterate())
+    recovered.close()
+
+    # The state must equal replaying some prefix of the operations.
+    prefix_states = []
+    model: dict[bytes, bytes] = {}
+    prefix_states.append(dict(model))
+    for key_id, value in ops:
+        model[f"k{key_id}".encode()] = value
+        prefix_states.append(dict(model))
+    assert state in prefix_states

@@ -1,0 +1,60 @@
+"""Tests for the LOCK file: one live handle per database directory."""
+
+import pytest
+
+from repro.errors import StorageIOError
+from repro.lsm import DB, MemEnv, Options
+
+
+class TestMemEnvLock:
+    def test_second_open_rejected(self):
+        env = MemEnv()
+        db = DB.open("db", Options(), env=env)
+        with pytest.raises(StorageIOError):
+            DB.open("db", Options(), env=env)
+        db.close()
+
+    def test_reopen_after_close(self):
+        env = MemEnv()
+        DB.open("db", Options(), env=env).close()
+        db = DB.open("db", Options(), env=env)
+        db.close()
+
+    def test_distinct_directories_independent(self):
+        env = MemEnv()
+        a = DB.open("a", Options(), env=env)
+        b = DB.open("b", Options(), env=env)
+        a.close()
+        b.close()
+
+
+class TestLocalFsLock:
+    def test_second_open_rejected(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = DB.open(path, Options())
+        with pytest.raises(StorageIOError):
+            DB.open(path, Options())
+        db.close()
+
+    def test_lock_file_created_and_removed(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = DB.open(path, Options())
+        assert (tmp_path / "db" / "LOCK").exists()
+        db.close()
+        assert not (tmp_path / "db" / "LOCK").exists()
+
+    def test_stale_lock_from_dead_process_broken(self, tmp_path):
+        path = str(tmp_path / "db")
+        DB.open(path, Options()).close()
+        # A crashed process left a LOCK naming a PID that no longer runs.
+        (tmp_path / "db" / "LOCK").write_text("999999999")
+        db = DB.open(path, Options())  # must break the stale lock
+        db.put(b"k", b"v")
+        db.close()
+
+    def test_garbage_lock_file_broken(self, tmp_path):
+        path = str(tmp_path / "db")
+        DB.open(path, Options()).close()
+        (tmp_path / "db" / "LOCK").write_text("not-a-pid")
+        db = DB.open(path, Options())
+        db.close()

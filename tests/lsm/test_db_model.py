@@ -1,0 +1,128 @@
+"""Property-based model test: the DB must behave like a dict with appends.
+
+The hypothesis stateful machine drives put/append/delete/flush/compact/
+reopen against an in-memory model and checks every lookup and scan.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.errors import NotFoundError
+from repro.lsm import DB, MemEnv, Options
+
+KEYS = st.sampled_from([f"key{i}".encode() for i in range(12)])
+VALUES = st.binary(max_size=48)
+
+
+class DBModelMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.env = MemEnv()
+        self.options = Options(
+            write_buffer_size="2K",
+            level0_file_num_compaction_trigger=3,
+        )
+        self.db = DB.open("db", self.options, env=self.env)
+        self.model: dict[bytes, bytes] = {}
+
+    keys = Bundle("keys")
+
+    @rule(target=keys, key=KEYS)
+    def add_key(self, key):
+        return key
+
+    @rule(key=keys, value=VALUES)
+    def put(self, key, value):
+        self.db.put(key, value)
+        self.model[key] = value
+
+    @rule(key=keys, value=VALUES)
+    def append(self, key, value):
+        self.db.append(key, value)
+        self.model[key] = self.model.get(key, b"") + value
+
+    @rule(key=keys)
+    def delete(self, key):
+        self.db.delete(key)
+        self.model.pop(key, None)
+
+    @rule()
+    def flush(self):
+        self.db.flush()
+
+    @rule()
+    def compact(self):
+        self.db.compact_range()
+
+    @rule()
+    def reopen(self):
+        self.db.close()
+        self.db = DB.open("db", self.options, env=self.env)
+
+    @rule(key=keys)
+    def check_get(self, key):
+        if key in self.model:
+            assert self.db.get(key) == self.model[key]
+        else:
+            try:
+                self.db.get(key)
+                raise AssertionError(f"{key!r} should be absent")
+            except NotFoundError:
+                pass
+
+    @invariant()
+    def scan_matches_model(self):
+        assert dict(self.db.iterate()) == self.model
+
+    def teardown(self):
+        self.db.close()
+
+
+TestDBModel = DBModelMachine.TestCase
+TestDBModel.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+
+
+def test_model_quick_deterministic():
+    """A fixed interleaving exercising every transition at least once."""
+    env = MemEnv()
+    options = Options(write_buffer_size="1K", level0_file_num_compaction_trigger=2)
+    db = DB.open("db", options, env=env)
+    model: dict[bytes, bytes] = {}
+
+    def put(k, v):
+        db.put(k, v)
+        model[k] = v
+
+    def append(k, v):
+        db.append(k, v)
+        model[k] = model.get(k, b"") + v
+
+    def delete(k):
+        db.delete(k)
+        model.pop(k, None)
+
+    for i in range(40):
+        put(f"k{i % 7}".encode(), bytes([i]) * (i % 50))
+        if i % 3 == 0:
+            append(f"k{i % 5}".encode(), b"+")
+        if i % 11 == 0:
+            delete(f"k{i % 7}".encode())
+        if i % 13 == 0:
+            db.flush()
+        if i % 17 == 0:
+            db.compact_range()
+        if i % 19 == 0:
+            db.close()
+            db = DB.open("db", options, env=env)
+    assert dict(db.iterate()) == model
+    for key, value in model.items():
+        assert db.get(key) == value
+    db.close()

@@ -1,0 +1,179 @@
+"""Tests for merging iteration and user-entry resolution."""
+
+from repro.lsm.dbformat import ValueType, encode_internal_key
+from repro.lsm.iterator import (
+    MergingIterator,
+    collapse_internal_entries,
+    resolve_user_entries,
+)
+
+
+def ik(user_key, seq, vtype=ValueType.VALUE):
+    return encode_internal_key(user_key, seq, vtype)
+
+
+class TestMergingIterator:
+    def test_empty(self):
+        assert list(MergingIterator([])) == []
+        assert list(MergingIterator([iter([]), iter([])])) == []
+
+    def test_single_stream_passthrough(self):
+        stream = [(ik(b"a", 1), b"1"), (ik(b"b", 2), b"2")]
+        assert list(MergingIterator([iter(stream)])) == stream
+
+    def test_interleaves_by_user_key(self):
+        s1 = [(ik(b"a", 1), b"")]
+        s2 = [(ik(b"b", 2), b"")]
+        s3 = [(ik(b"aa", 3), b"")]
+        merged = [k[:-8] for k, _ in MergingIterator([iter(s1), iter(s2), iter(s3)])]
+        assert merged == [b"a", b"aa", b"b"]
+
+    def test_newer_version_first_within_key(self):
+        s1 = [(ik(b"k", 5), b"older")]
+        s2 = [(ik(b"k", 9), b"newer")]
+        values = [v for _, v in MergingIterator([iter(s1), iter(s2)])]
+        assert values == [b"newer", b"older"]
+
+    def test_large_merge_is_sorted(self):
+        streams = []
+        expected = []
+        for start in range(5):
+            entries = [
+                (ik(f"key{start}{i:03d}".encode(), 1), b"")
+                for i in range(100)
+            ]
+            streams.append(iter(entries))
+            expected.extend(entries)
+        result = list(MergingIterator(streams))
+        assert sorted(k for k, _ in expected) == [k for k, _ in result]
+
+
+class TestResolveUserEntries:
+    def run(self, entries, **kwargs):
+        return list(resolve_user_entries(iter(entries), **kwargs))
+
+    def test_simple_values(self):
+        out = self.run([(ik(b"a", 1), b"1"), (ik(b"b", 2), b"2")])
+        assert out == [(b"a", b"1"), (b"b", b"2")]
+
+    def test_newest_value_shadows(self):
+        out = self.run([(ik(b"k", 9), b"new"), (ik(b"k", 1), b"old")])
+        assert out == [(b"k", b"new")]
+
+    def test_tombstone_hides_key(self):
+        out = self.run(
+            [(ik(b"k", 9, ValueType.DELETE), b""), (ik(b"k", 1), b"old")]
+        )
+        assert out == []
+
+    def test_merge_chain_applied(self):
+        out = self.run(
+            [
+                (ik(b"k", 9, ValueType.MERGE), b"-c"),
+                (ik(b"k", 5, ValueType.MERGE), b"-b"),
+                (ik(b"k", 1), b"a"),
+            ]
+        )
+        assert out == [(b"k", b"a-b-c")]
+
+    def test_merge_without_base(self):
+        out = self.run([(ik(b"k", 2, ValueType.MERGE), b"x")])
+        assert out == [(b"k", b"x")]
+
+    def test_merge_after_delete(self):
+        out = self.run(
+            [
+                (ik(b"k", 9, ValueType.MERGE), b"fresh"),
+                (ik(b"k", 5, ValueType.DELETE), b""),
+                (ik(b"k", 1), b"buried"),
+            ]
+        )
+        assert out == [(b"k", b"fresh")]
+
+    def test_stop_after_user_key(self):
+        entries = [(ik(b"a", 1), b"1"), (ik(b"b", 2), b"2"), (ik(b"c", 3), b"3")]
+        out = self.run(entries, stop_after_user_key=b"b")
+        assert out == [(b"a", b"1"), (b"b", b"2")]
+
+    def test_empty(self):
+        assert self.run([]) == []
+
+
+class TestCollapseInternalEntries:
+    def run(self, entries, drop):
+        return list(collapse_internal_entries(iter(entries), drop_tombstones=drop))
+
+    def test_value_kept(self):
+        out = self.run([(ik(b"k", 5), b"v")], drop=False)
+        assert out == [(b"k", 5, b"v", ValueType.VALUE)]
+
+    def test_tombstone_kept_above_bottom(self):
+        out = self.run([(ik(b"k", 5, ValueType.DELETE), b"")], drop=False)
+        assert out == [(b"k", 5, b"", ValueType.DELETE)]
+
+    def test_tombstone_dropped_at_bottom(self):
+        out = self.run([(ik(b"k", 5, ValueType.DELETE), b"")], drop=True)
+        assert out == []
+
+    def test_shadowed_versions_removed(self):
+        out = self.run(
+            [(ik(b"k", 9), b"new"), (ik(b"k", 1), b"old")], drop=True
+        )
+        assert out == [(b"k", 9, b"new", ValueType.VALUE)]
+
+    def test_merge_chain_folded_onto_base(self):
+        out = self.run(
+            [
+                (ik(b"k", 9, ValueType.MERGE), b"-b"),
+                (ik(b"k", 5), b"a"),
+            ],
+            drop=False,
+        )
+        assert out == [(b"k", 9, b"a-b", ValueType.VALUE)]
+
+    def test_pure_merge_chain_stays_merge_above_bottom(self):
+        # Without a base in the inputs, the collapsed chain must remain a
+        # MERGE operand so a deeper base keeps its effect.
+        out = self.run(
+            [
+                (ik(b"k", 9, ValueType.MERGE), b"2"),
+                (ik(b"k", 5, ValueType.MERGE), b"1"),
+            ],
+            drop=False,
+        )
+        assert out == [(b"k", 9, b"12", ValueType.MERGE)]
+
+    def test_pure_merge_chain_becomes_value_at_bottom(self):
+        out = self.run(
+            [
+                (ik(b"k", 9, ValueType.MERGE), b"2"),
+                (ik(b"k", 5, ValueType.MERGE), b"1"),
+            ],
+            drop=True,
+        )
+        assert out == [(b"k", 9, b"12", ValueType.VALUE)]
+
+    def test_merge_after_delete_collapses_to_value(self):
+        out = self.run(
+            [
+                (ik(b"k", 9, ValueType.MERGE), b"x"),
+                (ik(b"k", 5, ValueType.DELETE), b""),
+                (ik(b"k", 1), b"buried"),
+            ],
+            drop=False,
+        )
+        assert out == [(b"k", 9, b"x", ValueType.VALUE)]
+
+    def test_multiple_keys(self):
+        out = self.run(
+            [
+                (ik(b"a", 3), b"va"),
+                (ik(b"b", 2, ValueType.DELETE), b""),
+                (ik(b"c", 1), b"vc"),
+            ],
+            drop=True,
+        )
+        assert out == [
+            (b"a", 3, b"va", ValueType.VALUE),
+            (b"c", 1, b"vc", ValueType.VALUE),
+        ]

@@ -1,0 +1,191 @@
+"""Tests for version edits, the version set, and manifest recovery."""
+
+import pytest
+
+from repro.errors import CorruptionError
+from repro.lsm.dbformat import ValueType, encode_internal_key
+from repro.lsm.env import MemEnv
+from repro.lsm.manifest import FileMetaData, Version, VersionEdit, VersionSet
+
+
+def meta(number, lo=b"a", hi=b"z", size=100):
+    return FileMetaData(
+        number=number,
+        file_size=size,
+        smallest=encode_internal_key(lo, 1, ValueType.VALUE),
+        largest=encode_internal_key(hi, 1, ValueType.VALUE),
+    )
+
+
+class TestFileMetaData:
+    def test_user_key_bounds(self):
+        m = meta(1, b"abc", b"xyz")
+        assert m.smallest_user_key == b"abc"
+        assert m.largest_user_key == b"xyz"
+
+    def test_overlap(self):
+        m = meta(1, b"c", b"f")
+        assert m.overlaps_user_range(b"a", b"d")
+        assert m.overlaps_user_range(b"d", b"e")
+        assert m.overlaps_user_range(b"f", b"z")
+        assert not m.overlaps_user_range(b"a", b"b")
+        assert not m.overlaps_user_range(b"g", b"z")
+
+    def test_json_roundtrip(self):
+        m = meta(7, b"\x00binary", b"\xffkeys")
+        assert FileMetaData.from_json(m.to_json()) == m
+
+
+class TestVersionEdit:
+    def test_json_roundtrip_full(self):
+        edit = VersionEdit(
+            comparator="cmp",
+            log_number=3,
+            next_file_number=9,
+            last_sequence=100,
+        )
+        edit.add_file(0, meta(5))
+        edit.delete_file(1, 2)
+        restored = VersionEdit.from_json(edit.to_json())
+        assert restored.comparator == "cmp"
+        assert restored.log_number == 3
+        assert restored.next_file_number == 9
+        assert restored.last_sequence == 100
+        assert restored.new_files == [(0, meta(5))]
+        assert restored.deleted_files == [(1, 2)]
+
+    def test_bad_json_raises(self):
+        with pytest.raises(CorruptionError):
+            VersionEdit.from_json("{not json")
+
+
+class TestVersion:
+    def test_level_accounting(self):
+        v = Version(7)
+        v.files[0] = [meta(1, size=10), meta(2, size=20)]
+        assert v.num_files(0) == 2
+        assert v.level_bytes(0) == 30
+        assert v.level_bytes(1) == 0
+
+    def test_files_for_get_l0_newest_first(self):
+        v = Version(7)
+        v.files[0] = [meta(1), meta(3), meta(2)]
+        order = [m.number for _, m in v.files_for_get(b"m")]
+        assert order == [3, 2, 1]
+
+    def test_files_for_get_skips_nonoverlapping(self):
+        v = Version(7)
+        v.files[0] = [meta(1, b"a", b"c")]
+        v.files[1] = [meta(2, b"d", b"f"), meta(3, b"g", b"j")]
+        hits = [m.number for _, m in v.files_for_get(b"e")]
+        assert hits == [2]
+
+    def test_files_for_get_one_per_deep_level(self):
+        v = Version(7)
+        v.files[1] = [meta(1, b"a", b"m"), meta(2, b"n", b"z")]
+        v.files[2] = [meta(3, b"a", b"z")]
+        hits = [m.number for _, m in v.files_for_get(b"p")]
+        assert hits == [2, 3]
+
+    def test_overlapping_files(self):
+        v = Version(7)
+        v.files[1] = [meta(1, b"a", b"c"), meta(2, b"d", b"f"), meta(3, b"g", b"i")]
+        overlap = v.overlapping_files(1, b"c", b"e")
+        assert [m.number for m in overlap] == [1, 2]
+
+
+class TestVersionSet:
+    def test_create_and_recover_empty(self):
+        env = MemEnv()
+        vs = VersionSet(env, "db", 7)
+        vs.create()
+        vs.close()
+        vs2 = VersionSet(env, "db", 7)
+        vs2.recover()
+        assert vs2.current.all_files() == []
+        assert vs2.next_file_number == vs.next_file_number
+
+    def test_log_and_apply_persists(self):
+        env = MemEnv()
+        vs = VersionSet(env, "db", 7)
+        vs.create()
+        edit = VersionEdit()
+        edit.add_file(0, meta(5))
+        vs.last_sequence = 33
+        vs.log_and_apply(edit)
+        vs.close()
+
+        vs2 = VersionSet(env, "db", 7)
+        vs2.recover()
+        assert [m.number for _, m in vs2.current.all_files()] == [5]
+        assert vs2.last_sequence == 33
+
+    def test_delete_file_applied(self):
+        env = MemEnv()
+        vs = VersionSet(env, "db", 7)
+        vs.create()
+        edit = VersionEdit()
+        edit.add_file(1, meta(5))
+        vs.log_and_apply(edit)
+        edit2 = VersionEdit()
+        edit2.delete_file(1, 5)
+        edit2.add_file(2, meta(6))
+        vs.log_and_apply(edit2)
+        assert vs.current.num_files(1) == 0
+        assert [m.number for m in vs.current.files[2]] == [6]
+
+    def test_levels_sorted_after_apply(self):
+        env = MemEnv()
+        vs = VersionSet(env, "db", 7)
+        vs.create()
+        edit = VersionEdit()
+        edit.add_file(1, meta(5, b"m", b"p"))
+        edit.add_file(1, meta(6, b"a", b"c"))
+        vs.log_and_apply(edit)
+        assert [m.number for m in vs.current.files[1]] == [6, 5]
+
+    def test_file_numbers_monotonic(self):
+        env = MemEnv()
+        vs = VersionSet(env, "db", 7)
+        vs.create()
+        a = vs.new_file_number()
+        b = vs.new_file_number()
+        assert b == a + 1
+
+    def test_recover_requires_current(self):
+        env = MemEnv()
+        vs = VersionSet(env, "db", 7)
+        with pytest.raises(Exception):
+            vs.recover()
+
+    def test_corrupt_current_raises(self):
+        env = MemEnv()
+        env.create_dir("db")
+        with env.new_writable_file("db/CURRENT") as fh:
+            fh.append(b"garbage\n")
+        vs = VersionSet(env, "db", 7)
+        with pytest.raises(CorruptionError):
+            vs.recover()
+
+    def test_live_file_numbers(self):
+        env = MemEnv()
+        vs = VersionSet(env, "db", 7)
+        vs.create()
+        edit = VersionEdit()
+        edit.add_file(0, meta(5))
+        edit.add_file(3, meta(9))
+        vs.log_and_apply(edit)
+        assert vs.live_file_numbers() == {5, 9}
+
+    def test_comparator_mismatch_raises(self):
+        env = MemEnv()
+        vs = VersionSet(env, "db", 7)
+        vs.create()
+        vs.close()
+        # Tamper with the stored comparator name.
+        data = bytes(env._files["db/MANIFEST-000001"].data)  # noqa: SLF001
+        data = data.replace(b"repro.lsm.internal-bytewise", b"something-else-xyz")
+        env._files["db/MANIFEST-000001"].data = bytearray(data)  # noqa: SLF001
+        vs2 = VersionSet(env, "db", 7)
+        with pytest.raises(CorruptionError):
+            vs2.recover()

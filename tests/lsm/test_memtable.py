@@ -1,0 +1,122 @@
+"""Tests for MemTable read semantics (value/delete/append chains)."""
+
+from repro.lsm.dbformat import ValueType, seek_key
+from repro.lsm.memtable import MemTable
+
+
+def test_empty_lookup_missing():
+    mem = MemTable()
+    assert mem.get(b"k").state == "missing"
+    assert len(mem) == 0
+
+
+def test_put_then_get():
+    mem = MemTable()
+    mem.add(1, ValueType.VALUE, b"k", b"v")
+    result = mem.get(b"k")
+    assert result.state == "found"
+    assert result.value == b"v"
+
+
+def test_newest_version_wins():
+    mem = MemTable()
+    mem.add(1, ValueType.VALUE, b"k", b"old")
+    mem.add(2, ValueType.VALUE, b"k", b"new")
+    assert mem.get(b"k").value == b"new"
+
+
+def test_delete_shadows_value():
+    mem = MemTable()
+    mem.add(1, ValueType.VALUE, b"k", b"v")
+    mem.add(2, ValueType.DELETE, b"k", b"")
+    assert mem.get(b"k").state == "deleted"
+
+
+def test_value_after_delete_visible():
+    mem = MemTable()
+    mem.add(1, ValueType.DELETE, b"k", b"")
+    mem.add(2, ValueType.VALUE, b"k", b"v2")
+    assert mem.get(b"k").value == b"v2"
+
+
+def test_append_chain_on_value():
+    mem = MemTable()
+    mem.add(1, ValueType.VALUE, b"k", b"base")
+    mem.add(2, ValueType.MERGE, b"k", b"-a")
+    mem.add(3, ValueType.MERGE, b"k", b"-b")
+    result = mem.get(b"k")
+    assert result.state == "found"
+    assert result.value == b"base-a-b"
+
+
+def test_append_without_base_returns_merge_state():
+    mem = MemTable()
+    mem.add(1, ValueType.MERGE, b"k", b"x")
+    mem.add(2, ValueType.MERGE, b"k", b"y")
+    result = mem.get(b"k")
+    assert result.state == "merge"
+    assert result.operands == [b"x", b"y"]  # oldest → newest
+
+
+def test_append_after_delete_starts_fresh():
+    mem = MemTable()
+    mem.add(1, ValueType.VALUE, b"k", b"gone")
+    mem.add(2, ValueType.DELETE, b"k", b"")
+    mem.add(3, ValueType.MERGE, b"k", b"new")
+    result = mem.get(b"k")
+    assert result.state == "found"
+    assert result.value == b"new"
+
+
+def test_lookup_does_not_bleed_across_user_keys():
+    mem = MemTable()
+    mem.add(1, ValueType.VALUE, b"ka", b"1")
+    mem.add(2, ValueType.VALUE, b"kb", b"2")
+    assert mem.get(b"ka").value == b"1"
+    assert mem.get(b"kb").value == b"2"
+    assert mem.get(b"k").state == "missing"
+
+
+def test_entries_sorted_by_internal_key():
+    mem = MemTable()
+    mem.add(1, ValueType.VALUE, b"b", b"")
+    mem.add(2, ValueType.VALUE, b"a", b"")
+    mem.add(3, ValueType.VALUE, b"a", b"")
+    ikeys = [ikey for ikey, _ in mem.entries()]
+    # user key "a" first; within "a", seq 3 (newer) before seq 2.
+    from repro.lsm.dbformat import decode_internal_key
+
+    parsed = [decode_internal_key(k) for k in ikeys]
+    assert [(p.user_key, p.sequence) for p in parsed] == [
+        (b"a", 3),
+        (b"a", 2),
+        (b"b", 1),
+    ]
+
+
+def test_seek_positions_at_internal_key():
+    mem = MemTable()
+    mem.add(1, ValueType.VALUE, b"a", b"1")
+    mem.add(2, ValueType.VALUE, b"c", b"3")
+    found = list(mem.seek(seek_key(b"b")))
+    assert len(found) == 1
+    assert found[0][1] == b"3"
+
+
+def test_memory_usage_grows():
+    mem = MemTable()
+    before = mem.approximate_memory_usage()
+    mem.add(1, ValueType.VALUE, b"key", b"x" * 1000)
+    assert mem.approximate_memory_usage() >= before + 1000
+
+
+def test_smallest_largest():
+    mem = MemTable()
+    assert mem.smallest_key() is None
+    mem.add(1, ValueType.VALUE, b"m", b"")
+    mem.add(2, ValueType.VALUE, b"a", b"")
+    mem.add(3, ValueType.VALUE, b"z", b"")
+    from repro.lsm.dbformat import internal_key_user_key
+
+    assert internal_key_user_key(mem.smallest_key()) == b"a"
+    assert internal_key_user_key(mem.largest_key()) == b"z"

@@ -1,0 +1,106 @@
+"""Unit + property tests for the skiplist underlying the memtable."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lsm.skiplist import SkipList
+
+
+class TestSkipListBasics:
+    def test_empty(self):
+        sl = SkipList()
+        assert len(sl) == 0
+        assert list(sl) == []
+        assert sl.first() is None
+        assert sl.last() is None
+
+    def test_insert_and_iterate_sorted(self):
+        sl = SkipList()
+        for key in [b"m", b"a", b"z", b"c"]:
+            sl.insert(key)
+        assert list(sl) == [b"a", b"c", b"m", b"z"]
+
+    def test_contains(self):
+        sl = SkipList()
+        sl.insert(b"k")
+        assert sl.contains(b"k")
+        assert not sl.contains(b"j")
+        assert not sl.contains(b"l")
+
+    def test_duplicate_rejected(self):
+        sl = SkipList()
+        sl.insert(b"k")
+        with pytest.raises(ValueError):
+            sl.insert(b"k")
+
+    def test_first_last(self):
+        sl = SkipList()
+        for key in [b"5", b"1", b"9"]:
+            sl.insert(key)
+        assert sl.first() == b"1"
+        assert sl.last() == b"9"
+
+    def test_seek_returns_suffix(self):
+        sl = SkipList()
+        for key in [b"a", b"c", b"e"]:
+            sl.insert(key)
+        assert list(sl.seek(b"b")) == [b"c", b"e"]
+        assert list(sl.seek(b"c")) == [b"c", b"e"]
+        assert list(sl.seek(b"f")) == []
+        assert list(sl.seek(b"")) == [b"a", b"c", b"e"]
+
+    def test_custom_less(self):
+        # Reverse ordering via custom comparator.
+        sl = SkipList(less=lambda a, b: a > b)
+        for key in [1, 3, 2]:
+            sl.insert(key)
+        assert list(sl) == [3, 2, 1]
+
+    def test_deterministic_given_seed(self):
+        def build(seed):
+            sl = SkipList(seed=seed)
+            for i in range(100):
+                sl.insert((i * 37) % 100)
+            return sl
+
+        a, b = build(7), build(7)
+        assert list(a) == list(b)
+
+    def test_large_insert_stays_sorted(self):
+        sl = SkipList(seed=3)
+        keys = [(i * 7919) % 10007 for i in range(5000)]
+        for key in keys:
+            sl.insert(key)
+        result = list(sl)
+        assert result == sorted(keys)
+        assert len(sl) == 5000
+
+
+class TestSkipListProperties:
+    @given(st.sets(st.binary(min_size=1, max_size=16), max_size=200))
+    def test_matches_sorted_set(self, keys):
+        sl = SkipList(seed=1)
+        for key in keys:
+            sl.insert(key)
+        assert list(sl) == sorted(keys)
+        assert len(sl) == len(keys)
+
+    @given(
+        st.sets(st.integers(min_value=0, max_value=1000), max_size=100),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_seek_matches_model(self, keys, probe):
+        sl = SkipList(seed=2)
+        for key in keys:
+            sl.insert(key)
+        expected = sorted(k for k in keys if k >= probe)
+        assert list(sl.seek(probe)) == expected
+
+    @given(st.sets(st.integers(), min_size=1, max_size=100))
+    def test_first_last_match_min_max(self, keys):
+        sl = SkipList(seed=4)
+        for key in keys:
+            sl.insert(key)
+        assert sl.first() == min(keys)
+        assert sl.last() == max(keys)

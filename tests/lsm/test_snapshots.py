@@ -1,0 +1,118 @@
+"""Tests for snapshots and multi_get (consistent checkpoint reads)."""
+
+import pytest
+
+from repro.errors import NotFoundError
+from repro.lsm import DB, MemEnv, Options, ReadOptions
+
+
+@pytest.fixture
+def db():
+    database = DB.open("db", Options(write_buffer_size="64K"), env=MemEnv())
+    yield database
+    database.close()
+
+
+class TestSnapshots:
+    def test_snapshot_pins_value(self, db):
+        db.put(b"k", b"old")
+        with db.snapshot() as snap:
+            db.put(b"k", b"new")
+            assert db.get(b"k") == b"new"
+            assert db.get(b"k", ReadOptions(snapshot=snap)) == b"old"
+
+    def test_snapshot_hides_later_inserts(self, db):
+        with db.snapshot() as snap:
+            db.put(b"later", b"v")
+            with pytest.raises(NotFoundError):
+                db.get(b"later", ReadOptions(snapshot=snap))
+
+    def test_snapshot_sees_earlier_delete_state(self, db):
+        db.put(b"k", b"v")
+        db.delete(b"k")
+        with db.snapshot() as snap:
+            db.put(b"k", b"reborn")
+            with pytest.raises(NotFoundError):
+                db.get(b"k", ReadOptions(snapshot=snap))
+
+    def test_snapshot_survives_flush(self, db):
+        db.put(b"k", b"before")
+        with db.snapshot() as snap:
+            db.put(b"k", b"after")
+            db.flush()
+            assert db.get(b"k", ReadOptions(snapshot=snap)) == b"before"
+
+    def test_snapshot_pins_append_chain(self, db):
+        db.append(b"s", b"a")
+        db.append(b"s", b"b")
+        with db.snapshot() as snap:
+            db.append(b"s", b"c")
+            assert db.get(b"s") == b"abc"
+            assert db.get(b"s", ReadOptions(snapshot=snap)) == b"ab"
+
+    def test_iterate_with_snapshot(self, db):
+        db.put(b"a", b"1")
+        with db.snapshot() as snap:
+            db.put(b"b", b"2")
+            db.put(b"a", b"updated")
+            assert dict(db.iterate()) == {b"a": b"updated", b"b": b"2"}
+            pinned = dict(db.iterate(read_options=ReadOptions(snapshot=snap)))
+            assert pinned == {b"a": b"1"}
+
+    def test_live_snapshot_defers_compaction(self):
+        db = DB.open(
+            "db",
+            Options(write_buffer_size="2K",
+                    level0_file_num_compaction_trigger=2),
+            env=MemEnv(),
+        )
+        snap = db.snapshot()
+        for i in range(50):
+            db.put(f"k{i:03d}".encode(), bytes(256))
+        db.flush()
+        l0_files, _ = db.approximate_level_shape()[0]
+        assert l0_files >= 2  # compaction deferred while snapshot lives
+        snap.release()
+        db.compact_range()
+        l0_after, _ = db.approximate_level_shape()[0]
+        assert l0_after < l0_files
+        db.close()
+
+    def test_release_idempotent(self, db):
+        snap = db.snapshot()
+        snap.release()
+        snap.release()
+
+
+class TestMultiGet:
+    def test_mixed_hits_and_misses(self, db):
+        db.put(b"a", b"1")
+        db.put(b"c", b"3")
+        out = db.multi_get([b"a", b"b", b"c"])
+        assert out == {b"a": b"1", b"b": None, b"c": b"3"}
+
+    def test_duplicates_collapsed(self, db):
+        db.put(b"k", b"v")
+        out = db.multi_get([b"k", b"k", b"k"])
+        assert out == {b"k": b"v"}
+
+    def test_empty(self, db):
+        assert db.multi_get([]) == {}
+
+    def test_with_snapshot(self, db):
+        db.put(b"k", b"old")
+        with db.snapshot() as snap:
+            db.put(b"k", b"new")
+            out = db.multi_get([b"k"], ReadOptions(snapshot=snap))
+            assert out == {b"k": b"old"}
+
+    def test_spans_levels(self):
+        db = DB.open("db", Options(write_buffer_size="4K"), env=MemEnv())
+        for i in range(100):
+            db.put(f"k{i:03d}".encode(), str(i).encode())
+        db.compact_range()
+        db.put(b"k000", b"fresh")
+        out = db.multi_get([f"k{i:03d}".encode() for i in range(0, 100, 10)])
+        assert out[b"k000"] == b"fresh"
+        assert out[b"k090"] == b"90"
+        db.close()

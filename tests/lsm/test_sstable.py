@@ -1,0 +1,271 @@
+"""Tests for the SSTable writer/reader: format, checksums, bloom, cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CorruptionError
+from repro.lsm.cache import LRUCache
+from repro.lsm.dbformat import ValueType, encode_internal_key, seek_key
+from repro.lsm.env import MemEnv
+from repro.lsm.options import ChecksumType, CompressionType, Options
+from repro.lsm.sstable import Table, TableBuilder
+
+
+def build_table(env, path, items, options=None):
+    """items: list of (user_key, seq, vtype, value), pre-sorted."""
+    options = options or Options()
+    dest = env.new_writable_file(path)
+    builder = TableBuilder(options, dest)
+    for user_key, seq, vtype, value in items:
+        builder.add(encode_internal_key(user_key, seq, vtype), value)
+    size = builder.finish()
+    dest.close()
+    return size, options
+
+
+def open_table(env, path, options, cache=None):
+    return Table(options, env.new_random_access_file(path), block_cache=cache)
+
+
+def simple_items(n, value_size=10):
+    return [
+        (f"key{i:05d}".encode(), 1, ValueType.VALUE, bytes(value_size))
+        for i in range(n)
+    ]
+
+
+class TestRoundtrip:
+    def test_empty_table(self):
+        env = MemEnv()
+        _, options = build_table(env, "t", [])
+        table = open_table(env, "t", options)
+        assert list(table) == []
+        assert table.properties["num_entries"] == 0
+
+    def test_single_entry(self):
+        env = MemEnv()
+        _, options = build_table(
+            env, "t", [(b"k", 7, ValueType.VALUE, b"value")]
+        )
+        table = open_table(env, "t", options)
+        entries = list(table)
+        assert len(entries) == 1
+        ikey, value = entries[0]
+        assert value == b"value"
+
+    def test_many_entries_in_order(self):
+        env = MemEnv()
+        items = simple_items(500)
+        _, options = build_table(env, "t", items)
+        table = open_table(env, "t", options)
+        values = [v for _, v in table]
+        assert len(values) == 500
+
+    def test_multi_block_table(self):
+        env = MemEnv()
+        options = Options(block_size=256)
+        items = simple_items(200, value_size=64)
+        build_table(env, "t", items, options)
+        table = open_table(env, "t", options)
+        assert table.properties["num_entries"] == 200
+        assert len(list(table)) == 200
+
+    def test_values_larger_than_block(self):
+        env = MemEnv()
+        options = Options(block_size=1024)
+        items = [
+            (b"big1", 1, ValueType.VALUE, bytes(range(256)) * 64),
+            (b"big2", 1, ValueType.VALUE, b"\x42" * 16384),
+        ]
+        build_table(env, "t", items, options)
+        table = open_table(env, "t", options)
+        got = {k[:-8]: v for k, v in table}
+        assert got[b"big1"] == bytes(range(256)) * 64
+        assert got[b"big2"] == b"\x42" * 16384
+
+    def test_properties_block(self):
+        env = MemEnv()
+        _, options = build_table(env, "t", simple_items(10))
+        table = open_table(env, "t", options)
+        props = table.properties
+        assert props["num_entries"] == 10
+        assert props["num_user_keys"] == 10
+        assert props["compression"] == "NONE"
+
+    def test_builder_tracks_bounds(self):
+        env = MemEnv()
+        options = Options()
+        dest = env.new_writable_file("t")
+        builder = TableBuilder(options, dest)
+        k1 = encode_internal_key(b"a", 1, ValueType.VALUE)
+        k2 = encode_internal_key(b"z", 2, ValueType.VALUE)
+        builder.add(k1, b"")
+        builder.add(k2, b"")
+        builder.finish()
+        assert builder.first_key == k1
+        assert builder.last_key == k2
+        assert builder.num_entries == 2
+
+    def test_double_finish_rejected(self):
+        env = MemEnv()
+        builder = TableBuilder(Options(), env.new_writable_file("t"))
+        builder.finish()
+        with pytest.raises(ValueError):
+            builder.finish()
+        with pytest.raises(ValueError):
+            builder.add(encode_internal_key(b"k", 1, ValueType.VALUE), b"")
+
+
+class TestSeek:
+    def test_seek_finds_exact_user_key(self):
+        env = MemEnv()
+        items = simple_items(100)
+        _, options = build_table(env, "t", items)
+        table = open_table(env, "t", options)
+        found = list(table.seek(seek_key(b"key00050")))
+        assert found[0][1] == bytes(10)
+        assert len(found) == 50
+
+    def test_seek_past_end(self):
+        env = MemEnv()
+        _, options = build_table(env, "t", simple_items(10))
+        table = open_table(env, "t", options)
+        assert list(table.seek(seek_key(b"zzz"))) == []
+
+    def test_seek_spans_blocks(self):
+        env = MemEnv()
+        options = Options(block_size=128)
+        items = simple_items(100, value_size=32)
+        build_table(env, "t", items, options)
+        table = open_table(env, "t", options)
+        found = list(table.seek(seek_key(b"key00090")))
+        assert len(found) == 10
+
+    def test_version_ordering_within_user_key(self):
+        env = MemEnv()
+        items = [
+            (b"k", 9, ValueType.VALUE, b"newest"),
+            (b"k", 5, ValueType.MERGE, b"middle"),
+            (b"k", 1, ValueType.VALUE, b"oldest"),
+        ]
+        _, options = build_table(env, "t", items)
+        table = open_table(env, "t", options)
+        values = [v for _, v in table.seek(seek_key(b"k"))]
+        assert values == [b"newest", b"middle", b"oldest"]
+
+
+class TestBloom:
+    def test_absent_key_usually_filtered(self):
+        env = MemEnv()
+        _, options = build_table(env, "t", simple_items(1000))
+        table = open_table(env, "t", options)
+        for key, _, _, _ in simple_items(1000):
+            assert table.may_contain(key)
+        misses = sum(
+            table.may_contain(f"absent{i}".encode()) for i in range(500)
+        )
+        assert misses < 50
+
+
+class TestChecksumAndCompression:
+    def test_corrupted_data_block_detected(self):
+        env = MemEnv()
+        options = Options(block_size=256)
+        build_table(env, "t", simple_items(100, value_size=64), options)
+        # Flip a byte early in the file (inside a data block).
+        env._files["t"].data[100] ^= 0xFF  # noqa: SLF001
+        table = open_table(env, "t", options)
+        with pytest.raises(CorruptionError):
+            list(table)
+
+    def test_bad_magic_rejected(self):
+        env = MemEnv()
+        build_table(env, "t", simple_items(5))
+        env._files["t"].data[-1] ^= 0xFF  # noqa: SLF001
+        with pytest.raises(CorruptionError):
+            open_table(env, "t", Options())
+
+    def test_truncated_file_rejected(self):
+        env = MemEnv()
+        env.new_writable_file("t").close()
+        with pytest.raises(CorruptionError):
+            open_table(env, "t", Options())
+
+    def test_zlib_compression_roundtrip(self):
+        env = MemEnv()
+        options = Options(compression=CompressionType.ZLIB, block_size=1024)
+        compressible = b"A" * 4096
+        items = [(b"k", 1, ValueType.VALUE, compressible)]
+        size, _ = build_table(env, "t", items, options)
+        assert size < len(compressible)  # compression actually applied
+        table = open_table(env, "t", options)
+        assert list(table)[0][1] == compressible
+
+    def test_incompressible_data_stored_raw(self):
+        env = MemEnv()
+        options = Options(compression=CompressionType.ZLIB)
+        import os
+
+        payload = os.urandom(2048)
+        build_table(env, "t", [(b"k", 1, ValueType.VALUE, payload)], options)
+        table = open_table(env, "t", options)
+        assert list(table)[0][1] == payload
+
+    def test_checksum_none_roundtrip(self):
+        env = MemEnv()
+        options = Options(checksum=ChecksumType.NONE)
+        build_table(env, "t", simple_items(20), options)
+        table = open_table(env, "t", options)
+        assert len(list(table)) == 20
+
+    def test_crc32c_roundtrip(self):
+        env = MemEnv()
+        options = Options(checksum=ChecksumType.CRC32C)
+        build_table(env, "t", simple_items(20), options)
+        table = open_table(env, "t", options)
+        assert len(list(table)) == 20
+
+
+class TestBlockCacheIntegration:
+    def test_cache_populated_on_read(self):
+        env = MemEnv()
+        options = Options(block_size=256)
+        build_table(env, "t", simple_items(100, value_size=32), options)
+        cache = LRUCache(1 << 20)
+        table = open_table(env, "t", options, cache=cache)
+        list(table)
+        assert len(cache) > 0
+
+    def test_cache_disabled_by_option(self):
+        env = MemEnv()
+        options = Options(block_size=256, enable_block_cache=False)
+        build_table(env, "t", simple_items(100, value_size=32), options)
+        cache = LRUCache(1 << 20)
+        table = open_table(env, "t", options, cache=cache)
+        list(table)
+        assert len(cache) == 0
+
+
+class TestPropertyBased:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.dictionaries(
+            st.binary(min_size=1, max_size=16),
+            st.binary(max_size=128),
+            min_size=1,
+            max_size=60,
+        ),
+        st.integers(min_value=64, max_value=2048),
+    )
+    def test_roundtrip_any_mapping(self, mapping, block_size):
+        env = MemEnv()
+        options = Options(block_size=block_size)
+        items = [
+            (key, 1, ValueType.VALUE, value)
+            for key, value in sorted(mapping.items())
+        ]
+        build_table(env, "t", items, options)
+        table = open_table(env, "t", options)
+        got = {k[:-8]: v for k, v in table}
+        assert got == mapping

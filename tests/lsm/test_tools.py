@@ -1,0 +1,129 @@
+"""Tests for the database inspection tools (verify/stats/dump)."""
+
+import pytest
+
+from repro.lsm import DB, MemEnv, Options
+from repro.lsm.tools import db_stats, dump_db, verify_db
+
+
+def build_db(env, n=100, **opts):
+    options = Options(write_buffer_size="4K", **opts)
+    db = DB.open("db", options, env=env)
+    for i in range(n):
+        db.put(f"key{i:04d}".encode(), bytes(128))
+    db.close()
+    return options
+
+
+class TestVerify:
+    def test_clean_db_verifies(self):
+        env = MemEnv()
+        options = build_db(env)
+        report = verify_db("db", options, env)
+        assert report.ok
+        assert report.tables
+        assert sum(t.entries for t in report.tables) >= 100
+        assert "OK" in report.summary()
+
+    def test_corrupt_block_detected(self):
+        env = MemEnv()
+        options = build_db(env)
+        sst = [n for n in env.get_children("db") if n.endswith(".sst")][0]
+        env._files[f"db/{sst}"].data[40] ^= 0xFF  # noqa: SLF001
+        report = verify_db("db", options, env)
+        assert not report.ok
+        assert any(t.errors for t in report.tables)
+        assert "CORRUPT" in report.summary()
+
+    def test_truncated_table_detected(self):
+        env = MemEnv()
+        options = build_db(env)
+        sst = [n for n in env.get_children("db") if n.endswith(".sst")][0]
+        data = env._files[f"db/{sst}"].data  # noqa: SLF001
+        del data[len(data) // 2:]
+        report = verify_db("db", options, env)
+        assert not report.ok
+
+    def test_missing_table_detected(self):
+        env = MemEnv()
+        options = build_db(env)
+        sst = [n for n in env.get_children("db") if n.endswith(".sst")][0]
+        env.delete_file(f"db/{sst}")
+        report = verify_db("db", options, env)
+        assert not report.ok
+
+    def test_missing_manifest_reported(self):
+        env = MemEnv()
+        env.create_dir("db")
+        report = verify_db("db", Options(), env)
+        assert not report.ok
+        assert report.manifest_errors
+
+    def test_orphan_files_reported(self):
+        env = MemEnv()
+        options = build_db(env)
+        with env.new_writable_file("db/999999.sst") as fh:
+            fh.append(b"stray bytes")
+        report = verify_db("db", options, env)
+        assert "999999.sst" in report.orphan_files
+
+
+class TestStats:
+    def test_stats_shape(self):
+        env = MemEnv()
+        options = build_db(env)
+        stats = db_stats("db", options, env)
+        assert stats["total_files"] >= 1
+        assert stats["total_bytes"] > 100 * 128
+        assert stats["last_sequence"] >= 100
+        assert all("level" in item for item in stats["levels"])
+
+
+class TestDump:
+    def test_dump_all(self):
+        env = MemEnv()
+        options = build_db(env, n=20)
+        items = list(dump_db("db", Options(write_buffer_size="4K"), env))
+        assert len(items) == 20
+        assert items[0][0] == b"key0000"
+
+    def test_dump_limit(self):
+        env = MemEnv()
+        build_db(env, n=20)
+        items = list(
+            dump_db("db", Options(write_buffer_size="4K"), env, limit=5)
+        )
+        assert len(items) == 5
+
+
+class TestCli:
+    def test_cli_verify_and_stats(self, tmp_path, capsys):
+        from repro.lsm.__main__ import main
+
+        db = DB.open(str(tmp_path / "db"), Options())
+        db.put(b"k", b"v" * 100)
+        db.close()
+        assert main(["verify", str(tmp_path / "db")]) == 0
+        assert main(["stats", str(tmp_path / "db")]) == 0
+        assert main(["dump", str(tmp_path / "db"), "--limit", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "b'k'" in out
+
+    def test_cli_detects_corruption(self, tmp_path, capsys):
+        from repro.lsm.__main__ import main
+
+        db = DB.open(str(tmp_path / "db"), Options(write_buffer_size="1K"))
+        for i in range(50):
+            db.put(f"k{i}".encode(), bytes(64))
+        db.close()
+        import glob
+        import os
+
+        sst = sorted(glob.glob(str(tmp_path / "db" / "*.sst")))[0]
+        with open(sst, "r+b") as fh:
+            fh.seek(30)
+            byte = fh.read(1)
+            fh.seek(30)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        assert main(["verify", str(tmp_path / "db")]) == 1

@@ -1,0 +1,122 @@
+"""Tests for WAL framing: fragmentation, recovery, corruption handling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CorruptionError
+from repro.lsm.env import MemEnv
+from repro.lsm.options import ChecksumType
+from repro.lsm.wal import BLOCK_SIZE, HEADER_SIZE, LogReader, LogWriter
+
+
+def write_records(env, path, records, checksum=ChecksumType.ZLIB_CRC32):
+    writer = LogWriter(env.new_writable_file(path), checksum=checksum)
+    for record in records:
+        writer.add_record(record)
+    writer.close()
+
+
+def read_records(env, path, checksum=ChecksumType.ZLIB_CRC32, **kwargs):
+    reader = LogReader(env.new_sequential_file(path), checksum=checksum, **kwargs)
+    try:
+        return list(reader)
+    finally:
+        reader.close()
+
+
+class TestRoundtrip:
+    def test_single_small_record(self):
+        env = MemEnv()
+        write_records(env, "wal", [b"hello"])
+        assert read_records(env, "wal") == [b"hello"]
+
+    def test_many_records_in_order(self):
+        env = MemEnv()
+        records = [f"record-{i}".encode() for i in range(100)]
+        write_records(env, "wal", records)
+        assert read_records(env, "wal") == records
+
+    def test_empty_record(self):
+        env = MemEnv()
+        write_records(env, "wal", [b"", b"x", b""])
+        assert read_records(env, "wal") == [b"", b"x", b""]
+
+    def test_record_spanning_blocks(self):
+        env = MemEnv()
+        big = bytes(range(256)) * ((3 * BLOCK_SIZE) // 256)
+        write_records(env, "wal", [big])
+        assert read_records(env, "wal") == [big]
+
+    def test_record_exactly_filling_block(self):
+        env = MemEnv()
+        payload = b"q" * (BLOCK_SIZE - HEADER_SIZE)
+        write_records(env, "wal", [payload, b"next"])
+        assert read_records(env, "wal") == [payload, b"next"]
+
+    def test_header_barely_fits_padding_path(self):
+        env = MemEnv()
+        # First record leaves < HEADER_SIZE bytes in the block.
+        first = b"a" * (BLOCK_SIZE - HEADER_SIZE - 3)
+        write_records(env, "wal", [first, b"second"])
+        assert read_records(env, "wal") == [first, b"second"]
+
+    def test_no_checksum_mode(self):
+        env = MemEnv()
+        write_records(env, "wal", [b"data"], checksum=ChecksumType.NONE)
+        assert read_records(env, "wal", checksum=ChecksumType.NONE) == [b"data"]
+
+    def test_crc32c_mode(self):
+        env = MemEnv()
+        write_records(env, "wal", [b"data"], checksum=ChecksumType.CRC32C)
+        assert read_records(env, "wal", checksum=ChecksumType.CRC32C) == [b"data"]
+
+    @settings(max_examples=25)
+    @given(
+        st.lists(
+            st.binary(max_size=3 * BLOCK_SIZE), min_size=0, max_size=12
+        )
+    )
+    def test_roundtrip_property(self, records):
+        env = MemEnv()
+        write_records(env, "wal", records)
+        assert read_records(env, "wal") == records
+
+
+class TestCorruption:
+    def test_truncated_tail_is_dropped(self):
+        env = MemEnv()
+        write_records(env, "wal", [b"good", b"will-be-truncated" * 100])
+        data = bytes(env._files["wal"].data)  # noqa: SLF001
+        env._files["wal"].data = bytearray(data[: len(data) - 10])  # noqa: SLF001
+        assert read_records(env, "wal") == [b"good"]
+
+    def test_bitflip_detected_and_stops(self):
+        env = MemEnv()
+        write_records(env, "wal", [b"first", b"second"])
+        # Corrupt the second record's payload.
+        buf = env._files["wal"].data  # noqa: SLF001
+        buf[-1] ^= 0xFF
+        assert read_records(env, "wal") == [b"first"]
+
+    def test_bitflip_raises_in_strict_mode(self):
+        env = MemEnv()
+        write_records(env, "wal", [b"first", b"second"])
+        buf = env._files["wal"].data  # noqa: SLF001
+        buf[-1] ^= 0xFF
+        with pytest.raises(CorruptionError):
+            read_records(env, "wal", allow_partial=False)
+
+    def test_dangling_first_fragment_discarded(self):
+        env = MemEnv()
+        # Write a record that spans blocks, then truncate mid-way so only
+        # the FIRST fragment survives.
+        big = b"z" * (2 * BLOCK_SIZE)
+        write_records(env, "wal", [b"keep", big])
+        env._files["wal"].data = env._files["wal"].data[:BLOCK_SIZE]  # noqa: SLF001
+        assert read_records(env, "wal") == [b"keep"]
+
+    def test_empty_file(self):
+        env = MemEnv()
+        env.new_writable_file("wal").close()
+        assert read_records(env, "wal") == []

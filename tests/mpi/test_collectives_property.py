@@ -1,0 +1,83 @@
+"""Property-based tests: collectives must match their sequential models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import run_world
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=9),
+    st.integers(min_value=0, max_value=8),
+    st.binary(min_size=1, max_size=64),
+)
+def test_bcast_any_root(size, root, payload):
+    root = root % size
+
+    def main(comm):
+        obj = payload if comm.rank == root else None
+        return comm.bcast(obj, root=root)
+
+    assert run_world(size, main) == [payload] * size
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=9),
+    st.lists(st.integers(min_value=-1000, max_value=1000), min_size=9, max_size=9),
+)
+def test_reduce_sum_matches_python_sum(size, values):
+    contribution = values[:size]
+
+    def main(comm):
+        return comm.reduce(contribution[comm.rank])
+
+    results = run_world(size, main)
+    assert results[0] == sum(contribution)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=1, max_value=8))
+def test_allgather_order(size):
+    def main(comm):
+        return comm.allgather((comm.rank, comm.rank * 11))
+
+    results = run_world(size, main)
+    expected = [(r, r * 11) for r in range(size)]
+    assert all(result == expected for result in results)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=0, max_value=1 << 16),
+)
+def test_alltoall_is_transpose(size, seed):
+    def main(comm):
+        objs = [(comm.rank, dest, seed) for dest in range(comm.size)]
+        return comm.alltoall(objs)
+
+    results = run_world(size, main)
+    for dest, received in enumerate(results):
+        assert received == [(src, dest, seed) for src in range(size)]
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=2, max_value=8), st.integers(min_value=0, max_value=100))
+def test_ring_pass_accumulates(size, start):
+    """A value passed around the ring visits every rank exactly once."""
+
+    def main(comm):
+        value = start if comm.rank == 0 else None
+        left = (comm.rank - 1) % comm.size
+        right = (comm.rank + 1) % comm.size
+        if comm.rank == 0:
+            comm.send(value + 1, right, tag=1)
+            return comm.recv(source=left, tag=1)
+        value = comm.recv(source=left, tag=1)
+        comm.send(value + 1, right, tag=1)
+        return None
+
+    results = run_world(size, main)
+    assert results[0] == start + size

@@ -1,0 +1,237 @@
+"""Tests for the simulated MPI communicator."""
+
+import pytest
+
+from repro import sim
+from repro.errors import InvalidArgumentError
+from repro.mpi import Network, World, run_world
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send({"a": 7}, dest=1, tag=11)
+                return None
+            return comm.recv(source=0, tag=11)
+
+        results = run_world(2, main)
+        assert results[1] == {"a": 7}
+
+    def test_send_takes_wire_time(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(b"x" * (1 << 20), dest=1)
+                return sim.now()
+            comm.recv(source=0)
+            return sim.now()
+
+        network = Network(latency=1e-3, bandwidth=1 << 20)  # 1 MiB/s
+        results = run_world(2, main, network=network)
+        assert results[0] == pytest.approx(1.001)
+        assert results[1] >= results[0]
+
+    def test_self_send(self):
+        def main(comm):
+            comm.send("loop", dest=comm.rank, tag=5)
+            return comm.recv(source=comm.rank, tag=5)
+
+        assert run_world(1, main) == ["loop"]
+
+    def test_tags_demultiplex(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("tag2", dest=1, tag=2)
+                comm.send("tag1", dest=1, tag=1)
+                return None
+            first = comm.recv(source=0, tag=1)
+            second = comm.recv(source=0, tag=2)
+            return (first, second)
+
+        assert run_world(2, main)[1] == ("tag1", "tag2")
+
+    def test_any_source(self):
+        def main(comm):
+            if comm.rank == 0:
+                got = sorted(comm.recv(source=-1, tag=9) for _ in range(2))
+                return got
+            comm.send(f"from{comm.rank}", dest=0, tag=9)
+            return None
+
+        assert run_world(3, main)[0] == ["from1", "from2"]
+
+    def test_bad_ranks_rejected(self):
+        def main(comm):
+            with pytest.raises(InvalidArgumentError):
+                comm.send("x", dest=99)
+            with pytest.raises(InvalidArgumentError):
+                comm.recv(source=99)
+
+        run_world(1, main)
+
+    def test_sendrecv_ring_no_deadlock(self):
+        def main(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            return comm.sendrecv(comm.rank, dest=right, source=left)
+
+        results = run_world(4, main)
+        assert results == [3, 0, 1, 2]
+
+
+class TestBarrier:
+    def test_barrier_synchronizes_time(self):
+        def main(comm):
+            sim.sleep(comm.rank * 1.0)  # ranks arrive staggered
+            comm.barrier()
+            return sim.now()
+
+        results = run_world(4, main)
+        # All ranks leave at (slowest arrival) + barrier cost.
+        assert all(t == results[0] for t in results)
+        assert results[0] >= 3.0
+
+    def test_multiple_barriers(self):
+        def main(comm):
+            times = []
+            for _ in range(3):
+                comm.barrier()
+                times.append(sim.now())
+            return times
+
+        results = run_world(3, main)
+        for times in results:
+            assert times == results[0]
+            assert times == sorted(times)
+
+    def test_single_rank_barrier(self):
+        def main(comm):
+            comm.barrier()
+            return True
+
+        assert run_world(1, main) == [True]
+
+
+class TestCollectives:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 7, 8])
+    @pytest.mark.parametrize("root", [0, 1])
+    def test_bcast(self, size, root):
+        if root >= size:
+            pytest.skip("root outside world")
+
+        def main(comm):
+            obj = {"data": [1, 2, 3]} if comm.rank == root else None
+            return comm.bcast(obj, root=root)
+
+        results = run_world(size, main)
+        assert all(r == {"data": [1, 2, 3]} for r in results)
+
+    @pytest.mark.parametrize("size", [1, 2, 5])
+    def test_gather(self, size):
+        def main(comm):
+            return comm.gather(comm.rank * 10, root=0)
+
+        results = run_world(size, main)
+        assert results[0] == [i * 10 for i in range(size)]
+        assert all(r is None for r in results[1:])
+
+    def test_scatter(self):
+        def main(comm):
+            objs = [f"item{i}" for i in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(objs, root=0)
+
+        assert run_world(3, main) == ["item0", "item1", "item2"]
+
+    def test_scatter_validates_length(self):
+        def main(comm):
+            with pytest.raises(InvalidArgumentError):
+                comm.scatter([1], root=0)
+
+        run_world(2, lambda comm: main(comm) if comm.rank == 0 else comm.recv)
+        # Only rank 0 validates; keep the test minimal on rank 1.
+
+    def test_allgather(self):
+        def main(comm):
+            return comm.allgather(comm.rank**2)
+
+        results = run_world(4, main)
+        assert all(r == [0, 1, 4, 9] for r in results)
+
+    @pytest.mark.parametrize("size", [1, 2, 3, 8])
+    def test_reduce_sum(self, size):
+        def main(comm):
+            return comm.reduce(comm.rank + 1)
+
+        results = run_world(size, main)
+        assert results[0] == sum(range(1, size + 1))
+
+    def test_reduce_custom_op(self):
+        def main(comm):
+            return comm.reduce(comm.rank + 1, op=max)
+
+        assert run_world(5, main)[0] == 5
+
+    def test_allreduce(self):
+        def main(comm):
+            return comm.allreduce(1)
+
+        assert run_world(6, main) == [6] * 6
+
+    def test_alltoall(self):
+        def main(comm):
+            objs = [f"{comm.rank}->{j}" for j in range(comm.size)]
+            return comm.alltoall(objs)
+
+        results = run_world(3, main)
+        for j, received in enumerate(results):
+            assert received == [f"{i}->{j}" for i in range(3)]
+
+    def test_alltoall_validates_length(self):
+        def main(comm):
+            with pytest.raises(InvalidArgumentError):
+                comm.alltoall([1, 2, 3])
+
+        run_world(2, main)
+
+
+class TestWorld:
+    def test_world_size_validation(self):
+        with sim.Engine() as engine:
+            with pytest.raises(InvalidArgumentError):
+                World(engine, 0)
+
+    def test_comm_rank_validation(self):
+        with sim.Engine() as engine:
+            world = World(engine, 2)
+            with pytest.raises(InvalidArgumentError):
+                world.comm(5)
+
+    def test_run_world_returns_per_rank_results(self):
+        results = run_world(5, lambda comm: comm.rank * 2)
+        assert results == [0, 2, 4, 6, 8]
+
+    def test_run_world_extra_args(self):
+        def main(comm, base, scale=1):
+            return base + comm.rank * scale
+
+        assert run_world(3, main, 100, scale=10) == [100, 110, 120]
+
+    def test_world_setup_hook(self):
+        seen = []
+
+        def setup(world):
+            seen.append(world.size)
+
+        run_world(3, lambda comm: None, world_setup=setup)
+        assert seen == [3]
+
+    def test_deterministic_timing(self):
+        def main(comm):
+            comm.barrier()
+            data = comm.allgather(bytes(1000 * (comm.rank + 1)))
+            comm.barrier()
+            return sim.now()
+
+        a = run_world(4, main)
+        b = run_world(4, main)
+        assert a == b

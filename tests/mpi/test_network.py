@@ -1,0 +1,51 @@
+"""Unit tests for the interconnect cost model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.mpi.network import Network, message_size
+
+
+class TestMessageSize:
+    def test_buffers_report_true_size(self):
+        assert message_size(b"12345") == 5
+        assert message_size(bytearray(10)) == 10
+        assert message_size(memoryview(b"123")) == 3
+
+    def test_numpy_nbytes(self):
+        arr = np.zeros((10, 10), dtype=np.float64)
+        assert message_size(arr) == 800
+
+    def test_containers_sum_recursively(self):
+        payload = [b"1234", b"5678"]
+        assert message_size(payload) == 16 + 8
+        nested = {b"k": [b"12", b"34"]}
+        assert message_size(nested) >= 4 + 16
+
+    def test_none_is_small(self):
+        assert message_size(None) == 1
+
+    def test_scalars_nonzero(self):
+        assert message_size(42) > 0
+        assert message_size("text") > 0
+
+
+class TestNetwork:
+    def test_transfer_time_hockney(self):
+        net = Network(latency=1e-3, bandwidth=1 << 20)
+        assert net.transfer_time(0) == pytest.approx(1e-3)
+        assert net.transfer_time(1 << 20) == pytest.approx(1.001)
+
+    def test_bandwidth_parses_sizes(self):
+        net = Network(bandwidth="1G")
+        assert net.bandwidth == 1 << 30
+
+    def test_validation(self):
+        with pytest.raises(InvalidArgumentError):
+            Network(latency=-1)
+        with pytest.raises(InvalidArgumentError):
+            Network(bandwidth=0)
+
+    def test_repr_readable(self):
+        assert "GiB/s" in repr(Network())

@@ -1,0 +1,294 @@
+"""Tests for the Lustre cluster, client data path, and servers."""
+
+import pytest
+
+from repro import sim
+from repro.errors import NotFoundError
+from repro.pfs import LustreClient, LustreCluster, LustreConfig
+from repro.pfs.configs import small_test_cluster, viking
+
+
+def run_client(config, fn, num_clients=1):
+    """Run fn(clients) inside a sim process; return (result, cluster, time)."""
+    with sim.Engine() as engine:
+        cluster = LustreCluster(engine, config)
+        clients = [LustreClient(cluster, i) for i in range(num_clients)]
+
+        proc = engine.spawn(fn, clients if num_clients > 1 else clients[0])
+        elapsed = engine.run()
+        return proc.result, cluster, elapsed
+
+
+class TestNamespace:
+    def test_create_open_roundtrip(self):
+        def main(client):
+            file = client.create("dir/data", stripe_count=2)
+            client.write(file, 0, b"hello lustre")
+            client.fsync(file)
+            again = client.open("dir/data")
+            return client.read(again, 0, 100)
+
+        result, _, _ = run_client(small_test_cluster(), main)
+        assert result == b"hello lustre"
+
+    def test_missing_file_raises(self):
+        def main(client):
+            with pytest.raises(NotFoundError):
+                client.open("nope")
+            return True
+
+        assert run_client(small_test_cluster(), main)[0]
+
+    def test_unlink(self):
+        def main(client):
+            client.create("f")
+            client.unlink("f")
+            return client.cluster.exists("f")
+
+        assert run_client(small_test_cluster(), main)[0] is False
+
+    def test_round_robin_file_placement(self):
+        def main(client):
+            files = [client.create(f"f{i}", stripe_count=1) for i in range(4)]
+            return [f.layout.start_ost for f in files]
+
+        starts, _, _ = run_client(small_test_cluster(), main)
+        assert starts == [0, 1, 2, 3]
+
+    def test_mds_charged_for_metadata(self):
+        def main(client):
+            client.create("a")
+            client.open("a")
+            client.stat("a")
+            return None
+
+        _, cluster, elapsed = run_client(small_test_cluster(), main)
+        assert cluster.mds.stats.requests == 3
+        assert elapsed > 0
+
+
+class TestDataPath:
+    def test_write_is_durable_after_fsync(self):
+        def main(client):
+            file = client.create("f", stripe_count=4, stripe_size="64K")
+            payload = bytes(range(256)) * 1024  # 256 KiB over 4 stripes
+            client.write(file, 0, payload)
+            client.fsync(file)
+            return client.read(file, 0, len(payload)) == payload
+
+        result, cluster, _ = run_client(small_test_cluster(), main)
+        assert result
+        assert cluster.total_bytes_written() == 256 * 1024
+
+    def test_write_behind_returns_before_disk(self):
+        def main(client):
+            file = client.create("f", stripe_count=1)
+            client.write(file, 0, bytes(1 << 20))
+            t_after_write = sim.now()
+            client.fsync(file)
+            return (t_after_write, sim.now())
+
+        (after_write, after_sync), _, _ = run_client(small_test_cluster(), main)
+        assert after_sync > after_write
+
+    def test_striping_spreads_bytes_across_osts(self):
+        def main(client):
+            file = client.create("f", stripe_count=4, stripe_size="64K")
+            client.write(file, 0, bytes(1 << 20))
+            client.fsync(file)
+
+        _, cluster, _ = run_client(small_test_cluster(), main)
+        per_ost = [ost.stats.bytes_written for ost in cluster.osts]
+        assert all(b == (1 << 20) // 4 for b in per_ost)
+
+    def test_stripe_count_one_uses_one_ost(self):
+        def main(client):
+            file = client.create("f", stripe_count=1)
+            client.write(file, 0, bytes(1 << 20))
+            client.fsync(file)
+
+        _, cluster, _ = run_client(small_test_cluster(), main)
+        touched = [ost.index for ost in cluster.osts if ost.stats.bytes_written]
+        assert len(touched) == 1
+
+    def test_rpc_chunking(self):
+        config = small_test_cluster(rpc_size="64K")
+
+        def main(client):
+            file = client.create("f", stripe_count=1)
+            client.write(file, 0, bytes(1 << 20))  # 16 RPCs of 64K
+            client.fsync(file)
+            return client.stats.write_rpcs
+
+        rpcs, _, _ = run_client(config, main)
+        assert rpcs == 16
+
+    def test_sparse_read_returns_zeros(self):
+        def main(client):
+            file = client.create("f", stripe_count=2)
+            client.write(file, 1 << 20, b"end")
+            client.fsync(file)
+            head = client.read(file, 0, 4)
+            return head
+
+        result, _, _ = run_client(small_test_cluster(), main)
+        assert result == b"\x00\x00\x00\x00"
+
+    def test_read_past_eof_short(self):
+        def main(client):
+            file = client.create("f")
+            client.write(file, 0, b"abc")
+            client.fsync(file)
+            return client.read(file, 1, 100)
+
+        assert run_client(small_test_cluster(), main)[0] == b"bc"
+
+    def test_data_less_mode_tracks_sizes(self):
+        config = small_test_cluster(store_data=False)
+
+        def main(client):
+            file = client.create("f")
+            client.write(file, 0, 1 << 20)  # length, not bytes
+            client.fsync(file)
+            return (file.size, client.read(file, 0, 16))
+
+        (size, data), cluster, _ = run_client(config, main)
+        assert size == 1 << 20
+        assert data == b"\x00" * 16
+        assert cluster.total_bytes_written() == 1 << 20
+
+
+class TestTimingShape:
+    def test_sequential_stream_approaches_disk_bandwidth(self):
+        config = small_test_cluster(
+            client_bandwidth="10G",  # NIC out of the way
+            oss_bandwidth="10G",
+        )
+
+        def main(client):
+            file = client.create("f", stripe_count=1)
+            total = 64 << 20
+            step = 4 << 20
+            for offset in range(0, total, step):
+                client.write(file, offset, step)
+            client.fsync(file)
+            return total / sim.now()
+
+        bandwidth, cluster, _ = run_client(config, main)
+        disk_bw = cluster.config.disk.seq_bandwidth
+        assert bandwidth > 0.7 * disk_bw
+
+    def test_nic_caps_single_client(self):
+        config = small_test_cluster(client_bandwidth="10M")
+
+        def main(client):
+            file = client.create("f", stripe_count=4)
+            client.write(file, 0, 10 << 20)
+            client.fsync(file)
+            return (10 << 20) / sim.now()
+
+        bandwidth, _, _ = run_client(config, main)
+        assert bandwidth <= 10.5 * (1 << 20)
+
+    def test_oss_caps_aggregate(self):
+        config = small_test_cluster(
+            num_oss=1, oss_bandwidth="20M", client_bandwidth="1G"
+        )
+
+        def main(clients):
+            def one(client):
+                file = client.create(f"f{client.client_id}", stripe_count=1)
+                client.write(file, 0, 8 << 20)
+                client.fsync(file)
+
+            procs = [
+                sim.current_engine().spawn(one, c, name=f"c{c.client_id}")
+                for c in clients
+            ]
+            for proc in procs:
+                sim.wait(proc.done)
+            return (4 * (8 << 20)) / sim.now()
+
+        bandwidth, _, _ = run_client(config, main, num_clients=4)
+        assert bandwidth <= 21 << 20
+
+    def test_shared_object_lock_pingpong_slower_than_private(self):
+        """Two clients interleaving one object pay lock switches; two
+        clients on private objects do not — the Figure 5 mechanism."""
+
+        def shared(clients):
+            def one(client):
+                file = client.cluster.lookup("shared")
+                base = client.client_id * 65536
+                for i in range(32):
+                    client.write(file, base + i * 131072, 65536)
+                client.fsync(file)
+
+            clients[0].create("shared", stripe_count=1)
+            procs = [
+                sim.current_engine().spawn(one, c, name=f"c{c.client_id}")
+                for c in clients
+            ]
+            for proc in procs:
+                sim.wait(proc.done)
+            return sim.now()
+
+        def private(clients):
+            def one(client):
+                file = client.create(f"f{client.client_id}", stripe_count=1)
+                for i in range(32):
+                    client.write(file, i * 65536, 65536)
+                client.fsync(file)
+
+            procs = [
+                sim.current_engine().spawn(one, c, name=f"c{c.client_id}")
+                for c in clients
+            ]
+            for proc in procs:
+                sim.wait(proc.done)
+            return sim.now()
+
+        config = small_test_cluster(num_osts=2, client_bandwidth="1G")
+        t_shared, cluster_shared, _ = run_client(config, shared, num_clients=2)
+        t_private, cluster_private, _ = run_client(config, private, num_clients=2)
+        assert cluster_shared.total_lock_switches() > 0
+        assert cluster_private.total_lock_switches() == 0
+        assert t_shared > t_private
+
+    def test_deterministic(self):
+        def main(clients):
+            def one(client):
+                file = client.create(f"f{client.client_id}")
+                client.write(file, 0, 1 << 20)
+                client.fsync(file)
+
+            procs = [
+                sim.current_engine().spawn(one, c, name=f"c{c.client_id}")
+                for c in clients
+            ]
+            for proc in procs:
+                sim.wait(proc.done)
+            return sim.now()
+
+        t1, _, _ = run_client(small_test_cluster(), main, num_clients=3)
+        t2, _, _ = run_client(small_test_cluster(), main, num_clients=3)
+        assert t1 == t2
+
+
+class TestConfigs:
+    def test_viking_matches_table4(self):
+        config = viking()
+        assert config.num_osts == 45
+        assert config.num_oss == 2
+        assert config.default_stripe_count == 4
+
+    def test_viking_overrides(self):
+        config = viking(default_stripe_count=16)
+        assert config.default_stripe_count == 16
+        assert config.num_osts == 45
+
+    def test_config_validation(self):
+        with pytest.raises(Exception):
+            LustreConfig(num_osts=0)
+        with pytest.raises(Exception):
+            LustreConfig(num_osts=4, default_stripe_count=8)

@@ -1,0 +1,83 @@
+"""Tests for cluster utilization reports."""
+
+import pytest
+
+from repro import sim
+from repro.ior import IorConfig, run_ior
+from repro.pfs import LustreClient, LustreCluster, collect_report
+from repro.pfs.configs import small_test_cluster
+
+
+def test_collect_report_counters():
+    with sim.Engine() as engine:
+        cluster = LustreCluster(engine, small_test_cluster())
+
+        def main():
+            client = LustreClient(cluster, 0)
+            file = client.create("f", stripe_count=2)
+            client.write(file, 0, 1 << 20)
+            client.fsync(file)
+            client.read(file, 0, 1 << 19)
+
+        engine.spawn(main)
+        elapsed = engine.run()
+        report = collect_report(cluster, elapsed)
+
+    assert report.bytes_written == 1 << 20
+    assert report.bytes_read == 1 << 19
+    assert report.ost_requests > 0
+    assert 0.0 <= report.sequential_fraction <= 1.0
+    assert 0.0 <= report.busiest_ost_busy <= 1.0
+    assert report.busiest_ost_busy >= report.ost_busy
+    assert report.mds_requests >= 1
+    assert len(report.oss_busy) == cluster.config.num_oss
+
+
+def test_mean_request_bytes():
+    with sim.Engine() as engine:
+        cluster = LustreCluster(engine, small_test_cluster(rpc_size="64K"))
+
+        def main():
+            client = LustreClient(cluster, 0)
+            file = client.create("f", stripe_count=1)
+            client.write(file, 0, 4 * 65536)
+            client.fsync(file)
+
+        engine.spawn(main)
+        elapsed = engine.run()
+        report = collect_report(cluster, elapsed)
+    assert report.mean_request_bytes == pytest.approx(65536)
+
+
+def test_summary_renders():
+    with sim.Engine() as engine:
+        cluster = LustreCluster(engine, small_test_cluster())
+
+        def main():
+            client = LustreClient(cluster, 0)
+            file = client.create("f")
+            client.write(file, 0, 4096)
+            client.fsync(file)
+
+        engine.spawn(main)
+        elapsed = engine.run()
+        report = collect_report(cluster, elapsed)
+    text = report.summary()
+    assert "cluster report" in text
+    assert "OSS0" in text
+    assert "MDS" in text
+
+
+def test_run_ior_attaches_report():
+    config = IorConfig(
+        api="posix", num_tasks=2, block_size="64K", transfer_size="64K",
+        segment_count=2, stripe_count=2, stripe_size="64K",
+    )
+    result = run_ior(
+        config, small_test_cluster(), collect_cluster_report=True
+    )
+    assert result.cluster_report is not None
+    assert result.cluster_report.bytes_written == config.total_bytes
+
+    without = run_ior(config, small_test_cluster())
+    assert without.cluster_report is None

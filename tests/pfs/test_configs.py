@@ -1,0 +1,50 @@
+"""Table 4 conformance: the default simulated cluster is Viking."""
+
+from repro.pfs.configs import (
+    VIKING_NODES,
+    small_test_cluster,
+    viking,
+    viking_ssd_tier,
+)
+
+
+class TestTable4:
+    def test_ost_count(self):
+        assert viking().num_osts == 45          # "Lustre OSTs: 45"
+
+    def test_oss_count(self):
+        assert viking().num_oss == 2            # "Lustre OSSs: 2"
+
+    def test_node_count(self):
+        assert VIKING_NODES == 137              # "Nodes: 137"
+
+    def test_hdd_class_disks(self):
+        # "OST h/w: 10 × 8TB 7,200 RPM NLSAS" — spinning media: a real
+        # positioning penalty and streaming-dominated service.
+        disk = viking().disk
+        assert disk.positioning_time >= 1e-3
+        assert disk.seq_bandwidth > 100 << 20
+
+    def test_paper_benchmark_defaults(self):
+        config = viking()
+        assert config.default_stripe_count == 4   # §4: stripe count ∈ {4,16}
+        assert config.default_stripe_size == 1 << 20
+
+
+class TestVariants:
+    def test_overrides_flow_through(self):
+        config = viking(default_stripe_count=16, num_oss=4)
+        assert config.default_stripe_count == 16
+        assert config.num_oss == 4
+        assert config.num_osts == 45
+
+    def test_ssd_tier_is_faster_media(self):
+        hdd = viking()
+        ssd = viking_ssd_tier()
+        assert ssd.disk.positioning_time < hdd.disk.positioning_time
+        assert ssd.disk.seq_bandwidth > hdd.disk.seq_bandwidth
+
+    def test_small_test_cluster_is_small(self):
+        config = small_test_cluster()
+        assert config.num_osts <= 8
+        assert config.default_stripe_count <= config.num_osts

@@ -1,0 +1,92 @@
+"""Tests for the disk service-time model."""
+
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.pfs.disk import DiskProfile, HDDProfile, SSDProfile
+
+
+@pytest.fixture
+def disk():
+    return DiskProfile(
+        seq_bandwidth=1e9,
+        positioning_time=8e-3,
+        write_near_time=1e-3,
+        read_near_time=5e-4,
+        seek_time_per_byte=1e-9,
+        per_request_overhead=1e-4,
+    )
+
+
+def test_sequential_write_is_streaming(disk):
+    time, sequential = disk.service_time((7, 1000), 7, 1000, 10**6, True)
+    assert sequential
+    assert time == pytest.approx(1e-4 + 1e-3)
+
+
+def test_cold_head_pays_positioning(disk):
+    time, sequential = disk.service_time(None, 7, 0, 10**6, True)
+    assert not sequential
+    assert time == pytest.approx(1e-4 + 1e-3 + 8e-3)
+
+
+def test_different_object_pays_positioning(disk):
+    time, _ = disk.service_time((3, 1000), 7, 1000, 0, True)
+    assert time == pytest.approx(1e-4 + 8e-3)
+
+
+def test_short_jump_costs_floor_plus_distance(disk):
+    time, sequential = disk.service_time((7, 0), 7, 4096, 0, True)
+    assert not sequential
+    assert time == pytest.approx(1e-4 + 1e-3 + 4096e-9)
+
+
+def test_jump_cost_grows_with_distance(disk):
+    near, _ = disk.service_time((7, 0), 7, 1 << 20, 0, True)
+    far, _ = disk.service_time((7, 0), 7, 4 << 20, 0, True)
+    assert far > near
+
+
+def test_jump_cost_caps_at_positioning(disk):
+    time, _ = disk.service_time((7, 0), 7, 1 << 30, 0, True)
+    assert time == pytest.approx(1e-4 + 8e-3)
+
+
+def test_read_jump_cheaper_than_write_jump(disk):
+    write_time, _ = disk.service_time((7, 0), 7, 4096, 0, True)
+    read_time, _ = disk.service_time((7, 0), 7, 4096, 0, False)
+    assert read_time < write_time
+
+
+def test_backwards_jump_costs_same_as_forward(disk):
+    forward, _ = disk.service_time((7, 0), 7, 8192, 0, True)
+    backward, _ = disk.service_time((7, 16384), 7, 8192, 0, True)
+    assert forward == pytest.approx(backward)
+
+
+def test_sequential_beats_cross_object_by_orders_of_magnitude(disk):
+    # The paper's core asymmetry, quantified: per-64K cost.
+    seq, _ = disk.service_time((1, 0), 1, 0, 65536, True)
+    strided, _ = disk.service_time((2, 0), 1, 0, 65536, True)
+    assert strided / seq > 10
+
+
+def test_profiles_parse_sizes():
+    assert HDDProfile(seq_bandwidth="1G").seq_bandwidth == 1 << 30
+    assert SSDProfile().positioning_time < HDDProfile().positioning_time
+
+
+def test_ssd_has_no_distance_penalty():
+    ssd = SSDProfile()
+    near, _ = ssd.service_time((1, 0), 1, 4096, 0, True)
+    far, _ = ssd.service_time((1, 0), 1, 1 << 30, 0, True)
+    assert near == pytest.approx(far)
+
+
+def test_validation():
+    with pytest.raises(InvalidArgumentError):
+        DiskProfile(seq_bandwidth=0)
+    with pytest.raises(InvalidArgumentError):
+        DiskProfile(positioning_time=-1)
+    with pytest.raises(InvalidArgumentError):
+        DiskProfile(seek_time_per_byte=-1)

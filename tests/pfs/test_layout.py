@@ -1,0 +1,125 @@
+"""Tests for Lustre stripe math."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidArgumentError
+from repro.pfs.layout import StripeLayout
+
+
+def layout(stripe_size=65536, stripe_count=4, start_ost=0, num_osts=45):
+    return StripeLayout(
+        stripe_size=stripe_size,
+        stripe_count=stripe_count,
+        start_ost=start_ost,
+        num_osts=num_osts,
+    )
+
+
+class TestStripeMapping:
+    def test_round_robin_osts(self):
+        lo = layout()
+        assert [lo.ost_for_stripe(i) for i in range(6)] == [0, 1, 2, 3, 0, 1]
+
+    def test_start_ost_offset(self):
+        lo = layout(start_ost=43)
+        assert [lo.ost_for_stripe(i) for i in range(4)] == [43, 44, 0, 1]
+
+    def test_object_offsets_contiguous_per_ost(self):
+        # Consecutive stripes landing on the same OST are contiguous in
+        # its object — the property that makes one writer's stream
+        # sequential on every OST it touches.
+        lo = layout(stripe_size=1024, stripe_count=4)
+        assert lo.object_offset_for_stripe(0) == 0
+        assert lo.object_offset_for_stripe(4) == 1024
+        assert lo.object_offset_for_stripe(8) == 2048
+
+    def test_stripe_size_parsing(self):
+        lo = layout(stripe_size="64K")
+        assert lo.stripe_size == 65536
+
+    def test_validation(self):
+        with pytest.raises(InvalidArgumentError):
+            layout(stripe_count=0)
+        with pytest.raises(InvalidArgumentError):
+            layout(stripe_count=46)
+        with pytest.raises(InvalidArgumentError):
+            layout(start_ost=45)
+        with pytest.raises(InvalidArgumentError):
+            layout(stripe_size=0)
+
+
+class TestExtents:
+    def test_single_stripe_write(self):
+        lo = layout(stripe_size=1024)
+        extents = list(lo.extents(0, 512))
+        assert len(extents) == 1
+        assert extents[0].ost_index == 0
+        assert extents[0].object_offset == 0
+        assert extents[0].length == 512
+
+    def test_write_spanning_stripes(self):
+        lo = layout(stripe_size=1024, stripe_count=2)
+        extents = list(lo.extents(512, 1024))
+        assert [(e.ost_index, e.object_offset, e.length) for e in extents] == [
+            (0, 512, 512),
+            (1, 0, 512),
+        ]
+
+    def test_unaligned_offset(self):
+        lo = layout(stripe_size=1000, stripe_count=4)
+        extents = list(lo.extents(2500, 1000))
+        assert [(e.ost_index, e.object_offset, e.length) for e in extents] == [
+            (2, 500, 500),
+            (3, 0, 500),
+        ]
+
+    def test_file_offsets_recorded(self):
+        lo = layout(stripe_size=100, stripe_count=2)
+        extents = list(lo.extents(50, 200))
+        assert [e.file_offset for e in extents] == [50, 100, 200]
+
+    def test_zero_length(self):
+        lo = layout()
+        assert list(lo.extents(100, 0)) == []
+
+    def test_negative_rejected(self):
+        lo = layout()
+        with pytest.raises(InvalidArgumentError):
+            list(lo.extents(-1, 10))
+
+    def test_osts_touched_shared_file_bounded_by_stripe_count(self):
+        # The DESIGN.md headline: a stripe-count-4 file touches exactly 4
+        # OSTs no matter how large the range.
+        lo = layout(stripe_size=65536, stripe_count=4, num_osts=45)
+        assert len(lo.osts_touched(0, 100 << 20)) == 4
+
+    @given(
+        st.integers(min_value=0, max_value=1 << 30),
+        st.integers(min_value=1, max_value=1 << 22),
+        st.integers(min_value=9, max_value=20),  # stripe size 512B..1M
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_extents_tile_the_range(self, offset, length, size_log2, count):
+        lo = layout(stripe_size=1 << size_log2, stripe_count=count, num_osts=8)
+        extents = list(lo.extents(offset, length))
+        assert sum(e.length for e in extents) == length
+        position = offset
+        for extent in extents:
+            assert extent.file_offset == position
+            assert 0 <= extent.ost_index < 8
+            position += extent.length
+
+    @given(
+        st.integers(min_value=0, max_value=1 << 24),
+        st.integers(min_value=1, max_value=1 << 20),
+    )
+    def test_mapping_is_injective(self, offset, length):
+        # No two distinct file bytes may map to the same object byte.
+        lo = layout(stripe_size=4096, stripe_count=3, num_osts=45)
+        seen = set()
+        for extent in lo.extents(offset, length):
+            key = (extent.ost_index, extent.object_offset)
+            assert key not in seen
+            seen.add(key)

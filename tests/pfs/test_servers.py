@@ -1,0 +1,165 @@
+"""Unit tests for the server components: OST, OSS, MDS."""
+
+import pytest
+
+from repro import sim
+from repro.pfs.disk import DiskProfile
+from repro.pfs.mds import Mds
+from repro.pfs.oss import Oss
+from repro.pfs.ost import Ost
+
+
+def run_proc(fn):
+    with sim.Engine() as engine:
+        holder = {}
+
+        def wrapper():
+            holder["result"] = fn(engine)
+
+        engine.spawn(wrapper)
+        elapsed = engine.run()
+        return holder.get("result"), elapsed
+
+
+DISK = DiskProfile(
+    seq_bandwidth=1e9,
+    positioning_time=8e-3,
+    write_near_time=1e-3,
+    read_near_time=5e-4,
+    seek_time_per_byte=0.0,
+    per_request_overhead=0.0,
+)
+
+
+class TestOst:
+    def test_sequential_stream_costs_one_positioning(self):
+        def main(engine):
+            ost = Ost(engine, 0, DISK)
+            for i in range(4):
+                ost.serve(0, object_id=1, offset=i * 1000, nbytes=1000,
+                          is_write=True)
+            return ost.stats
+
+        stats, elapsed = run_proc(main)
+        assert stats.requests == 4
+        assert stats.sequential_requests == 3  # all but the first
+        assert elapsed == pytest.approx(8e-3 + 4 * 1e-6)
+
+    def test_lock_pingpong_between_writers(self):
+        def main(engine):
+            ost = Ost(engine, 0, DISK, lock_switch_time=2e-3)
+            ost.serve(0, 1, 0, 100, True)
+            ost.serve(1, 1, 100, 100, True)   # different client: recall
+            ost.serve(1, 1, 200, 100, True)   # same client: no recall
+            return ost.stats.lock_switches
+
+        switches, _ = run_proc(main)
+        assert switches == 1
+
+    def test_reader_after_foreign_writer_pays_once(self):
+        def main(engine):
+            ost = Ost(engine, 0, DISK, lock_switch_time=2e-3)
+            ost.serve(0, 1, 0, 100, True)
+            ost.serve(1, 1, 0, 100, False)   # demotion: one recall
+            ost.serve(2, 1, 100, 100, False)  # shared read lock: free
+            return ost.stats.lock_switches
+
+        switches, _ = run_proc(main)
+        assert switches == 1
+
+    def test_fcfs_service(self):
+        with sim.Engine() as engine:
+            ost = Ost(engine, 0, DISK)
+            order = []
+
+            def client(cid):
+                ost.serve(cid, cid, 0, 1000, True)
+                order.append(cid)
+
+            for cid in range(3):
+                engine.spawn(client, cid)
+            engine.run()
+            assert order == [0, 1, 2]
+
+    def test_drop_object_state(self):
+        def main(engine):
+            ost = Ost(engine, 0, DISK, lock_switch_time=2e-3)
+            ost.serve(0, 1, 0, 100, True)
+            ost.drop_object_state(1)
+            ost.serve(1, 1, 100, 100, True)  # no recall: state dropped
+            return ost.stats.lock_switches
+
+        switches, _ = run_proc(main)
+        assert switches == 0
+
+    def test_bytes_accounting(self):
+        def main(engine):
+            ost = Ost(engine, 0, DISK)
+            ost.serve(0, 1, 0, 500, True)
+            ost.serve(0, 1, 500, 300, False)
+            return ost.stats
+
+        stats, _ = run_proc(main)
+        assert stats.bytes_written == 500
+        assert stats.bytes_read == 300
+
+
+class TestOss:
+    def test_transfer_time(self):
+        def main(engine):
+            oss = Oss(engine, 0, bandwidth=1 << 20, rpc_overhead=1e-3)
+            oss.transfer(1 << 20)
+            return oss.stats
+
+        stats, elapsed = run_proc(main)
+        assert elapsed == pytest.approx(1.001)
+        assert stats.bytes_moved == 1 << 20
+        assert stats.requests == 1
+
+    def test_pipe_serializes_concurrent_transfers(self):
+        with sim.Engine() as engine:
+            oss = Oss(engine, 0, bandwidth=1 << 20, rpc_overhead=0.0)
+            for _ in range(3):
+                engine.spawn(lambda: oss.transfer(1 << 20))
+            elapsed = engine.run()
+            assert elapsed == pytest.approx(3.0)
+
+
+class TestMds:
+    def test_op_costs_charged(self):
+        def main(engine):
+            mds = Mds(engine)
+            mds.perform("create")
+            mds.perform("open")
+            return mds.stats
+
+        stats, elapsed = run_proc(main)
+        assert stats.requests == 2
+        assert stats.ops == {"create": 1, "open": 1}
+        assert elapsed == pytest.approx(3e-4)
+
+    def test_unknown_op_rejected(self):
+        def main(engine):
+            mds = Mds(engine)
+            with pytest.raises(KeyError):
+                mds.perform("frobnicate")
+            return True
+
+        assert run_proc(main)[0]
+
+    def test_custom_costs(self):
+        def main(engine):
+            mds = Mds(engine, op_costs={"create": 1.0})
+            mds.perform("create")
+            return None
+
+        _, elapsed = run_proc(main)
+        assert elapsed == pytest.approx(1.0)
+
+    def test_serializes_concurrent_ops(self):
+        with sim.Engine() as engine:
+            mds = Mds(engine, op_costs={"create": 0.5})
+            for _ in range(4):
+                engine.spawn(lambda: mds.perform("create"))
+            elapsed = engine.run()
+            assert elapsed == pytest.approx(2.0)

@@ -1,0 +1,266 @@
+"""Tests for the discrete-event kernel: time, processes, events."""
+
+import pytest
+
+from repro import sim
+from repro.errors import DeadlockError, SimulationError
+
+
+def test_empty_engine_runs_to_zero():
+    with sim.Engine() as engine:
+        assert engine.run() == 0.0
+
+
+def test_sleep_advances_time():
+    with sim.Engine() as engine:
+        times = []
+
+        def proc():
+            sim.sleep(1.5)
+            times.append(sim.now())
+            sim.sleep(2.5)
+            times.append(sim.now())
+
+        engine.spawn(proc)
+        engine.run()
+        assert times == [1.5, 4.0]
+
+
+def test_process_result():
+    with sim.Engine() as engine:
+        proc = engine.spawn(lambda: 42)
+        engine.run()
+        assert proc.result == 42
+        assert not proc.alive
+
+
+def test_python_work_takes_zero_sim_time():
+    with sim.Engine() as engine:
+        def proc():
+            total = sum(range(100000))  # real CPU work
+            assert total > 0
+            return sim.now()
+
+        p = engine.spawn(proc)
+        engine.run()
+        assert p.result == 0.0
+
+
+def test_two_processes_interleave_deterministically():
+    with sim.Engine() as engine:
+        log = []
+
+        def worker(tag, delay):
+            for i in range(3):
+                sim.sleep(delay)
+                log.append((sim.now(), tag, i))
+
+        engine.spawn(worker, "a", 1.0)
+        engine.spawn(worker, "b", 1.5)
+        engine.run()
+        assert log == [
+            (1.0, "a", 0),
+            (1.5, "b", 0),
+            (2.0, "a", 1),
+            # Both wake at 3.0; b's sleep was scheduled earlier (at 1.5)
+            # so its heap entry has the lower sequence number.
+            (3.0, "b", 1),
+            (3.0, "a", 2),
+            (4.5, "b", 2),
+        ]
+
+
+def test_same_time_events_run_in_schedule_order():
+    with sim.Engine() as engine:
+        log = []
+        for tag in "abc":
+            engine.spawn(lambda t=tag: log.append(t))
+        engine.run()
+        assert log == ["a", "b", "c"]
+
+
+def test_event_wait_and_succeed():
+    with sim.Engine() as engine:
+        event = sim.Event(engine, name="gate")
+        results = []
+
+        def waiter():
+            results.append(sim.wait(event))
+
+        def trigger():
+            sim.sleep(2.0)
+            event.succeed("payload")
+
+        engine.spawn(waiter)
+        engine.spawn(trigger)
+        engine.run()
+        assert results == ["payload"]
+        assert engine.now == 2.0
+
+
+def test_wait_on_already_triggered_event_returns_immediately():
+    with sim.Engine() as engine:
+        event = sim.Event(engine)
+        event.succeed(7)
+
+        def waiter():
+            return sim.wait(event)
+
+        proc = engine.spawn(waiter)
+        engine.run()
+        assert proc.result == 7
+
+
+def test_event_fail_raises_in_waiter():
+    with sim.Engine() as engine:
+        event = sim.Event(engine)
+
+        def waiter():
+            with pytest.raises(ValueError):
+                sim.wait(event)
+            return "handled"
+
+        def trigger():
+            event.fail(ValueError("boom"))
+
+        proc = engine.spawn(waiter)
+        engine.spawn(trigger)
+        engine.run()
+        assert proc.result == "handled"
+
+
+def test_double_trigger_rejected():
+    with sim.Engine() as engine:
+        event = sim.Event(engine)
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+
+def test_join_via_done_event():
+    with sim.Engine() as engine:
+        def child():
+            sim.sleep(3.0)
+            return "child-result"
+
+        def parent():
+            proc = sim.current_engine().spawn(child)
+            value = sim.wait(proc.done)
+            return (sim.now(), value)
+
+        parent_proc = engine.spawn(parent)
+        engine.run()
+        assert parent_proc.result == (3.0, "child-result")
+
+
+def test_process_exception_propagates_to_run():
+    with sim.Engine() as engine:
+        def bad():
+            sim.sleep(1.0)
+            raise RuntimeError("sim process crashed")
+
+        engine.spawn(bad)
+        with pytest.raises(RuntimeError, match="sim process crashed"):
+            engine.run()
+
+
+def test_deadlock_detection():
+    with sim.Engine() as engine:
+        event = sim.Event(engine)  # never triggered
+
+        engine.spawn(lambda: sim.wait(event), name="stuck")
+        with pytest.raises(DeadlockError, match="stuck"):
+            engine.run()
+
+
+def test_daemon_process_does_not_deadlock():
+    with sim.Engine() as engine:
+        event = sim.Event(engine)
+
+        engine.spawn(lambda: sim.wait(event), name="server", daemon=True)
+        engine.spawn(lambda: sim.sleep(1.0))
+        assert engine.run() == 1.0
+
+
+def test_run_until_pauses_clock():
+    with sim.Engine() as engine:
+        def proc():
+            sim.sleep(10.0)
+
+        engine.spawn(proc)
+        assert engine.run(until=4.0) == 4.0
+        assert engine.run() == 10.0
+
+
+def test_negative_sleep_rejected():
+    with sim.Engine() as engine:
+        def proc():
+            with pytest.raises(SimulationError):
+                sim.sleep(-1.0)
+
+        engine.spawn(proc)
+        engine.run()
+
+
+def test_now_outside_process_rejected():
+    with pytest.raises(SimulationError):
+        sim.now()
+
+
+def test_cross_engine_event_rejected():
+    with sim.Engine() as e1, sim.Engine() as e2:
+        foreign = sim.Event(e2)
+
+        def proc():
+            with pytest.raises(SimulationError):
+                sim.wait(foreign)
+
+        e1.spawn(proc)
+        e1.run()
+
+
+def test_closed_engine_rejects_spawn():
+    engine = sim.Engine()
+    engine.close()
+    with pytest.raises(SimulationError):
+        engine.spawn(lambda: None)
+
+
+def test_close_kills_blocked_processes():
+    engine = sim.Engine()
+    event = sim.Event(engine)
+    proc = engine.spawn(lambda: sim.wait(event), name="stuck", daemon=True)
+    engine.run()
+    engine.close()
+    proc._thread.join(timeout=5)  # noqa: SLF001
+    assert not proc._thread.is_alive()  # noqa: SLF001
+
+
+def test_nested_spawn_many_levels():
+    with sim.Engine() as engine:
+        def level(depth):
+            if depth == 0:
+                return 1
+            child = sim.current_engine().spawn(level, depth - 1)
+            return sim.wait(child.done) + 1
+
+        root = engine.spawn(level, 10)
+        engine.run()
+        assert root.result == 11
+
+
+def test_determinism_across_runs():
+    def build_and_run():
+        log = []
+        with sim.Engine() as engine:
+            def worker(tag):
+                for i in range(5):
+                    sim.sleep(0.1 * ((hash(tag) % 7) + 1))
+                    log.append((round(sim.now(), 6), tag))
+
+            for tag in ("x", "y", "z"):
+                engine.spawn(worker, tag)
+            engine.run()
+        return log
+
+    assert build_and_run() == build_and_run()

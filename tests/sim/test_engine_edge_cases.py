@@ -1,0 +1,145 @@
+"""Additional engine semantics: edge cases the main suite doesn't cover."""
+
+import pytest
+
+from repro import sim
+from repro.errors import DeadlockError, SimulationError
+
+
+def test_run_until_exact_event_time():
+    with sim.Engine() as engine:
+        fired = []
+
+        def proc():
+            sim.sleep(5.0)
+            fired.append(sim.now())
+
+        engine.spawn(proc)
+        engine.run(until=5.0)  # events AT the boundary still run
+        assert fired == [5.0]
+
+
+def test_event_succeeded_from_engine_context():
+    """Events may be triggered outside any process (setup code)."""
+    with sim.Engine() as engine:
+        gate = sim.Event(engine)
+        gate.succeed("preset")
+
+        proc = engine.spawn(lambda: sim.wait(gate))
+        engine.run()
+        assert proc.result == "preset"
+
+
+def test_daemon_error_not_raised():
+    with sim.Engine() as engine:
+        def bad():
+            raise RuntimeError("daemon crash")
+
+        daemon = engine.spawn(bad, daemon=True)
+        engine.spawn(lambda: sim.sleep(1.0))
+        engine.run()  # daemon crash recorded, not raised
+        assert isinstance(daemon.error, RuntimeError)
+
+
+def test_multiple_waiters_all_released():
+    with sim.Engine() as engine:
+        gate = sim.Event(engine)
+        woken = []
+
+        def waiter(tag):
+            sim.wait(gate)
+            woken.append(tag)
+
+        for tag in "abc":
+            engine.spawn(waiter, tag)
+        engine.spawn(lambda: (sim.sleep(1.0), gate.succeed())[-1])
+        engine.run()
+        assert sorted(woken) == ["a", "b", "c"]
+
+
+def test_process_done_event_carries_result():
+    with sim.Engine() as engine:
+        child = engine.spawn(lambda: "payload")
+
+        def parent():
+            return sim.wait(child.done)
+
+        parent_proc = engine.spawn(parent)
+        engine.run()
+        assert parent_proc.result == "payload"
+
+
+def test_failed_child_raises_in_joiner():
+    with sim.Engine() as engine:
+        def bad():
+            raise ValueError("child failed")
+
+        def parent():
+            child = sim.current_engine().spawn(bad, daemon=True)
+            with pytest.raises(ValueError):
+                sim.wait(child.done)
+            return "handled"
+
+        parent_proc = engine.spawn(parent)
+        engine.run()
+        assert parent_proc.result == "handled"
+
+
+def test_deadlock_lists_all_blocked_names():
+    with sim.Engine() as engine:
+        gate = sim.Event(engine)
+        engine.spawn(lambda: sim.wait(gate), name="alpha")
+        engine.spawn(lambda: sim.wait(gate), name="beta")
+        with pytest.raises(DeadlockError) as excinfo:
+            engine.run()
+        assert "alpha" in str(excinfo.value)
+        assert "beta" in str(excinfo.value)
+
+
+def test_spawn_kwargs_forwarded():
+    with sim.Engine() as engine:
+        proc = engine.spawn(lambda a, b=0: a + b, 1, b=2)
+        engine.run()
+        assert proc.result == 3
+
+
+def test_zero_delay_sleep_yields():
+    with sim.Engine() as engine:
+        order = []
+
+        def first():
+            order.append("first-start")
+            sim.sleep(0.0)
+            order.append("first-resume")
+
+        def second():
+            order.append("second")
+
+        engine.spawn(first)
+        engine.spawn(second)
+        engine.run()
+        # Zero-delay sleep re-queues behind already-scheduled work.
+        assert order == ["first-start", "second", "first-resume"]
+
+
+def test_engine_reuse_after_run():
+    with sim.Engine() as engine:
+        engine.spawn(lambda: sim.sleep(1.0))
+        assert engine.run() == 1.0
+        engine.spawn(lambda: sim.sleep(2.0))
+        assert engine.run() == 3.0  # the clock keeps advancing
+
+
+def test_resource_released_on_exception():
+    with sim.Engine() as engine:
+        resource = sim.Resource(engine, capacity=1)
+
+        def crasher():
+            with pytest.raises(ValueError):
+                with resource.request():
+                    raise ValueError("inside critical section")
+            return resource.in_use
+
+        proc = engine.spawn(crasher)
+        engine.run()
+        assert proc.result == 0  # context manager released the slot

@@ -1,0 +1,69 @@
+"""Tests for the simulated flush executor (async writes in sim time)."""
+
+from repro import sim
+from repro.sim.executor import SimExecutor
+
+
+def test_jobs_run_in_submission_order():
+    with sim.Engine() as engine:
+        log = []
+
+        def main():
+            executor = SimExecutor(engine)
+            for tag in "abc":
+                executor.submit(lambda t=tag: log.append(t))
+            executor.drain()
+            return list(log)
+
+        proc = engine.spawn(main)
+        engine.run()
+        assert proc.result == ["a", "b", "c"]
+
+
+def test_jobs_overlap_submitter_time():
+    """An async flush runs while the submitter keeps computing."""
+    with sim.Engine() as engine:
+        def main():
+            executor = SimExecutor(engine)
+            executor.submit(lambda: sim.sleep(5.0))  # a slow flush
+            t_after_submit = sim.now()
+            sim.sleep(2.0)                           # overlapped compute
+            executor.drain()
+            return (t_after_submit, sim.now())
+
+        proc = engine.spawn(main)
+        engine.run()
+        submitted, drained = proc.result
+        assert submitted == 0.0   # submit returns immediately
+        assert drained == 5.0     # flush and compute overlapped
+
+
+def test_single_worker_serializes_jobs():
+    """Two 3-second jobs take 6 seconds: one flush thread (§3.1.2)."""
+    with sim.Engine() as engine:
+        def main():
+            executor = SimExecutor(engine)
+            executor.submit(lambda: sim.sleep(3.0))
+            executor.submit(lambda: sim.sleep(3.0))
+            executor.drain()
+            return sim.now()
+
+        proc = engine.spawn(main)
+        engine.run()
+        assert proc.result == 6.0
+
+
+def test_drain_idempotent_and_empty():
+    with sim.Engine() as engine:
+        def main():
+            executor = SimExecutor(engine)
+            executor.drain()
+            executor.submit(lambda: sim.sleep(1.0))
+            executor.drain()
+            executor.drain()
+            executor.close()
+            return sim.now()
+
+        proc = engine.spawn(main)
+        engine.run()
+        assert proc.result == 1.0

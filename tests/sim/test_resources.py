@@ -1,0 +1,169 @@
+"""Tests for FCFS resources and stores."""
+
+import pytest
+
+from repro import sim
+from repro.errors import SimulationError
+from repro.sim import Resource, Store
+
+
+def test_resource_grants_up_to_capacity():
+    with sim.Engine() as engine:
+        disk = Resource(engine, capacity=2, name="disk")
+        log = []
+
+        def worker(tag):
+            with disk.request():
+                log.append((sim.now(), tag, "start"))
+                sim.sleep(1.0)
+            log.append((sim.now(), tag, "end"))
+
+        for tag in "abc":
+            engine.spawn(worker, tag)
+        engine.run()
+        # a and b start together; c waits for the first release.
+        starts = {tag: t for t, tag, kind in log if kind == "start"}
+        assert starts["a"] == 0.0
+        assert starts["b"] == 0.0
+        assert starts["c"] == 1.0
+
+
+def test_resource_fcfs_order():
+    with sim.Engine() as engine:
+        r = Resource(engine, capacity=1)
+        order = []
+
+        def worker(tag):
+            with r.request():
+                order.append(tag)
+                sim.sleep(1.0)
+
+        for tag in "abcd":
+            engine.spawn(worker, tag)
+        engine.run()
+        assert order == list("abcd")
+
+
+def test_release_idle_raises():
+    with sim.Engine() as engine:
+        r = Resource(engine)
+        with pytest.raises(SimulationError):
+            r.release()
+
+
+def test_bad_capacity_rejected():
+    with sim.Engine() as engine:
+        with pytest.raises(SimulationError):
+            Resource(engine, capacity=0)
+
+
+def test_in_use_and_queue_length():
+    with sim.Engine() as engine:
+        r = Resource(engine, capacity=1)
+        snapshots = []
+
+        def holder():
+            with r.request():
+                sim.sleep(2.0)
+
+        def observer():
+            sim.sleep(1.0)
+            snapshots.append((r.in_use, r.queue_length))
+
+        def waiter():
+            sim.sleep(0.5)
+            with r.request():
+                pass
+
+        engine.spawn(holder)
+        engine.spawn(waiter)
+        engine.spawn(observer)
+        engine.run()
+        assert snapshots == [(1, 1)]
+
+
+def test_store_put_then_get():
+    with sim.Engine() as engine:
+        store = Store(engine)
+
+        def producer():
+            store.put("item")
+
+        def consumer():
+            return store.get()
+
+        engine.spawn(producer)
+        consumer_proc = engine.spawn(consumer)
+        engine.run()
+        assert consumer_proc.result == "item"
+
+
+def test_store_get_blocks_until_put():
+    with sim.Engine() as engine:
+        store = Store(engine)
+
+        def consumer():
+            value = store.get()
+            return (sim.now(), value)
+
+        def producer():
+            sim.sleep(5.0)
+            store.put("late")
+
+        proc = engine.spawn(consumer)
+        engine.spawn(producer)
+        engine.run()
+        assert proc.result == (5.0, "late")
+
+
+def test_store_fifo_order():
+    with sim.Engine() as engine:
+        store = Store(engine)
+        got = []
+
+        def producer():
+            for i in range(3):
+                store.put(i)
+
+        def consumer():
+            for _ in range(3):
+                got.append(store.get())
+
+        engine.spawn(producer)
+        engine.spawn(consumer)
+        engine.run()
+        assert got == [0, 1, 2]
+
+
+def test_store_multiple_getters_fifo():
+    with sim.Engine() as engine:
+        store = Store(engine)
+        got = []
+
+        def consumer(tag):
+            got.append((tag, store.get()))
+
+        def producer():
+            sim.sleep(1.0)
+            store.put("first")
+            store.put("second")
+
+        engine.spawn(consumer, "a")
+        engine.spawn(consumer, "b")
+        engine.spawn(producer)
+        engine.run()
+        assert got == [("a", "first"), ("b", "second")]
+
+
+def test_try_get():
+    with sim.Engine() as engine:
+        store = Store(engine)
+
+        def proc():
+            assert store.try_get() is None
+            store.put(1)
+            assert store.try_get() == 1
+            assert len(store) == 0
+
+        engine.spawn(proc)
+        engine.run()

@@ -1,0 +1,124 @@
+"""Tests for the checkpoint-interval analytics (§2 arithmetic)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidArgumentError
+from repro.util.checkpoint_math import (
+    checkpoint_time,
+    daly_interval,
+    machine_efficiency,
+    mtbf_scaled,
+    young_interval,
+)
+
+
+class TestYoung:
+    def test_textbook_value(self):
+        # δ = 5 min, MTBF = 24 h → τ = sqrt(2·5·1440) = 120 min.
+        assert young_interval(5.0, 1440.0) == pytest.approx(120.0)
+
+    def test_scales_with_sqrt_mtbf(self):
+        assert young_interval(1.0, 400.0) == 2 * young_interval(1.0, 100.0)
+
+    def test_positive_args_required(self):
+        with pytest.raises(InvalidArgumentError):
+            young_interval(0.0, 100.0)
+        with pytest.raises(InvalidArgumentError):
+            young_interval(1.0, -5.0)
+
+    @given(
+        st.floats(min_value=0.01, max_value=1e3),
+        st.floats(min_value=0.01, max_value=1e6),
+    )
+    def test_faster_checkpoints_shorter_intervals(self, delta, mtbf):
+        # A faster I/O path (smaller δ) always shortens the optimum
+        # interval — you can afford to checkpoint more often.
+        assert young_interval(delta / 2, mtbf) < young_interval(delta, mtbf)
+
+
+class TestDaly:
+    def test_matches_young_for_small_delta(self):
+        young = young_interval(0.1, 10_000.0)
+        daly = daly_interval(0.1, 10_000.0)
+        assert daly == pytest.approx(young, rel=0.01)
+
+    def test_degenerate_case(self):
+        # δ ≥ 2·MTBF: checkpoint back to back.
+        assert daly_interval(100.0, 10.0) == 100.0
+
+    @given(
+        st.floats(min_value=0.01, max_value=100.0),
+        st.floats(min_value=100.0, max_value=1e6),
+    )
+    def test_daly_below_young_plus_delta(self, delta, mtbf):
+        assert daly_interval(delta, mtbf) <= young_interval(delta, mtbf) + delta
+
+
+class TestEfficiency:
+    def test_no_overhead_no_failures(self):
+        eff = machine_efficiency(0.0, 60.0, 1e12)
+        assert eff == pytest.approx(1.0)
+
+    def test_paper_motivating_case(self):
+        """§2: checkpoint time close to MTBF → little or no progress."""
+        eff = machine_efficiency(15.0, 17.0, 17.0)
+        assert eff < 0.4
+
+    def test_faster_io_improves_efficiency(self):
+        # The paper's pitch, quantified: 23.1x the bandwidth cuts δ by
+        # 23.1x; at the respective optimum intervals the machine does
+        # strictly more useful work.
+        mtbf = 60.0  # minutes
+        slow_delta = 10.0
+        fast_delta = slow_delta / 23.1
+        slow = machine_efficiency(
+            slow_delta, young_interval(slow_delta, mtbf), mtbf
+        )
+        fast = machine_efficiency(
+            fast_delta, young_interval(fast_delta, mtbf), mtbf
+        )
+        assert fast > slow
+
+    def test_validation(self):
+        with pytest.raises(InvalidArgumentError):
+            machine_efficiency(1.0, 0.0, 10.0)
+        with pytest.raises(InvalidArgumentError):
+            machine_efficiency(-1.0, 10.0, 10.0)
+
+    @given(
+        st.floats(min_value=0.0, max_value=10.0),
+        st.floats(min_value=1.0, max_value=100.0),
+        st.floats(min_value=10.0, max_value=1e5),
+    )
+    def test_bounded(self, delta, interval, mtbf):
+        eff = machine_efficiency(delta, interval, mtbf)
+        assert 0.0 <= eff <= 1.0
+
+
+class TestScaling:
+    def test_paper_reference_point(self):
+        """§2 [36]: ~17-minute MTBF for a 100,000-node system."""
+        node_mtbf_minutes = 17.0 * 100_000
+        assert mtbf_scaled(node_mtbf_minutes, 100_000) == pytest.approx(17.0)
+
+    def test_failure_rate_scales_linearly(self):
+        assert mtbf_scaled(1000.0, 10) == 10 * mtbf_scaled(1000.0, 100)
+
+    def test_validation(self):
+        with pytest.raises(InvalidArgumentError):
+            mtbf_scaled(100.0, 0)
+
+
+class TestCheckpointTime:
+    def test_linear_in_size_inverse_in_bandwidth(self):
+        """§2 [37]: overhead ∝ size and latency, ∝ 1/bandwidth."""
+        base = checkpoint_time(1e9, 1e8)
+        assert checkpoint_time(2e9, 1e8) == pytest.approx(2 * base)
+        assert checkpoint_time(1e9, 2e8) == pytest.approx(base / 2)
+
+    def test_latency_added(self):
+        assert checkpoint_time(1e6, 1e6, latency=3.0) == pytest.approx(4.0)

@@ -1,0 +1,79 @@
+"""Tests for size parsing/formatting (IOR-convention units)."""
+
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.util.humanize import (
+    KIB,
+    MIB,
+    format_bandwidth,
+    format_size,
+    parse_size,
+)
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("64K", 64 * KIB),
+            ("1M", MIB),
+            ("32MB", 32 * MIB),
+            ("1m", MIB),
+            ("2G", 2 << 30),
+            ("1T", 1 << 40),
+            ("100", 100),
+            ("100B", 100),
+            ("1.5K", 1536),
+            ("0", 0),
+            (" 8K ", 8192),
+            ("4KiB", 4096),
+        ],
+    )
+    def test_accepts_ior_style_sizes(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_accepts_ints_passthrough(self):
+        assert parse_size(65536) == 65536
+
+    def test_accepts_float(self):
+        assert parse_size(1.0) == 1
+
+    @pytest.mark.parametrize("bad", ["", "K", "12X", "1.2.3K", "-5K"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(InvalidArgumentError):
+            parse_size(bad)
+
+    def test_rejects_negative_number(self):
+        with pytest.raises(InvalidArgumentError):
+            parse_size(-1)
+
+    def test_rejects_bool(self):
+        with pytest.raises(InvalidArgumentError):
+            parse_size(True)
+
+
+class TestFormatSize:
+    @pytest.mark.parametrize(
+        "nbytes,expected",
+        [
+            (65536, "64K"),
+            (MIB, "1M"),
+            (1536, "1.5K"),
+            (10, "10B"),
+            (0, "0B"),
+            (3 << 30, "3G"),
+        ],
+    )
+    def test_formats(self, nbytes, expected):
+        assert format_size(nbytes) == expected
+
+    def test_roundtrip_through_parse(self):
+        for nbytes in (512, 4096, 65536, MIB, 32 * MIB):
+            assert parse_size(format_size(nbytes)) == nbytes
+
+
+class TestFormatBandwidth:
+    def test_mib_per_second(self):
+        assert format_bandwidth(MIB) == "1.00 MB/s"
+        assert format_bandwidth(1.5 * MIB) == "1.50 MB/s"

@@ -1,0 +1,63 @@
+"""Tests for SummaryStats (the paper's max-of-10-reps reporting)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidArgumentError
+from repro.util.stats import SummaryStats
+
+
+class TestSummaryStats:
+    def test_paper_protocol_max(self):
+        stats = SummaryStats()
+        for value in [3.0, 9.5, 7.2]:
+            stats.add(value)
+        assert stats.max == 9.5
+
+    def test_mean_min(self):
+        stats = SummaryStats([2.0, 4.0])
+        assert stats.mean == 3.0
+        assert stats.min == 2.0
+
+    def test_len(self):
+        stats = SummaryStats()
+        assert len(stats) == 0
+        stats.add(1)
+        assert len(stats) == 1
+
+    def test_stddev_single_sample_is_zero(self):
+        assert SummaryStats([5.0]).stddev == 0.0
+
+    def test_stddev_known_value(self):
+        stats = SummaryStats([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert math.isclose(stats.stddev, 2.13809, rel_tol=1e-4)
+
+    def test_empty_raises(self):
+        with pytest.raises(InvalidArgumentError):
+            _ = SummaryStats().max
+
+    def test_percentile_endpoints(self):
+        stats = SummaryStats([1.0, 2.0, 3.0, 4.0])
+        assert stats.percentile(0) == 1.0
+        assert stats.percentile(100) == 4.0
+
+    def test_percentile_interpolates(self):
+        stats = SummaryStats([0.0, 10.0])
+        assert stats.percentile(50) == 5.0
+
+    def test_percentile_range_check(self):
+        with pytest.raises(InvalidArgumentError):
+            SummaryStats([1.0]).percentile(101)
+
+    @given(st.lists(st.floats(min_value=-1e9, max_value=1e9), min_size=1, max_size=50))
+    def test_invariants_property(self, values):
+        stats = SummaryStats()
+        for value in values:
+            stats.add(value)
+        tol = 1e-9 * max(1.0, abs(stats.max), abs(stats.min))
+        assert stats.min - tol <= stats.mean <= stats.max + tol
+        assert stats.percentile(50) <= stats.max + tol
+        assert stats.percentile(50) >= stats.min - tol

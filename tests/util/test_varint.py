@@ -1,0 +1,100 @@
+"""Unit and property tests for the varint/fixed-int codecs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CorruptionError
+from repro.util.varint import (
+    decode_fixed32,
+    decode_fixed64,
+    decode_varint32,
+    decode_varint64,
+    encode_fixed32,
+    encode_fixed64,
+    encode_varint32,
+    encode_varint64,
+)
+
+
+class TestFixed:
+    def test_fixed32_roundtrip_boundaries(self):
+        for value in (0, 1, 0x7F, 0x80, 0xFFFF, 0xFFFFFFFF):
+            assert decode_fixed32(encode_fixed32(value)) == value
+
+    def test_fixed32_is_little_endian(self):
+        assert encode_fixed32(1) == b"\x01\x00\x00\x00"
+
+    def test_fixed64_roundtrip_boundaries(self):
+        for value in (0, 1, 1 << 32, (1 << 64) - 1):
+            assert decode_fixed64(encode_fixed64(value)) == value
+
+    def test_fixed64_width(self):
+        assert len(encode_fixed64(0)) == 8
+
+    def test_decode_at_offset(self):
+        buf = b"\xff\xff" + encode_fixed32(42)
+        assert decode_fixed32(buf, 2) == 42
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_fixed64_roundtrip_property(self, value):
+        assert decode_fixed64(encode_fixed64(value)) == value
+
+
+class TestVarint:
+    def test_single_byte_values(self):
+        assert encode_varint64(0) == b"\x00"
+        assert encode_varint64(127) == b"\x7f"
+
+    def test_two_byte_boundary(self):
+        assert encode_varint64(128) == b"\x80\x01"
+
+    def test_decode_returns_next_offset(self):
+        buf = encode_varint64(300) + b"rest"
+        value, pos = decode_varint64(buf)
+        assert value == 300
+        assert buf[pos:] == b"rest"
+
+    def test_decode_at_offset(self):
+        buf = b"xx" + encode_varint64(5)
+        assert decode_varint64(buf, 2) == (5, 3)
+
+    def test_truncated_raises_corruption(self):
+        with pytest.raises(CorruptionError):
+            decode_varint64(b"\x80")  # continuation bit set, nothing follows
+
+    def test_varint32_range_check_encode(self):
+        with pytest.raises(ValueError):
+            encode_varint32(1 << 32)
+        with pytest.raises(ValueError):
+            encode_varint32(-1)
+
+    def test_varint64_range_check_encode(self):
+        with pytest.raises(ValueError):
+            encode_varint64(1 << 64)
+
+    def test_varint32_overflow_decode(self):
+        with pytest.raises(CorruptionError):
+            decode_varint32(encode_varint64((1 << 32) + 5))
+
+    def test_max_value_lengths(self):
+        assert len(encode_varint64((1 << 64) - 1)) == 10
+        assert len(encode_varint32((1 << 32) - 1)) == 5
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_varint64_roundtrip_property(self, value):
+        encoded = encode_varint64(value)
+        decoded, pos = decode_varint64(encoded)
+        assert decoded == value
+        assert pos == len(encoded)
+
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 32) - 1), max_size=20))
+    def test_varint_stream_roundtrip(self, values):
+        buf = b"".join(encode_varint32(v) for v in values)
+        pos = 0
+        out = []
+        for _ in values:
+            value, pos = decode_varint32(buf, pos)
+            out.append(value)
+        assert out == values
+        assert pos == len(buf)
