@@ -2,10 +2,12 @@
 """Checkpoint/restart of a real computation through the LSMIO K/V API.
 
 A 2-D heat-diffusion stencil (the workload class the paper's introduction
-motivates) runs for N steps, checkpointing its full state every K steps.
-Midway we simulate a crash — the process state is discarded — and restart
-from the newest durable checkpoint, verifying that the recomputed result
-matches an uninterrupted run bit-for-bit.
+motivates) runs for N steps, checkpointing its full state every K steps
+through :class:`repro.core.Checkpointer` — the library's crash-consistent
+epoch protocol (CRC-verified blocks + commit marker).  Midway we simulate
+a crash — the process state is discarded — and restart from the newest
+*complete* epoch, verifying that the recomputed result matches an
+uninterrupted run bit-for-bit.
 
     python examples/checkpoint_restart.py [directory]
 """
@@ -15,7 +17,7 @@ import tempfile
 
 import numpy as np
 
-from repro.core import LsmioManager, LsmioOptions
+from repro.core import Checkpointer, LsmioManager, LsmioOptions
 from repro.errors import NotFoundError
 
 GRID = 256
@@ -43,28 +45,21 @@ def initial_field() -> np.ndarray:
     return field
 
 
-def write_checkpoint(manager: LsmioManager, step_no: int, field: np.ndarray) -> None:
-    manager.put_typed(f"ckpt/{step_no:06d}/field", field)
-    manager.put_typed("ckpt/latest", step_no)
-    manager.write_barrier()  # the checkpoint is durable past this line
-
-
-def load_latest_checkpoint(manager: LsmioManager):
+def load_latest_checkpoint(ckpt: Checkpointer):
     try:
-        step_no = manager.get_typed("ckpt/latest")
+        epoch, state = ckpt.load_latest()  # every block CRC-verified
     except NotFoundError:
         return 0, initial_field()
-    field = manager.get_typed(f"ckpt/{step_no:06d}/field")
-    return step_no, field
+    return epoch, state["field"]
 
 
-def run(manager: LsmioManager, start_step: int, field: np.ndarray,
+def run(ckpt: Checkpointer, start_step: int, field: np.ndarray,
         crash_at: int | None) -> tuple[int, np.ndarray]:
     for step_no in range(start_step + 1, STEPS + 1):
         field = step(field)
         if step_no % CHECKPOINT_EVERY == 0:
-            write_checkpoint(manager, step_no, field)
-            print(f"  checkpointed step {step_no}")
+            report = ckpt.save(step_no, {"field": field})
+            print(f"  checkpointed step {step_no} ({report.summary()})")
         if crash_at is not None and step_no == crash_at:
             print(f"  !! simulated crash at step {step_no} "
                   "(in-memory state lost)")
@@ -85,15 +80,17 @@ def main() -> int:
     # Faulty run: crashes at step 50 (after the step-40 checkpoint).
     manager = LsmioManager(db, LsmioOptions())
     print("run 1 (will crash):")
-    run(manager, 0, initial_field(), crash_at=50)
-    manager.close()  # the process dies; only barriered state survives
+    run(Checkpointer(manager), 0, initial_field(), crash_at=50)
+    manager.close()  # the process dies; only committed epochs survive
 
-    # Restart: recover from the newest durable checkpoint and finish.
+    # Restart: recover from the newest complete epoch and finish.
     manager = LsmioManager(db, LsmioOptions())
-    start_step, field = load_latest_checkpoint(manager)
+    ckpt = Checkpointer(manager)
+    start_step, field = load_latest_checkpoint(ckpt)
     print(f"run 2: restarting from checkpoint at step {start_step}")
     assert start_step == 40, "should resume from the step-40 checkpoint"
-    _, final = run(manager, start_step, field, crash_at=None)
+    assert ckpt.epochs() == [20, 40], "both epochs should be committed"
+    _, final = run(ckpt, start_step, field, crash_at=None)
     manager.close()
 
     np.testing.assert_array_equal(final, reference)

@@ -19,6 +19,7 @@ LevelDB-style backend emulates batching via ``WriteBatch`` for engines
 that cannot disable their WAL.
 """
 
+from repro.core.checkpoint import Checkpointer, DegradedWriteReport
 from repro.core.counters import PerfCounters
 from repro.core.fstream import LsmioFStream
 from repro.core.manager import LsmioManager
@@ -28,6 +29,8 @@ from repro.core.store import LsmioStore
 
 __all__ = [
     "Backend",
+    "Checkpointer",
+    "DegradedWriteReport",
     "LsmioFStream",
     "LsmioManager",
     "LsmioOptions",

@@ -38,6 +38,15 @@ class PerfCounters:
     put_time: float = 0.0
     get_time: float = 0.0
     barrier_time: float = 0.0
+    #: fault-path counters (zero on a healthy cluster): storage-RPC
+    #: retries/timeouts absorbed under this manager, simulated seconds
+    #: spent backing off, and barriers that completed degraded (or not at
+    #: all) — so ``bench`` can report resilience next to throughput.
+    retries: int = 0
+    timeouts: int = 0
+    backoff_time: float = 0.0
+    degraded_barriers: int = 0
+    failed_barriers: int = 0
 
     def record(self, op: str, nbytes: int = 0, elapsed: float = 0.0) -> None:
         """Account one operation."""
@@ -60,6 +69,21 @@ class PerfCounters:
             self.barrier_time += elapsed
         else:
             raise ValueError(f"unknown op {op!r}")
+
+    def record_faults(
+        self,
+        retries: int = 0,
+        timeouts: int = 0,
+        backoff_time: float = 0.0,
+        degraded: bool = False,
+        failed: bool = False,
+    ) -> None:
+        """Account the fault-path work one barrier (or operation) did."""
+        self.retries += retries
+        self.timeouts += timeouts
+        self.backoff_time += backoff_time
+        self.degraded_barriers += int(degraded)
+        self.failed_barriers += int(failed)
 
     def write_bandwidth(self) -> float:
         """Bytes/second over put+append+barrier time (0 when untimed)."""

@@ -19,12 +19,23 @@ from __future__ import annotations
 import threading
 from typing import Any, Iterator, Optional
 
-from repro.errors import ClosedError, InvalidArgumentError
+from repro.errors import (
+    ClosedError,
+    DegradedWriteError,
+    InvalidArgumentError,
+    OstUnavailableError,
+    RetryExhaustedError,
+    RpcTimeoutError,
+)
 from repro.lsm.env import Env
+from repro.core.checkpoint import DegradedWriteReport
 from repro.core.counters import PerfCounters, ambient_clock
 from repro.core.options import LsmioOptions
 from repro.core.serialization import deserialize_value, serialize_value
 from repro.core.store import LsmioStore
+
+#: storage faults that a barrier converts into a DegradedWriteError
+_BARRIER_FAULTS = (OstUnavailableError, RetryExhaustedError, RpcTimeoutError)
 
 _OPS_CHANNEL = "lsmio.ops"
 
@@ -72,6 +83,10 @@ class LsmioManager:
         self.comm = comm
         self.counters = PerfCounters()
         self._closed = False
+        self._env = env
+        #: DegradedWriteReport of the most recent write_barrier (None
+        #: before the first barrier); clean reports are recorded too.
+        self.last_barrier_report: Optional[DegradedWriteReport] = None
 
         self.collective = bool(collective and comm is not None and comm.size > 1)
         if collective and comm is None:
@@ -145,19 +160,109 @@ class LsmioManager:
         return value
 
     def write_barrier(self, sync: bool = True) -> None:
-        """Flush buffered writes locally or remotely (collective I/O)."""
+        """Flush buffered writes locally or remotely (collective I/O).
+
+        On a faulty cluster the barrier degrades gracefully: transient
+        OST/RPC faults are absorbed by the client retry path and merely
+        recorded, while a terminal storage fault (retry budget exhausted,
+        OST still down) raises :class:`~repro.errors.DegradedWriteError`
+        carrying a :class:`~repro.core.checkpoint.DegradedWriteReport`.
+        Either way ``last_barrier_report`` describes what happened and the
+        fault counters in :attr:`counters` are updated.  With no fault
+        injector installed this is the original fast path plus one
+        attribute probe.
+        """
         start = ambient_clock()
         self._check_open()
-        if self.is_aggregator:
-            self.store.write_barrier(sync=sync)
-        else:
-            self.comm.channel_send(
-                _OPS_CHANNEL,
-                ("barrier", self.comm.rank, sync),
-                self.aggregator_rank,
+        injector = self._fault_injector()
+        if injector is not None:
+            injector.maybe_crash_rank(
+                start, self.comm.rank if self.comm is not None else 0
             )
-            self.comm.channel_recv(_reply_channel(self.comm.rank))
+        before = self._fault_snapshot()
+        try:
+            if self.is_aggregator:
+                self.store.write_barrier(sync=sync)
+            else:
+                self.comm.channel_send(
+                    _OPS_CHANNEL,
+                    ("barrier", self.comm.rank, sync),
+                    self.aggregator_rank,
+                )
+                status, payload = self.comm.channel_recv(
+                    _reply_channel(self.comm.rank)
+                )
+                if status == "err":
+                    raise payload
+        except _BARRIER_FAULTS as exc:
+            report = self._barrier_report(before, completed=False, error=str(exc))
+            self.last_barrier_report = report
+            self.counters.record_faults(
+                report.retries,
+                report.timeouts,
+                report.backoff_time,
+                degraded=True,
+                failed=True,
+            )
+            self.counters.record("barrier", elapsed=ambient_clock() - start)
+            raise DegradedWriteError(report.summary(), report=report) from exc
+        report = self._barrier_report(before, completed=True)
+        self.last_barrier_report = report
+        if report.degraded:
+            self.counters.record_faults(
+                report.retries,
+                report.timeouts,
+                report.backoff_time,
+                degraded=True,
+            )
         self.counters.record("barrier", elapsed=ambient_clock() - start)
+
+    # -- fault plumbing (all no-ops on a healthy/local setup) ----------
+
+    def _fault_client(self):
+        """The LustreClient under this manager's env, if there is one."""
+        return getattr(self._env, "client", None)
+
+    def _fault_injector(self):
+        client = self._fault_client()
+        if client is None:
+            return None
+        return getattr(client.cluster, "fault_injector", None)
+
+    def _fault_snapshot(self):
+        """Pre-barrier client fault counters, for delta reporting."""
+        client = self._fault_client()
+        if client is None:
+            return None
+        stats = client.stats
+        return (client, stats.retries, stats.timeouts, stats.backoff_time)
+
+    def _barrier_report(
+        self, before, completed: bool, error: Optional[str] = None
+    ) -> DegradedWriteReport:
+        if before is None:
+            return DegradedWriteReport(completed=completed, error=error)
+        client, retries0, timeouts0, backoff0 = before
+        stats = client.stats
+        retries = stats.retries - retries0
+        timeouts = stats.timeouts - timeouts0
+        backoff = stats.backoff_time - backoff0
+        failed_osts: tuple[int, ...] = ()
+        # Down OSTs are only *this* barrier's problem when it actually hit
+        # the fault path — a clean barrier over files striped elsewhere
+        # stays clean.
+        if not completed or retries or timeouts:
+            injector = getattr(client.cluster, "fault_injector", None)
+            if injector is not None:
+                failed_osts = injector.down_osts
+        return DegradedWriteReport(
+            completed=completed,
+            retries=retries,
+            timeouts=timeouts,
+            backoff_time=backoff,
+            failed_osts=failed_osts,
+            error=error,
+        )
 
     # -- typed puts (Table 2: "multiple put methods for different data types")
 
@@ -296,8 +401,14 @@ class LsmioManager:
                 self.comm.channel_send(_reply_channel(src), reply, src)
             elif kind == "barrier":
                 _, src, sync = msg
-                self.store.write_barrier(sync=sync)
-                self.comm.channel_send(_reply_channel(src), ("ok", None), src)
+                try:
+                    self.store.write_barrier(sync=sync)
+                    reply = ("ok", None)
+                except ReproError as exc:
+                    # Ship the storage fault to the requesting member —
+                    # dying here would leave it blocked on the reply.
+                    reply = ("err", exc)
+                self.comm.channel_send(_reply_channel(src), reply, src)
             elif kind == "close":
                 _, src = msg
                 live.discard(src)

@@ -36,6 +36,77 @@ class StorageIOError(ReproError, IOError):
     """An underlying storage operation failed."""
 
 
+class OstUnavailableError(StorageIOError):
+    """An RPC reached an OST whose failure domain is down.
+
+    Sits in the ``IOError`` family of the LevelDB-style hierarchy: the
+    request was well-formed and the data may be intact, but the storage
+    target cannot serve it right now.  Transient by contract — the client
+    retry path (:meth:`repro.pfs.client.LustreClient.write` etc.) backs
+    off and re-issues; only when the retry budget is exhausted does the
+    failure escalate to :class:`RetryExhaustedError`.
+
+    ``ost_index`` identifies the failed target so degradation reports can
+    name the failure domain.
+    """
+
+    def __init__(self, message: str, ost_index: int | None = None):
+        super().__init__(message)
+        self.ost_index = ost_index
+
+
+class RpcTimeoutError(StorageIOError, TimeoutError):
+    """A client↔OSS RPC timed out (dropped request or dead server).
+
+    Subclasses both :class:`StorageIOError` (so it stays inside the
+    LevelDB-style ``IOError`` status family and is catchable as
+    :class:`ReproError`) and the builtin :class:`TimeoutError` so
+    idiomatic ``except TimeoutError`` works, mirroring how
+    :class:`NotFoundError` cooperates with ``except KeyError``.
+    """
+
+    def __init__(self, message: str, ost_index: int | None = None):
+        super().__init__(message)
+        self.ost_index = ost_index
+
+
+class RetryExhaustedError(StorageIOError):
+    """A retried storage operation failed on every attempt.
+
+    The terminal form of :class:`OstUnavailableError` /
+    :class:`RpcTimeoutError`: the client's exponential-backoff loop gave
+    up.  Carries the attempt count and the last underlying error so
+    callers (and :class:`~repro.core.checkpoint.DegradedWriteReport`) can
+    explain *why* the write path degraded.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        attempts: int = 0,
+        last_error: BaseException | None = None,
+    ):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class DegradedWriteError(StorageIOError):
+    """A write barrier could not make all data durable.
+
+    Raised by :meth:`repro.core.manager.LsmioManager.write_barrier` when
+    the flush hit a fault the retry path could not absorb.  Carries the
+    structured :class:`~repro.core.checkpoint.DegradedWriteReport` (as
+    ``report``) describing which failure domains were involved and how
+    much retrying was attempted, so checkpoint layers can fall back to
+    the last complete epoch instead of guessing.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
 class ClosedError(ReproError):
     """An operation was attempted on a closed database, store, or stream."""
 

@@ -1,0 +1,41 @@
+"""Deterministic fault injection for the simulated storage stack.
+
+Checkpointing exists because clusters fail; a reproduction that can only
+model a healthy cluster cannot say anything about the mechanism's actual
+job.  This package makes degraded and crashing clusters a first-class
+scenario:
+
+- :mod:`repro.fault.schedule` — :class:`FaultSchedule` (a declarative,
+  seedable list of faults: fail OST *k* at time *t* or after *n*
+  requests, drop/delay client↔OSS RPCs, fail every *m*-th fsync, crash a
+  rank mid-barrier) and :class:`FaultInjector` (the runtime that applies
+  it to a :class:`~repro.pfs.lustre.LustreCluster`);
+- :mod:`repro.fault.env` — :class:`FaultyEnv`, an
+  :class:`~repro.lsm.env.Env` wrapper that simulates torn writes, lost
+  un-synced data on crash, and injected fsync failures, so WAL replay
+  and MANIFEST recovery are exercised against realistic corruption.
+
+Everything is driven from seeded RNGs and the deterministic simulation
+clock, so a given (schedule, seed) pair produces a bit-identical run —
+failures are reproducible test fixtures, not flakes.  When no schedule
+is installed the hooks are single ``is None`` checks: the healthy-path
+cost is zero.
+"""
+
+from repro.fault.env import FaultyEnv
+from repro.fault.schedule import (
+    FaultInjector,
+    FaultSchedule,
+    FaultSpec,
+    FaultStats,
+    SimulatedCrash,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultSpec",
+    "FaultStats",
+    "FaultyEnv",
+    "SimulatedCrash",
+]

@@ -22,7 +22,13 @@ from typing import NamedTuple, Optional
 import numpy as np
 
 from repro import sim
-from repro.errors import InvalidArgumentError
+from repro.errors import (
+    InvalidArgumentError,
+    OstUnavailableError,
+    RetryExhaustedError,
+    RpcTimeoutError,
+    StorageIOError,
+)
 from repro.pfs.lustre import LustreCluster, LustreFile
 
 
@@ -42,6 +48,11 @@ class ClientStats:
     write_rpcs: int = 0
     read_rpcs: int = 0
     mds_ops: int = 0
+    #: fault-path counters (all zero on a healthy cluster)
+    retries: int = 0
+    timeouts: int = 0
+    rpc_failures: int = 0
+    backoff_time: float = 0.0
 
 
 class LustreClient:
@@ -65,6 +76,18 @@ class LustreClient:
         self._outstanding: list[sim.Process] = []
         self._last_arrival = 0.0
         self.stats = ClientStats()
+        # Retry/timeout policy (only exercised when faults are injected).
+        self._rpc_timeout = config.rpc_timeout
+        self._max_retries = config.rpc_max_retries
+        self._backoff_base = config.rpc_backoff_base
+        self._backoff_max = config.rpc_backoff_max
+        self._backoff_jitter = config.rpc_backoff_jitter
+        self._retry_rng = np.random.default_rng(
+            (config.jitter_seed * 9_176_219 + client_id * 31 + 7) & 0xFFFFFFFF
+        )
+        self._write_errors: list[BaseException] = []
+        self._read_errors: list[BaseException] = []
+        cluster.clients.append(self)
 
     # ------------------------------------------------------------------
     # Namespace operations (charge the MDS)
@@ -224,18 +247,104 @@ class LustreClient:
 
     def _write_behind(self, rpc: Rpc) -> None:
         self._jitter_delay()
-        self.cluster.oss_for_ost(rpc.ost_index).transfer(rpc.length)
-        self.cluster.osts[rpc.ost_index].serve(
-            self.client_id, rpc.object_id, rpc.object_offset, rpc.length,
-            is_write=True,
+        if self.cluster.fault_injector is None:
+            # Healthy fast path: identical to a cluster without the fault
+            # subsystem (one attribute check of overhead).
+            self.cluster.oss_for_ost(rpc.ost_index).transfer(rpc.length)
+            self.cluster.osts[rpc.ost_index].serve(
+                self.client_id, rpc.object_id, rpc.object_offset, rpc.length,
+                is_write=True,
+            )
+            return
+        try:
+            self._faulty_transfer(rpc, is_write=True)
+        except StorageIOError as exc:
+            # Write-behind semantics: the failure surfaces at fsync/close
+            # (like EIO reported from the page cache), not here — raising
+            # out of a background process would tear down the engine.
+            self._write_errors.append(exc)
+
+    # -- retry/timeout/backoff (the degraded path) ------------------------
+
+    def _faulty_transfer(self, rpc: Rpc, is_write: bool) -> None:
+        """One RPC with retry, timeout, and exponential backoff + jitter.
+
+        Transient faults (:class:`OstUnavailableError`,
+        :class:`RpcTimeoutError`) are retried up to the configured budget
+        with exponentially growing, jittered backoff; exhaustion raises
+        :class:`RetryExhaustedError` carrying the last underlying error.
+        """
+        injector = self.cluster.fault_injector
+        attempts = 0
+        while True:
+            try:
+                self._attempt_transfer(injector, rpc, is_write)
+                return
+            except (OstUnavailableError, RpcTimeoutError) as exc:
+                attempts += 1
+                if attempts > self._max_retries:
+                    self.stats.rpc_failures += 1
+                    raise RetryExhaustedError(
+                        f"client{self.client_id}: rpc to ost{rpc.ost_index} "
+                        f"failed after {attempts} attempts: {exc}",
+                        attempts=attempts,
+                        last_error=exc,
+                    ) from exc
+                self.stats.retries += 1
+                self._backoff(attempts)
+
+    def _attempt_transfer(self, injector, rpc: Rpc, is_write: bool) -> None:
+        drop, extra = injector.before_rpc(
+            sim.now(), rpc.ost_index, self.client_id, is_write
         )
+        if extra > 0.0:
+            sim.sleep(extra)
+        oss = self.cluster.oss_for_ost(rpc.ost_index)
+        if drop or not oss.up:
+            # The request (or its reply) vanished: wait out the timeout.
+            sim.sleep(self._rpc_timeout)
+            self.stats.timeouts += 1
+            raise RpcTimeoutError(
+                f"client{self.client_id}: rpc to ost{rpc.ost_index} "
+                f"timed out after {self._rpc_timeout}s",
+                ost_index=rpc.ost_index,
+            )
+        if is_write:
+            oss.transfer(rpc.length)
+            self.cluster.osts[rpc.ost_index].serve(
+                self.client_id, rpc.object_id, rpc.object_offset, rpc.length,
+                is_write=True,
+            )
+        else:
+            self.cluster.osts[rpc.ost_index].serve(
+                self.client_id, rpc.object_id, rpc.object_offset, rpc.length,
+                is_write=False,
+            )
+            oss.transfer(rpc.length)
+
+    def _backoff(self, attempts: int) -> None:
+        delay = min(
+            self._backoff_max, self._backoff_base * (2 ** (attempts - 1))
+        )
+        if self._backoff_jitter > 0.0:
+            delay *= 1.0 + self._backoff_jitter * float(self._retry_rng.random())
+        self.stats.backoff_time += delay
+        sim.sleep(delay)
 
     def fsync(self, file: Optional[LustreFile] = None) -> None:
-        """Block until all of this client's outstanding writes are stable."""
+        """Block until all of this client's outstanding writes are stable.
+
+        Raises the first recorded write-behind failure
+        (:class:`RetryExhaustedError` after the retry budget is spent) —
+        the POSIX contract that fsync is where async write errors land.
+        """
         pending, self._outstanding = self._outstanding, []
         for proc in pending:
             if proc.alive:
                 sim.wait(proc.done)
+        if self._write_errors:
+            errors, self._write_errors = self._write_errors, []
+            raise errors[0]
 
     def read(self, file: LustreFile, offset: int, nbytes: int) -> bytes:
         """Synchronous striped read; returns the logical bytes."""
@@ -253,6 +362,9 @@ class LustreClient:
         ]
         for proc in procs:
             sim.wait(proc.done)
+        if self._read_errors:
+            errors, self._read_errors = self._read_errors, []
+            raise errors[0]
         # …then the NIC serializes delivery into this node.
         for rpc in rpcs:
             with self._nic.request():
@@ -263,11 +375,19 @@ class LustreClient:
 
     def _read_remote(self, rpc: Rpc) -> None:
         self._jitter_delay()
-        self.cluster.osts[rpc.ost_index].serve(
-            self.client_id, rpc.object_id, rpc.object_offset, rpc.length,
-            is_write=False,
-        )
-        self.cluster.oss_for_ost(rpc.ost_index).transfer(rpc.length)
+        if self.cluster.fault_injector is None:
+            self.cluster.osts[rpc.ost_index].serve(
+                self.client_id, rpc.object_id, rpc.object_offset, rpc.length,
+                is_write=False,
+            )
+            self.cluster.oss_for_ost(rpc.ost_index).transfer(rpc.length)
+            return
+        try:
+            self._faulty_transfer(rpc, is_write=False)
+        except StorageIOError as exc:
+            # Reads are synchronous: the error re-raises in read() after
+            # every parallel RPC has settled.
+            self._read_errors.append(exc)
 
     def _jitter_delay(self) -> None:
         """Fabric/scheduling variance, order-preserving per client.

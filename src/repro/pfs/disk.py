@@ -62,6 +62,24 @@ class DiskProfile:
             if value < 0:
                 raise InvalidArgumentError("times must be non-negative")
 
+    def scaled(self, factor: float) -> "DiskProfile":
+        """A degraded copy of this profile, ``factor``× slower.
+
+        Models an array mid-RAID-rebuild or with a failing member: the
+        streaming rate drops by ``factor`` and every latency component
+        grows by it.  Used by the fault injector's ``degrade_disk``.
+        """
+        if factor <= 0:
+            raise InvalidArgumentError("scale factor must be positive")
+        return DiskProfile(
+            seq_bandwidth=self.seq_bandwidth / factor,
+            positioning_time=self.positioning_time * factor,
+            write_near_time=self.write_near_time * factor,
+            read_near_time=self.read_near_time * factor,
+            seek_time_per_byte=self.seek_time_per_byte * factor,
+            per_request_overhead=self.per_request_overhead * factor,
+        )
+
     def service_time(
         self,
         head: HeadPosition,

@@ -50,6 +50,19 @@ class LustreConfig:
     jitter_seed: int = 0
     #: keep logical file bytes (needed when a real engine runs on top)
     store_data: bool = True
+    #: client RPC timeout (simulated seconds) — how long a client waits
+    #: for a reply before declaring the RPC lost (Lustre's obd_timeout,
+    #: scaled to the model's time base)
+    rpc_timeout: float = 5.0
+    #: retry budget per RPC before the error escalates to
+    #: RetryExhaustedError (only consulted when faults are injected)
+    rpc_max_retries: int = 6
+    #: exponential backoff: first retry waits rpc_backoff_base seconds,
+    #: doubling per attempt, capped at rpc_backoff_max, with a seeded
+    #: multiplicative jitter of up to rpc_backoff_jitter (fraction)
+    rpc_backoff_base: float = 0.05
+    rpc_backoff_max: float = 2.0
+    rpc_backoff_jitter: float = 0.2
 
     def __post_init__(self) -> None:
         self.oss_bandwidth = float(parse_size(self.oss_bandwidth))
@@ -60,6 +73,12 @@ class LustreConfig:
             raise InvalidArgumentError("need at least one OST and one OSS")
         if not 1 <= self.default_stripe_count <= self.num_osts:
             raise InvalidArgumentError("bad default stripe count")
+        if self.rpc_timeout <= 0 or self.rpc_max_retries < 0:
+            raise InvalidArgumentError("bad RPC retry policy")
+        if min(
+            self.rpc_backoff_base, self.rpc_backoff_max, self.rpc_backoff_jitter
+        ) < 0:
+            raise InvalidArgumentError("backoff parameters must be >= 0")
 
 
 class LustreFile:
@@ -135,6 +154,12 @@ class LustreCluster:
             for index in range(self.config.num_oss)
         ]
         self.mds = Mds(engine, op_costs=self.config.mds_op_costs)
+        #: installed by repro.fault.FaultInjector.install(); None means
+        #: every fault hook is a single is-None check (healthy fast path)
+        self.fault_injector = None
+        #: every LustreClient registers here so cluster-wide reports can
+        #: aggregate per-client retry/timeout counters
+        self.clients: list = []
         self._files: dict[str, LustreFile] = {}
         self._next_file_id = 1
         self._next_start_ost = 0
@@ -224,3 +249,12 @@ class LustreCluster:
 
     def total_lock_switches(self) -> int:
         return sum(ost.stats.lock_switches for ost in self.osts)
+
+    def total_rpc_retries(self) -> int:
+        return sum(client.stats.retries for client in self.clients)
+
+    def total_rpc_timeouts(self) -> int:
+        return sum(client.stats.timeouts for client in self.clients)
+
+    def total_backoff_time(self) -> float:
+        return sum(client.stats.backoff_time for client in self.clients)

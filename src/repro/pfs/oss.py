@@ -23,6 +23,8 @@ class OssStats:
     bytes_moved: int = 0
     requests: int = 0
     busy_time: float = 0.0
+    rejected_requests: int = 0
+    failures: int = 0
 
 
 class Oss:
@@ -41,9 +43,32 @@ class Oss:
         self.rpc_overhead = rpc_overhead
         self._pipe = sim.Resource(engine, capacity=1, name=f"oss{index}")
         self.stats = OssStats()
+        #: failure-domain state, flipped by a FaultInjector.  An OSS that
+        #: is down silently eats RPCs: the client burns its timeout and
+        #: sees :class:`~repro.errors.RpcTimeoutError` (the check lives in
+        #: :meth:`LustreClient._faulty_transfer` so the timeout is charged
+        #: at the caller).
+        self.up = True
+
+    # -- failure domain (driven by repro.fault) ---------------------------
+
+    def fail(self) -> None:
+        """Take this server down: requests to its OSTs time out."""
+        self.up = False
+        self.stats.failures += 1
+
+    def recover(self) -> None:
+        self.up = True
 
     def transfer(self, nbytes: int) -> None:
         """Move ``nbytes`` through this server (called from a sim process)."""
+        if not self.up:
+            # Unreached in practice (clients check before transferring),
+            # but guard the pipe for direct callers.
+            self.stats.rejected_requests += 1
+            from repro.errors import RpcTimeoutError
+
+            raise RpcTimeoutError(f"oss{self.index} unreachable")
         with self._pipe.request():
             start = sim.now()
             sim.sleep(self.rpc_overhead + nbytes / self.bandwidth)

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro import sim
+from repro.errors import OstUnavailableError
 from repro.pfs.disk import DiskProfile, HeadPosition
 
 
@@ -33,6 +34,8 @@ class OstStats:
     sequential_requests: int = 0
     lock_switches: int = 0
     busy_time: float = 0.0
+    rejected_requests: int = 0
+    failures: int = 0
 
 
 class Ost:
@@ -53,6 +56,30 @@ class Ost:
         self._head: HeadPosition = None
         self._lock_holder: dict[int, int] = {}  # object id -> last writer
         self.stats = OstStats()
+        #: failure-domain state, flipped by a FaultInjector; the healthy
+        #: path pays one attribute check per request.
+        self.up = True
+        self._healthy_disk = disk
+
+    # -- failure domain (driven by repro.fault) ---------------------------
+
+    def fail(self) -> None:
+        """Take this OST down: every request is rejected until recovery."""
+        self.up = False
+        self.stats.failures += 1
+
+    def recover(self) -> None:
+        """Bring the OST back.  The array's head position is lost (the
+        target rebooted), so the next request repositions."""
+        self.up = True
+        self._head = None
+
+    def degrade_disk(self, factor: "float | None") -> None:
+        """Slow the backing array by ``factor`` (``None`` = restore)."""
+        if factor is None:
+            self.disk = self._healthy_disk
+        else:
+            self.disk = self._healthy_disk.scaled(factor)
 
     def serve(
         self,
@@ -62,7 +89,16 @@ class Ost:
         nbytes: int,
         is_write: bool,
     ) -> None:
-        """Execute one RPC against the disk (called from a sim process)."""
+        """Execute one RPC against the disk (called from a sim process).
+
+        Raises :class:`OstUnavailableError` while the target is down —
+        the client's retry path decides whether to back off or give up.
+        """
+        if not self.up:
+            self.stats.rejected_requests += 1
+            raise OstUnavailableError(
+                f"ost{self.index} is down", ost_index=self.index
+            )
         with self._service.request():
             start = sim.now()
             service, sequential = self.disk.service_time(

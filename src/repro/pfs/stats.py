@@ -30,6 +30,10 @@ class ClusterReport:
     oss_bytes: list[int] = field(default_factory=list)
     mds_requests: int = 0
     mds_busy: float = 0.0
+    #: client fault-path totals (all zero on a healthy run)
+    rpc_retries: int = 0
+    rpc_timeouts: int = 0
+    backoff_time: float = 0.0
 
     @property
     def sequential_fraction(self) -> float:
@@ -62,6 +66,12 @@ class ClusterReport:
             f"  MDS: {self.mds_requests} ops, "
             f"{self.mds_busy * 1000:.1f}ms busy"
         )
+        if self.rpc_retries or self.rpc_timeouts:
+            lines.append(
+                f"  faults: {self.rpc_retries} RPC retries, "
+                f"{self.rpc_timeouts} timeouts, "
+                f"{self.backoff_time * 1000:.1f}ms in backoff"
+            )
         return "\n".join(lines)
 
 
@@ -84,4 +94,7 @@ def collect_report(cluster: LustreCluster, elapsed: float) -> ClusterReport:
         oss_bytes=[oss.stats.bytes_moved for oss in cluster.osses],
         mds_requests=cluster.mds.stats.requests,
         mds_busy=cluster.mds.stats.busy_time,
+        rpc_retries=cluster.total_rpc_retries(),
+        rpc_timeouts=cluster.total_rpc_timeouts(),
+        backoff_time=cluster.total_backoff_time(),
     )

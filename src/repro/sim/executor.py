@@ -33,17 +33,28 @@ class SimExecutor(Executor):
         self._count += 1
 
         def run() -> None:
-            if predecessor is not None and predecessor.alive:
-                sim.wait(predecessor.done)
+            if predecessor is not None:
+                if predecessor.alive:
+                    sim.wait(predecessor.done)
+                elif predecessor.error is not None:
+                    raise predecessor.error
             job()
 
+        # Daemon: a failed flush must surface at drain() — the write
+        # barrier — like ThreadExecutor's deferred error, not crash the
+        # event loop from a background process.
         self._last = self._engine.spawn(
-            run, name=f"{self._name}-{self._count}"
+            run, name=f"{self._name}-{self._count}", daemon=True
         )
 
     def drain(self) -> None:
-        if self._last is not None and self._last.alive:
-            sim.wait(self._last.done)
+        last = self._last
+        if last is None:
+            return
+        if last.alive:
+            sim.wait(last.done)
+        elif last.error is not None:
+            raise last.error
 
     def close(self) -> None:
         self.drain()

@@ -1,0 +1,100 @@
+"""Regression tests for the fault-error taxonomy.
+
+The load-bearing property: :class:`RpcTimeoutError` subclasses *both*
+:class:`StorageIOError` and the built-in :class:`TimeoutError`, so
+callers can catch simulated timeouts with a plain ``except TimeoutError``
+exactly as they would for real network code.
+"""
+
+import pytest
+
+from repro import sim
+from repro.errors import (
+    DegradedWriteError,
+    OstUnavailableError,
+    ReproError,
+    RetryExhaustedError,
+    RpcTimeoutError,
+    StorageIOError,
+)
+from repro.fault import FaultInjector, FaultSchedule
+from repro.pfs import LustreClient, LustreCluster
+from repro.pfs.configs import small_test_cluster
+
+
+class TestTaxonomy:
+    def test_rpc_timeout_is_a_builtin_timeout(self):
+        error = RpcTimeoutError("rpc to ost3 timed out", ost_index=3)
+        assert isinstance(error, TimeoutError)
+        assert isinstance(error, StorageIOError)
+        assert isinstance(error, ReproError)
+        assert error.ost_index == 3
+
+    def test_except_timeout_error_catches_it(self):
+        with pytest.raises(TimeoutError):
+            raise RpcTimeoutError("timed out")
+        try:
+            raise RpcTimeoutError("timed out")
+        except TimeoutError as caught:
+            assert isinstance(caught, RpcTimeoutError)
+
+    def test_ost_unavailable_carries_index(self):
+        error = OstUnavailableError("ost7 is down", ost_index=7)
+        assert isinstance(error, StorageIOError)
+        assert error.ost_index == 7
+
+    def test_retry_exhausted_chains_last_error(self):
+        last = OstUnavailableError("down", ost_index=1)
+        error = RetryExhaustedError("gave up", attempts=4, last_error=last)
+        assert isinstance(error, StorageIOError)
+        assert error.attempts == 4
+        assert error.last_error is last
+
+    def test_degraded_write_carries_report(self):
+        from repro.core import DegradedWriteReport
+
+        report = DegradedWriteReport(completed=False, retries=2)
+        error = DegradedWriteError("barrier failed", report=report)
+        assert isinstance(error, StorageIOError)
+        assert error.report is report
+        assert error.report.degraded
+
+    def test_catching_storage_io_error_covers_the_family(self):
+        for error in (
+            OstUnavailableError("x"),
+            RpcTimeoutError("x"),
+            RetryExhaustedError("x"),
+            DegradedWriteError("x"),
+        ):
+            with pytest.raises(StorageIOError):
+                raise error
+
+
+class TestSimulatedTimeoutsAreTimeouts:
+    def test_simulated_drop_surfaces_as_builtin_timeout(self):
+        """A dropped RPC with a zero retry budget escalates to
+        RetryExhaustedError whose last_error is catchable as the
+        built-in TimeoutError."""
+        config = small_test_cluster(
+            rpc_timeout=0.01, rpc_max_retries=0, rpc_backoff_base=0.001
+        )
+        schedule = FaultSchedule().drop_rpc(every=1)
+
+        def main(client):
+            file = client.create("data", stripe_count=1)
+            client.write(file, 0, b"x" * 4096)
+            try:
+                client.fsync(file)
+            except RetryExhaustedError as exc:
+                return exc.last_error
+            return None
+
+        with sim.Engine() as engine:
+            cluster = LustreCluster(engine, config)
+            FaultInjector(schedule).install(cluster)
+            client = LustreClient(cluster, 0)
+            proc = engine.spawn(main, client)
+            engine.run()
+        last_error = proc.result
+        assert isinstance(last_error, TimeoutError)
+        assert isinstance(last_error, RpcTimeoutError)

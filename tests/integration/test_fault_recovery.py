@@ -1,0 +1,222 @@
+"""End-to-end fault recovery: checkpoint, kill storage, restart, verify.
+
+The acceptance scenario for the fault subsystem: an application
+checkpoints epochs through :class:`repro.core.Checkpointer` onto the
+simulated Lustre cluster, the fault schedule kills OSTs (or the rank
+itself) mid-barrier, and a restarted job recovers the last *complete*
+epoch with every block CRC-verified.
+"""
+
+import numpy as np
+import pytest
+
+from repro import sim
+from repro.core import Checkpointer, LsmioManager, LsmioOptions
+from repro.errors import DegradedWriteError
+from repro.fault import FaultInjector, FaultSchedule, SimulatedCrash
+from repro.pfs import LustreClient, LustreCluster, SimLustreEnv
+from repro.pfs.configs import small_test_cluster
+
+
+def fault_cluster(**overrides):
+    params = dict(
+        rpc_timeout=0.02,
+        rpc_max_retries=3,
+        rpc_backoff_base=0.01,
+        rpc_backoff_max=0.05,
+        rpc_backoff_jitter=0.0,
+    )
+    params.update(overrides)
+    return small_test_cluster(**params)
+
+
+def run_sim(fn, schedule=None, config=None):
+    with sim.Engine() as engine:
+        cluster = LustreCluster(engine, config or fault_cluster())
+        injector = None
+        if schedule is not None:
+            injector = FaultInjector(schedule).install(cluster)
+        client = LustreClient(cluster, 0)
+        proc = engine.spawn(fn, client)
+        elapsed = engine.run()
+    return proc.result, cluster, injector, elapsed
+
+
+def make_manager(client):
+    return LsmioManager(
+        "job.lsmio/rank0",
+        options=LsmioOptions(write_buffer_size="256K"),
+        env=SimLustreEnv(client),
+    )
+
+
+def epoch_state(epoch):
+    rng = np.random.default_rng(epoch)
+    return {
+        "field": rng.standard_normal((32, 32)),
+        "step": epoch * 10,
+        "meta": {"epoch": epoch},
+    }
+
+
+def assert_state_equal(actual, expected):
+    assert set(actual) == set(expected)
+    np.testing.assert_array_equal(actual["field"], expected["field"])
+    assert actual["step"] == expected["step"]
+    assert actual["meta"] == expected["meta"]
+
+
+class TestOstFailureMidCheckpoint:
+    def test_restart_recovers_last_complete_epoch(self):
+        """Epoch 1 commits; all OSTs die during epoch 2's data barrier;
+        the restarted job falls back to epoch 1 with matching CRCs."""
+
+        def main(client):
+            injector = client.cluster.fault_injector
+            manager = make_manager(client)
+            ckpt = Checkpointer(manager)
+            report1 = ckpt.save(1, epoch_state(1))
+            assert report1.completed and not report1.degraded
+
+            # The whole backend fails under epoch 2's barrier.
+            for ost in range(client.cluster.config.num_osts):
+                injector.fail_ost_now(ost)
+            with pytest.raises(DegradedWriteError) as excinfo:
+                ckpt.save(2, epoch_state(2))
+            failed_report = excinfo.value.report
+            # the job dies here; the repaired cluster comes back later
+            for ost in range(client.cluster.config.num_osts):
+                injector.recover_ost_now(ost)
+
+            restarted = make_manager(client)
+            ckpt2 = Checkpointer(restarted)
+            epoch, state = ckpt2.load_latest()
+            info = ckpt2.verify(epoch)  # explicit CRC pass
+            committed = ckpt2.epochs()
+            restarted.close()
+            return failed_report, epoch, state, info, committed
+
+        result, cluster, injector, _ = run_sim(main, FaultSchedule())
+        failed_report, epoch, state, info, committed = result
+        assert failed_report.completed is False
+        assert failed_report.failed_osts == tuple(
+            range(cluster.config.num_osts)
+        )
+        assert failed_report.retries > 0
+        assert epoch == 1
+        assert committed == [1]
+        assert_state_equal(state, epoch_state(1))
+        assert len(info.blocks) == 3
+        assert injector.stats.osts_failed == cluster.config.num_osts
+
+    def test_degraded_counters_reach_the_manager(self):
+        """A transient whole-backend reboot across the data barrier
+        degrades (not fails) it: the retries are absorbed, and both the
+        report and the manager's fault counters record them."""
+
+        def main(client):
+            injector = client.cluster.fault_injector
+            manager = make_manager(client)
+            ckpt = Checkpointer(manager)
+            # Every OST reboots just as the barrier starts; they heal
+            # within the retry budget.
+            for ost in range(client.cluster.config.num_osts):
+                injector.fail_ost_now(ost, duration=0.02)
+            report = ckpt.save(1, epoch_state(1))
+            counters = manager.counters
+            manager.close()
+            return report, counters
+
+        (report, counters), cluster, injector, _ = run_sim(
+            main, FaultSchedule()
+        )
+        assert report.completed
+        assert report.degraded
+        assert report.retries > 0
+        assert counters.retries > 0
+        assert counters.degraded_barriers >= 1
+        assert counters.failed_barriers == 0
+        assert counters.backoff_time > 0
+        assert injector.stats.osts_recovered == cluster.config.num_osts
+
+    def test_transient_failure_still_commits_both_epochs(self):
+        def main(client):
+            manager = make_manager(client)
+            ckpt = Checkpointer(manager)
+            ckpt.save(1, epoch_state(1))
+            ckpt.save(2, epoch_state(2))
+            epoch, state = ckpt.load_latest()
+            committed = ckpt.epochs()
+            manager.close()
+            return epoch, state, committed
+
+        schedule = FaultSchedule().fail_ost(1, at_time=0.0, duration=0.03)
+        (epoch, state, committed), _, _, _ = run_sim(
+            main, schedule, fault_cluster(rpc_max_retries=8)
+        )
+        assert epoch == 2
+        assert committed == [1, 2]
+        assert_state_equal(state, epoch_state(2))
+
+
+class TestRankCrashMidBarrier:
+    def test_crash_between_data_and_commit_falls_back(self):
+        """Rank 0 dies at its 4th barrier — epoch 2's *commit* barrier —
+        so epoch 2's data is durable but uncommitted.  Restart must
+        ignore it and recover epoch 1."""
+        # barriers: #1 data(1), #2 commit(1), #3 data(2), #4 commit(2)
+        schedule = FaultSchedule().crash_rank(0, at_barrier=4)
+
+        def main(client):
+            manager = make_manager(client)
+            ckpt = Checkpointer(manager)
+            ckpt.save(1, epoch_state(1))
+            with pytest.raises(SimulatedCrash):
+                ckpt.save(2, epoch_state(2))
+            # process death: no close; a fresh manager reopens the DB
+            restarted = make_manager(client)
+            ckpt2 = Checkpointer(restarted)
+            epoch, state = ckpt2.load_latest()
+            committed = ckpt2.epochs()
+            restarted.close()
+            return epoch, state, committed
+
+        (epoch, state, committed), _, injector, _ = run_sim(
+            main, schedule
+        )
+        assert epoch == 1
+        assert committed == [1]
+        assert_state_equal(state, epoch_state(1))
+        assert injector.stats.ranks_crashed == 1
+        assert [k for _, k, _ in injector.trace] == ["rank_crash"]
+
+
+class TestSeededDeterminism:
+    def test_fault_run_is_bit_identical_across_runs(self):
+        """Acceptance: the same seeded schedule over the same workload
+        yields bit-identical fault traces and recovered state."""
+
+        def main(client):
+            manager = make_manager(client)
+            ckpt = Checkpointer(manager)
+            for epoch in (1, 2, 3):
+                ckpt.save(epoch, epoch_state(epoch))
+            epoch, state = ckpt.load_latest()
+            manager.close()
+            return epoch, state["field"].tobytes()
+
+        def schedule():
+            return (
+                FaultSchedule(seed=11)
+                .fail_ost(0, at_time=0.005, duration=0.03)
+                .drop_rpc(probability=0.1)
+                .delay_rpc(1e-3, probability=0.2)
+            )
+
+        config = dict(rpc_max_retries=10)
+        run_a = run_sim(main, schedule(), fault_cluster(**config))
+        run_b = run_sim(main, schedule(), fault_cluster(**config))
+        assert run_a[0] == run_b[0]                    # same recovered bytes
+        assert run_a[2].trace == run_b[2].trace        # same fault trace
+        assert run_a[2].stats.snapshot() == run_b[2].stats.snapshot()
+        assert run_a[3] == run_b[3]                    # same simulated clock
