@@ -11,17 +11,20 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from repro.errors import SimulationError
+from repro.sim import engine as _sim_engine
 
 
 def ambient_clock() -> float:
-    """Simulated time when inside a sim process, else monotonic seconds."""
-    try:
-        from repro import sim
+    """Simulated time when inside a sim process, else monotonic seconds.
 
-        return sim.now()
-    except SimulationError:
+    Hot path — called twice per put — so this reads the sim engine's
+    thread-local directly instead of routing through ``sim.now()`` (which
+    costs an import lookup and an exception when no engine is active).
+    """
+    engine = getattr(_sim_engine._TLS, "engine", None)
+    if engine is None:
         return time.monotonic()
+    return engine.now
 
 
 @dataclass
@@ -47,6 +50,13 @@ class PerfCounters:
     backoff_time: float = 0.0
     degraded_barriers: int = 0
     failed_barriers: int = 0
+    #: group-commit telemetry: writes that rode another write's commit
+    #: (manager accumulation + the engine's writer-queue merges), extent
+    #: bytes the PFS client merged into a neighbouring RPC, and the
+    #: high-water commit-queue depth observed at the engine.
+    batches_merged: int = 0
+    bytes_coalesced: int = 0
+    commit_queue_depth: int = 0
 
     def record(self, op: str, nbytes: int = 0, elapsed: float = 0.0) -> None:
         """Account one operation."""

@@ -27,6 +27,7 @@ from repro.errors import (
     RetryExhaustedError,
     RpcTimeoutError,
 )
+from repro.lsm.batch import WriteBatch
 from repro.lsm.env import Env
 from repro.core.checkpoint import DegradedWriteReport
 from repro.core.counters import PerfCounters, ambient_clock
@@ -110,6 +111,17 @@ class LsmioManager:
         )
         self.store: Optional[LsmioStore] = None
         self._server = None
+        # Write accumulation (group commit at manager level): local
+        # puts/appends/deletes collect in one WriteBatch, flushed as a
+        # single engine write at the barrier / before reads / on sync /
+        # at the write-buffer threshold.
+        self._pending: Optional[WriteBatch] = None
+        self._pending_limit = self.options.write_buffer_size
+        self._batch_writes = bool(
+            getattr(self.options, "batch_writes", True)
+        )
+        self._db_merges_seen = 0
+        self._client_coalesced_seen = 0
         if self.is_aggregator:
             self.store = LsmioStore(path, options=self.options, env=env)
             if self.collective:
@@ -145,6 +157,7 @@ class LsmioManager:
         start = ambient_clock()
         self._check_open()
         if self.is_aggregator:
+            self._flush_pending()
             value = self.store.get(key)
         else:
             self.comm.channel_send(
@@ -182,6 +195,7 @@ class LsmioManager:
         before = self._fault_snapshot()
         try:
             if self.is_aggregator:
+                self._flush_pending()
                 self.store.write_barrier(sync=sync)
             else:
                 self.comm.channel_send(
@@ -195,6 +209,7 @@ class LsmioManager:
                 if status == "err":
                     raise payload
         except _BARRIER_FAULTS as exc:
+            self._sync_group_commit_counters()
             report = self._barrier_report(before, completed=False, error=str(exc))
             self.last_barrier_report = report
             self.counters.record_faults(
@@ -206,6 +221,7 @@ class LsmioManager:
             )
             self.counters.record("barrier", elapsed=ambient_clock() - start)
             raise DegradedWriteError(report.summary(), report=report) from exc
+        self._sync_group_commit_counters()
         report = self._barrier_report(before, completed=True)
         self.last_barrier_report = report
         if report.degraded:
@@ -289,6 +305,7 @@ class LsmioManager:
         start = ambient_clock()
         self._check_open()
         if self.is_aggregator:
+            self._flush_pending()
             out = self.store.multi_get(keys)
         else:
             self.comm.channel_send(
@@ -320,6 +337,7 @@ class LsmioManager:
                 "read_prefix is served by the aggregator rank in "
                 "collective mode"
             )
+        self._flush_pending()
         stop = prefix + b"\xff" * 8
         out = [
             (key, value)
@@ -339,6 +357,7 @@ class LsmioManager:
             raise InvalidArgumentError(
                 "scan is served by the aggregator rank in collective mode"
             )
+        self._flush_pending()
         return self.store.scan(start, stop)
 
     # ------------------------------------------------------------------
@@ -348,15 +367,78 @@ class LsmioManager:
     def _forward_or_apply(self, op: tuple) -> None:
         self._check_open()
         kind, key, value, sync = op
-        if self.is_aggregator:
-            if kind == "put":
-                self.store.put(key, value, sync=sync)
-            elif kind == "append":
-                self.store.append(key, value, sync=sync)
-            else:
-                self.store.delete(key)
-        else:
+        if not self.is_aggregator:
             self.comm.channel_send(_OPS_CHANNEL, op, self.aggregator_rank)
+            return
+        if self._batch_writes:
+            self._accumulate(kind, key, value, sync)
+            return
+        if kind == "put":
+            self.store.put(key, value, sync=sync)
+        elif kind == "append":
+            self.store.append(key, value, sync=sync)
+        else:
+            self.store.delete(key)
+
+    def _accumulate(
+        self, kind: str, key: bytes, value: bytes, sync: Optional[bool]
+    ) -> None:
+        """Queue one write into the pending batch; flush when required.
+
+        Each operation is sealed as its own charge segment so the engine
+        bills modeled CPU per operation — aggregation changes wall-clock
+        cost, not simulated timings.
+        """
+        pending = self._pending
+        if pending is None:
+            pending = self._pending = WriteBatch()
+        if kind == "put":
+            pending.put(key, value)
+        elif kind == "append":
+            pending.merge(key, value)
+        else:
+            pending.delete(key)
+        pending.add_charge_boundary()
+        effective_sync = sync if sync is not None else self.options.sync_writes
+        if effective_sync or pending.approximate_size >= self._pending_limit:
+            self._flush_pending(sync=effective_sync)
+
+    def _flush_pending(self, sync: bool = False) -> None:
+        """Apply the pending batch as one engine write (group commit)."""
+        pending = self._pending
+        if pending is None or not len(pending):
+            return
+        self._pending = None
+        if len(pending) > 1:
+            self.counters.batches_merged += len(pending) - 1
+        self.store.write_batch(pending, sync=sync)
+
+    def _sync_group_commit_counters(self) -> None:
+        """Fold engine/client coalescing telemetry into the perf counters.
+
+        ``batches_merged`` accumulates both manager-level accumulation and
+        the engine's writer-queue merges (delta-tracked so repeated
+        barriers don't double-count); ``commit_queue_depth`` is a
+        high-water gauge; ``bytes_coalesced`` counts extent bytes the PFS
+        client merged into neighbouring RPCs.
+        """
+        if self.store is not None:
+            stats = self.store.db.stats
+            merges = stats.batches_merged
+            if merges > self._db_merges_seen:
+                self.counters.batches_merged += merges - self._db_merges_seen
+                self._db_merges_seen = merges
+            depth = stats.max_commit_queue_depth
+            if depth > self.counters.commit_queue_depth:
+                self.counters.commit_queue_depth = depth
+        client = self._fault_client()
+        if client is not None:
+            coalesced = getattr(client.stats, "bytes_coalesced", 0)
+            if coalesced > self._client_coalesced_seen:
+                self.counters.bytes_coalesced += (
+                    coalesced - self._client_coalesced_seen
+                )
+                self._client_coalesced_seen = coalesced
 
     def _start_server(self) -> None:
         """Spawn the aggregator's service loop as a daemon sim process."""
@@ -378,8 +460,13 @@ class LsmioManager:
             msg = self.comm.channel_recv(_OPS_CHANNEL)
             kind = msg[0]
             if kind in ("put", "append", "delete"):
+                # Forwarded writes join the same accumulation batch as
+                # the aggregator's own, so one group commit covers the
+                # whole collective group.
                 _, key, value, sync = msg
-                if kind == "put":
+                if self._batch_writes:
+                    self._accumulate(kind, key, value, sync)
+                elif kind == "put":
                     self.store.put(key, value, sync=sync)
                 elif kind == "append":
                     self.store.append(key, value, sync=sync)
@@ -388,6 +475,7 @@ class LsmioManager:
             elif kind == "get":
                 _, src, key = msg
                 try:
+                    self._flush_pending()
                     reply = ("ok", self.store.get(key))
                 except ReproError as exc:
                     reply = ("err", exc)
@@ -395,6 +483,7 @@ class LsmioManager:
             elif kind == "mget":
                 _, src, keys = msg
                 try:
+                    self._flush_pending()
                     reply = ("ok", self.store.multi_get(keys))
                 except ReproError as exc:
                     reply = ("err", exc)
@@ -402,6 +491,7 @@ class LsmioManager:
             elif kind == "barrier":
                 _, src, sync = msg
                 try:
+                    self._flush_pending()
                     self.store.write_barrier(sync=sync)
                     reply = ("ok", None)
                 except ReproError as exc:
@@ -444,6 +534,8 @@ class LsmioManager:
 
                 if self._server.alive:
                     sim.wait(self._server.done)
+            self._flush_pending()
+            self._sync_group_commit_counters()
             self.store.close()
         else:
             self.write_barrier(sync=True)

@@ -88,7 +88,13 @@ class LsmioPluginEngine:
             self.perform_puts()
 
     def perform_puts(self) -> None:
-        """Serialize and hand each deferred variable to the K/V layer."""
+        """Serialize and hand each deferred variable to the K/V layer.
+
+        The manager accumulates these puts into a pending
+        ``WriteBatch`` (group commit); nothing reaches the storage
+        engine until :meth:`close`'s ``write_barrier`` — or a read, a
+        sync write, or buffer pressure — flushes the batch.
+        """
         self._check_open("w")
         for name, payload in self._deferred:
             if isinstance(payload, (bytes, bytearray, memoryview)):

@@ -110,6 +110,25 @@ class LsmioStore:
     # Table 1 spells it ``del()``; Python reserves the name.
     del_ = delete
 
+    def write_batch(self, batch: WriteBatch, sync: Optional[bool] = None) -> None:
+        """Apply a pre-built :class:`WriteBatch` atomically.
+
+        The manager's accumulation path funnels through here: many puts
+        arrive as one engine write (one group commit).  In LevelDB-mode
+        aggregation (``start_batch`` open) the operations merge into the
+        open batch instead.
+        """
+        if not len(batch):
+            return
+        with self._lock:
+            self._check_open()
+            if self._batch is not None:
+                self._batch.merge_from(batch)
+                return
+            self.db.write(batch, WriteOptions())
+        if sync if sync is not None else self.options.sync_writes:
+            self._executor.drain()
+
     def write_barrier(self, sync: bool = True) -> None:
         """Flush all buffered writes to disk; block until done (Table 1).
 

@@ -43,6 +43,12 @@ def _bytewise_compare(a: bytes, b: bytes) -> int:
     return 0
 
 
+#: values at least this large are kept as whole segments instead of being
+#: copied into the block buffer (checkpoint values are tens of KiB; the
+#: copy is the block builder's dominant cost for them)
+LARGE_VALUE_BYTES = 4096
+
+
 class BlockBuilder:
     """Accumulates sorted entries into one serialized block.
 
@@ -50,6 +56,11 @@ class BlockBuilder:
     blocks hold *internal* keys (which do not sort bytewise — the sequence
     trailer sorts descending) so the table layer passes
     :func:`repro.lsm.dbformat.internal_compare`.
+
+    Large ``bytes`` values are held by reference as standalone segments
+    (``_parts``) rather than copied into the working buffer; consumers on
+    the zero-copy path take :meth:`detach_parts` and stream the segments
+    out in order, producing the identical byte layout.
     """
 
     def __init__(self, restart_interval: int = 16, compare=None):
@@ -60,7 +71,18 @@ class BlockBuilder:
         self.reset()
 
     def reset(self) -> None:
-        self._buf = bytearray()
+        buf = getattr(self, "_buf", None)
+        if buf is None:
+            self._buf = bytearray()
+        else:
+            try:
+                del buf[:]  # keep the allocation for the next block
+            except BufferError:
+                # A finish() view is still exported; leave that buffer to
+                # its holder and start fresh.
+                self._buf = bytearray()
+        self._parts: list = []  # sealed segments preceding self._buf
+        self._parts_len = 0
         self._restarts = [0]
         self._counter = 0
         self._last_key = b""
@@ -70,32 +92,77 @@ class BlockBuilder:
         """Append an entry; keys must arrive in strictly increasing order."""
         if self._num_entries and self._compare(key, self._last_key) <= 0:
             raise ValueError("block entries must be added in sorted order")
+        buf = self._buf
         if self._counter < self._restart_interval:
             shared = _shared_prefix_len(self._last_key, key)
         else:
             shared = 0
-            self._restarts.append(len(self._buf))
+            self._restarts.append(self._parts_len + len(buf))
             self._counter = 0
         unshared = len(key) - shared
-        self._buf += encode_varint32(shared)
-        self._buf += encode_varint32(unshared)
-        self._buf += encode_varint32(len(value))
-        self._buf += key[shared:]
-        self._buf += value
+        buf += encode_varint32(shared)
+        buf += encode_varint32(unshared)
+        buf += encode_varint32(len(value))
+        buf += key[shared:]
+        if len(value) >= LARGE_VALUE_BYTES and type(value) is bytes:
+            # Keep the value as its own segment — no copy.
+            if buf:
+                self._parts.append(buf)
+                self._parts_len += len(buf)
+                self._buf = bytearray()
+            self._parts.append(value)
+            self._parts_len += len(value)
+        else:
+            buf += value
         self._last_key = key
         self._counter += 1
         self._num_entries += 1
 
-    def finish(self) -> bytes:
-        """Serialize: entries, restart offsets, restart count."""
-        out = bytearray(self._buf)
+    def finish(self) -> memoryview:
+        """Serialize: entries, restart offsets, restart count.
+
+        Appends the restart array in place and returns a ``memoryview``
+        — zero copies when no large-value segments were taken (index and
+        meta blocks), one join otherwise (the compression path, which
+        needs contiguous input anyway).  The view is only valid until
+        :meth:`reset`; consumers that outlive it (block caches, tests)
+        must take ``bytes()`` of it, which :class:`Block` does.
+        """
+        buf = self._buf
         for restart in self._restarts:
-            out += encode_fixed32(restart)
-        out += encode_fixed32(len(self._restarts))
-        return bytes(out)
+            buf += encode_fixed32(restart)
+        buf += encode_fixed32(len(self._restarts))
+        if not self._parts:
+            return memoryview(buf)
+        self._parts.append(bytes(buf))
+        whole = bytearray(b"".join(self._parts))
+        self._parts = [whole]  # idempotent finish/reset handling
+        self._parts_len = len(whole)
+        del buf[:]
+        return memoryview(whole)
+
+    def detach_parts(self) -> list:
+        """Serialize and transfer ownership of all segments, in order.
+
+        Returns the block's byte stream as an ordered list of buffers —
+        ``bytes`` segments are shared references, the final ``bytearray``
+        carries the restart array — and re-arms the builder.  Callers
+        stream them to a ``WritableFile`` (``append``/``append_owned``)
+        for a copy-free block write with the identical layout.
+        """
+        buf = self._buf
+        for restart in self._restarts:
+            buf += encode_fixed32(restart)
+        buf += encode_fixed32(len(self._restarts))
+        parts = self._parts
+        parts.append(buf)
+        self._parts = []
+        self._buf = bytearray()
+        self.reset()
+        return parts
 
     def current_size_estimate(self) -> int:
-        return len(self._buf) + 4 * (len(self._restarts) + 1)
+        return self._parts_len + len(self._buf) + 4 * (len(self._restarts) + 1)
 
     @property
     def empty(self) -> bool:
@@ -110,6 +177,8 @@ class Block:
     """Read-side view of a serialized block with binary-searchable seeks."""
 
     def __init__(self, data: bytes, compare=None):
+        if not isinstance(data, bytes):
+            data = bytes(data)  # accept builder views; reads need bytes
         if len(data) < 4:
             raise CorruptionError("block too small")
         self._data = data

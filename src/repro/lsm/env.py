@@ -24,11 +24,74 @@ import threading
 from repro.errors import NotFoundError, StorageIOError
 
 
+class BufferPool:
+    """Reusable ``bytearray`` scratch buffers for serialization hot paths.
+
+    The write path (WAL framing, block/table building, batch encoding)
+    repeatedly needs a growable byte buffer that is filled, consumed, and
+    discarded.  Allocating a fresh ``bytearray`` each time forfeits the
+    capacity the previous round already grew; the pool hands buffers back
+    out with their allocation intact (``del buf[:]`` keeps capacity in
+    CPython), so steady-state serialization does no reallocation at all.
+
+    Buffers are plain bytearrays — callers own them completely between
+    :meth:`acquire` and :meth:`release`, and forgetting to release is
+    harmless (the buffer is simply garbage-collected).
+    """
+
+    def __init__(self, max_pooled: int = 8, max_buffer_bytes: int = 64 << 20):
+        self._free: list[bytearray] = []
+        self._max_pooled = max_pooled
+        self._max_buffer_bytes = max_buffer_bytes
+        self._lock = threading.Lock()
+        self.acquires = 0
+        self.reuses = 0
+
+    def acquire(self) -> bytearray:
+        """Return an empty bytearray (capacity retained from prior use)."""
+        with self._lock:
+            self.acquires += 1
+            if self._free:
+                self.reuses += 1
+                return self._free.pop()
+        return bytearray()
+
+    def release(self, buf: bytearray) -> None:
+        """Hand ``buf`` back; it is cleared but keeps its allocation."""
+        try:
+            del buf[:]
+        except BufferError:
+            return  # an exported memoryview still pins it; drop it
+        with self._lock:
+            if (
+                len(self._free) < self._max_pooled
+                and buf.__sizeof__() <= self._max_buffer_bytes
+            ):
+                self._free.append(buf)
+
+
+_DEFAULT_POOL = BufferPool()
+
+
+def default_buffer_pool() -> BufferPool:
+    """The process-wide pool shared by WAL and table writers."""
+    return _DEFAULT_POOL
+
+
 class WritableFile:
     """Append-only output file."""
 
     def append(self, data: bytes) -> None:
         raise NotImplementedError
+
+    def append_owned(self, data: bytearray) -> None:
+        """Append ``data``, taking ownership of the buffer.
+
+        The caller promises never to touch ``data`` again, which lets
+        in-memory destinations keep the buffer as-is instead of copying.
+        The base implementation just delegates to :meth:`append`.
+        """
+        self.append(data)
 
     def flush(self) -> None:
         """Push buffered bytes to the OS (no durability guarantee)."""
@@ -320,10 +383,44 @@ def _pid_alive(pid: int) -> bool:
 
 
 class _MemFile:
-    __slots__ = ("data",)
+    """Chunked in-memory file contents.
+
+    Appends collect immutable chunks instead of extending one big
+    bytearray — extending reallocates (and memcpys) the whole file every
+    time the allocator's headroom runs out, which dominates large-value
+    write benchmarks.  Readers join once, lazily.
+    """
+
+    __slots__ = ("chunks", "length")
 
     def __init__(self):
-        self.data = bytearray()
+        self.chunks: list[bytes] = []
+        self.length = 0
+
+    def snapshot(self) -> bytes:
+        """Contents as one immutable bytes; collapses the chunk list."""
+        if len(self.chunks) == 1 and isinstance(self.chunks[0], bytes):
+            return self.chunks[0]
+        data = b"".join(self.chunks)
+        self.chunks = [data]
+        return data
+
+    @property
+    def data(self) -> bytearray:
+        """Whole contents as one mutable chunk (fault-injection hook).
+
+        Tests flip bytes in place through this; the returned bytearray IS
+        the backing chunk, so mutations are visible to later readers.
+        """
+        if len(self.chunks) != 1 or not isinstance(self.chunks[0], bytearray):
+            self.chunks = [bytearray(b"".join(self.chunks))]
+        return self.chunks[0]
+
+    @data.setter
+    def data(self, contents) -> None:
+        """Replace the whole contents (tests truncate/corrupt via this)."""
+        self.chunks = [bytearray(contents)]
+        self.length = len(self.chunks[0])
 
 
 class _MemWritableFile(WritableFile):
@@ -332,7 +429,19 @@ class _MemWritableFile(WritableFile):
         self._closed = False
 
     def append(self, data: bytes) -> None:
-        self._mem.data.extend(data)
+        # bytes(data) is free for bytes input and one exact-size copy for
+        # bytearray/memoryview input (callers reuse their scratch buffers).
+        chunk = bytes(data)
+        self._mem.chunks.append(chunk)
+        self._mem.length += len(chunk)
+
+    def append_owned(self, data: bytearray) -> None:
+        # Ownership transferred: keep the caller's buffer as the chunk.
+        if not isinstance(data, bytearray):
+            self.append(data)
+            return
+        self._mem.chunks.append(data)
+        self._mem.length += len(data)
 
     def flush(self) -> None:
         pass
@@ -346,7 +455,7 @@ class _MemWritableFile(WritableFile):
 
 class _MemRandomAccessFile(RandomAccessFile):
     def __init__(self, mem: _MemFile):
-        self._data = bytes(mem.data)
+        self._data = mem.snapshot()
 
     def read(self, offset: int, nbytes: int) -> bytes:
         return self._data[offset : offset + nbytes]
@@ -360,7 +469,7 @@ class _MemRandomAccessFile(RandomAccessFile):
 
 class _MemSequentialFile(SequentialFile):
     def __init__(self, mem: _MemFile):
-        self._data = bytes(mem.data)
+        self._data = mem.snapshot()
         self._pos = 0
 
     def read(self, nbytes: int) -> bytes:
@@ -410,7 +519,7 @@ class MemEnv(Env):
 
     def file_size(self, path: str) -> int:
         with self._lock:
-            return len(self._lookup(path).data)
+            return self._lookup(path).length
 
     def delete_file(self, path: str) -> None:
         with self._lock:

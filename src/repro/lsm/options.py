@@ -52,6 +52,19 @@ class ChecksumType(enum.Enum):
             return lambda data: zlib.crc32(data) & 0xFFFFFFFF
         return lambda data: 0
 
+    def incremental(self) -> Callable[..., int]:
+        """Return ``fn(data, crc=0) -> crc`` continuing a running checksum.
+
+        ``fn(b, fn(a)) == fn(a + b)`` for every type, which lets the WAL
+        and table writers checksum (type byte ‖ payload) without first
+        concatenating them.
+        """
+        if self is ChecksumType.CRC32C:
+            return crc32c
+        if self is ChecksumType.ZLIB_CRC32:
+            return lambda data, crc=0: zlib.crc32(data, crc) & 0xFFFFFFFF
+        return lambda data, crc=0: 0
+
 
 @dataclass
 class Options:

@@ -21,10 +21,11 @@ _BRANCHING = 4
 
 
 class _Node:
-    __slots__ = ("key", "nexts")
+    __slots__ = ("key", "nexts", "height")
 
     def __init__(self, key, height: int):
         self.key = key
+        self.height = height  # cached; len(nexts) costs a call per probe
         self.nexts: list[Optional[_Node]] = [None] * height
 
 
@@ -43,6 +44,16 @@ class SkipList:
         self._head = _Node(None, MAX_HEIGHT)
         self._height = 1
         self._count = 0
+        # Reused insert scratch: one list allocation per skiplist, not one
+        # per insert.  Levels >= the current height are stale between
+        # inserts, but insert() only reads levels it has just written.
+        self._prevs: list[_Node] = [self._head] * MAX_HEIGHT
+        # Tail hint: the last node on every level.  When an insert's key
+        # sorts after the current maximum (the checkpoint write pattern —
+        # ascending keys), its predecessors ARE the per-level tails, so
+        # the O(log n) search is skipped entirely.
+        self._tails: list[_Node] = [self._head] * MAX_HEIGHT
+        self._max_node: Optional[_Node] = None
 
     def __len__(self) -> int:
         return self._count
@@ -72,19 +83,31 @@ class SkipList:
 
     def insert(self, key) -> None:
         """Insert ``key``; raises ``ValueError`` on duplicates."""
-        prevs: list[_Node] = [self._head] * MAX_HEIGHT
-        nxt = self._find_greater_or_equal(key, prevs)
-        if nxt is not None and not self._less(key, nxt.key):
-            raise ValueError("duplicate key inserted into skiplist")
+        max_node = self._max_node
+        if max_node is not None and self._less(max_node.key, key):
+            prevs = self._tails  # append-at-end fast path: O(1) amortized
+        else:
+            prevs = self._prevs
+            nxt = self._find_greater_or_equal(key, prevs)
+            if nxt is not None and not self._less(key, nxt.key):
+                raise ValueError("duplicate key inserted into skiplist")
         height = self._random_height()
         if height > self._height:
             for level in range(self._height, height):
                 prevs[level] = self._head
             self._height = height
         node = _Node(key, height)
+        nexts = node.nexts
+        tails = self._tails
         for level in range(height):
-            node.nexts[level] = prevs[level].nexts[level]
-            prevs[level].nexts[level] = node
+            prev = prevs[level]
+            nxt_here = prev.nexts[level]
+            nexts[level] = nxt_here
+            prev.nexts[level] = node
+            if nxt_here is None:  # node is now the last one on this level
+                tails[level] = node
+        if nexts[0] is None:
+            self._max_node = node
         self._count += 1
 
     def contains(self, key) -> bool:

@@ -50,6 +50,9 @@ def _mask(crc: int) -> int:
     return (((crc >> 15) | (crc << 17)) + 0xA282EAD8) & 0xFFFFFFFF
 
 
+_NONE_TYPE_BYTE = bytes([int(CompressionType.NONE)])
+
+
 class BlockHandle(NamedTuple):
     """Location of a block's payload within the table file."""
 
@@ -83,7 +86,7 @@ class TableBuilder:
         self._user_keys: list[bytes] = []
         self._first_key: Optional[bytes] = None
         self._last_key: Optional[bytes] = None
-        self._crc_fn = options.checksum.function()
+        self._crc2 = options.checksum.incremental()
         self._checksum_enabled = options.checksum is not ChecksumType.NONE
         self._finished = False
 
@@ -112,8 +115,14 @@ class TableBuilder:
         if self._data_block.empty:
             return
         last_key = self._data_block.last_key
-        handle = self._write_block(self._data_block.finish())
-        self._data_block.reset()
+        if self._options.compression is CompressionType.ZLIB:
+            handle = self._write_block(self._data_block.finish())
+            self._data_block.reset()
+        else:
+            # Uncompressed fast path: stream the block's segments to the
+            # destination (trailer appended in place) — no copies, large
+            # values pass through by reference.
+            handle = self._write_owned_parts(self._data_block.detach_parts())
         # Defer the index entry so a future "shortest separator" policy
         # could consult the next block's first key (LevelDB does this).
         self._pending_index = (last_key, handle)
@@ -131,15 +140,52 @@ class TableBuilder:
         return self._write_raw_block(payload, ctype)
 
     def _write_raw_block(self, payload: bytes, ctype: CompressionType) -> BlockHandle:
+        """Append payload + 5-byte trailer; ``payload`` may be any buffer.
+
+        The checksum runs incrementally over (payload ‖ type byte) and the
+        trailer is appended separately, so a builder's ``memoryview``
+        payload reaches the destination without an intermediate copy.
+        """
         handle = BlockHandle(self._offset, len(payload))
         type_byte = bytes([int(ctype)])
         if self._checksum_enabled:
-            crc = _mask(self._crc_fn(payload + type_byte))
+            crc = _mask(self._crc2(type_byte, self._crc2(payload)))
         else:
             crc = 0
-        trailer = type_byte + crc.to_bytes(4, "little")
-        self._dest.append(payload + trailer)
+        self._dest.append(payload)
+        self._dest.append(type_byte + crc.to_bytes(4, "little"))
         self._offset += len(payload) + BLOCK_TRAILER_SIZE
+        return handle
+
+    def _write_owned_parts(self, parts: list) -> BlockHandle:
+        """Like :meth:`_write_raw_block` for an uncompressed segment list.
+
+        Emits the identical byte stream ([payload ‖ trailer]) while
+        transferring or sharing every segment instead of copying: bytes
+        segments go by reference, bytearray segments by ownership, and
+        the trailer lands in place on the final (always owned) segment.
+        """
+        size = sum(len(part) for part in parts)
+        handle = BlockHandle(self._offset, size)
+        if self._checksum_enabled:
+            crc = 0
+            crc2 = self._crc2
+            for part in parts:
+                crc = crc2(part, crc)
+            crc = _mask(crc2(_NONE_TYPE_BYTE, crc))
+        else:
+            crc = 0
+        dest = self._dest
+        last = parts[-1]
+        last += _NONE_TYPE_BYTE
+        last += crc.to_bytes(4, "little")
+        for part in parts[:-1]:
+            if type(part) is bytearray:
+                dest.append_owned(part)
+            else:
+                dest.append(part)
+        dest.append_owned(last)
+        self._offset += size + BLOCK_TRAILER_SIZE
         return handle
 
     def finish(self) -> int:

@@ -39,8 +39,20 @@ def _mask(crc: int) -> int:
     return (((crc >> 15) | (crc << 17)) + 0xA282EAD8) & 0xFFFFFFFF
 
 
+#: one-byte strings per record type, so checksumming never concatenates
+_TYPE_BYTES = [bytes([t]) for t in range(max(RecordType) + 1)]
+_PADDING = b"\x00" * HEADER_SIZE
+
+
 class LogWriter:
-    """Appends framed records to a :class:`WritableFile`."""
+    """Appends framed records to a :class:`WritableFile`.
+
+    Each logical record is assembled — headers, fragments, block padding —
+    into one reusable scratch buffer and handed to the destination as a
+    single append.  Fragments are ``memoryview`` slices of the caller's
+    payload and the checksum runs incrementally over (type byte ‖ view),
+    so the only per-byte copy on the write path is scratch → destination.
+    """
 
     def __init__(
         self,
@@ -49,18 +61,21 @@ class LogWriter:
     ):
         self._dest = dest
         self._block_offset = 0
-        self._crc_fn = checksum.function()
+        self._crc2 = checksum.incremental()
         self._checksum_enabled = checksum is not ChecksumType.NONE
+        self._scratch = bytearray()
 
     def add_record(self, payload: bytes) -> None:
         """Append one logical record, fragmenting across blocks as needed."""
         left = memoryview(payload)
+        scratch = self._scratch
+        del scratch[:]
         begin = True
         while True:
             leftover = BLOCK_SIZE - self._block_offset
             if leftover < HEADER_SIZE:
                 if leftover > 0:
-                    self._dest.append(b"\x00" * leftover)
+                    scratch += _PADDING[:leftover]
                 self._block_offset = 0
                 leftover = BLOCK_SIZE
             avail = leftover - HEADER_SIZE
@@ -75,19 +90,21 @@ class LogWriter:
                 rtype = RecordType.LAST
             else:
                 rtype = RecordType.MIDDLE
-            self._emit(rtype, bytes(fragment))
+            if self._checksum_enabled:
+                # LevelDB checksums the type byte followed by the payload.
+                crc = _mask(self._crc2(fragment, self._crc2(_TYPE_BYTES[rtype])))
+            else:
+                crc = 0
+            scratch += _HEADER.pack(crc, len(fragment), rtype)
+            scratch += fragment
+            self._block_offset += HEADER_SIZE + len(fragment)
             begin = False
             if end:
-                return
-
-    def _emit(self, rtype: RecordType, fragment: bytes) -> None:
-        if self._checksum_enabled:
-            # LevelDB checksums the type byte followed by the payload.
-            crc = _mask(self._crc_fn(bytes([rtype]) + fragment))
-        else:
-            crc = 0
-        self._dest.append(_HEADER.pack(crc, len(fragment), rtype) + fragment)
-        self._block_offset += HEADER_SIZE + len(fragment)
+                break
+        # Ownership handoff: the destination keeps the framed record and
+        # the writer re-arms with a fresh scratch — no final copy.
+        self._scratch = bytearray()
+        self._dest.append_owned(scratch)
 
     def flush(self) -> None:
         self._dest.flush()

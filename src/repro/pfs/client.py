@@ -53,6 +53,11 @@ class ClientStats:
     timeouts: int = 0
     rpc_failures: int = 0
     backoff_time: float = 0.0
+    #: osc-layer coalescing (accounting only — merging happens for reads
+    #: and writes alike and never changes the simulated RPC schedule):
+    #: extents absorbed into a contiguous neighbour, and their bytes.
+    extents_coalesced: int = 0
+    bytes_coalesced: int = 0
 
 
 class LustreClient:
@@ -163,6 +168,8 @@ class LustreClient:
                     and ranges[-1][0] + ranges[-1][1] == extent.object_offset
                 ):
                     ranges[-1][1] += extent.length
+                    self.stats.extents_coalesced += 1
+                    self.stats.bytes_coalesced += extent.length
                 else:
                     ranges.append([extent.object_offset, extent.length])
         rpcs: list[Rpc] = []

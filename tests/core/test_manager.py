@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.errors import ClosedError, InvalidArgumentError, NotFoundError
+from repro.errors import (
+    ClosedError,
+    DegradedWriteError,
+    InvalidArgumentError,
+    NotFoundError,
+    OstUnavailableError,
+)
 from repro.core import LsmioManager, LsmioOptions
 from repro.lsm.env import MemEnv
 from repro.mpi import run_world
@@ -113,6 +119,95 @@ class TestFactory:
         mgr2 = LsmioManager.get_or_create("factory-db2", env=env)
         assert mgr2 is not mgr1
         mgr2.close()
+
+
+class TestGroupCommitAccounting:
+    """The manager's write accumulation and its PerfCounters surface."""
+
+    def test_accumulated_puts_merge_into_one_commit(self):
+        with make_manager() as mgr:
+            for i in range(5):
+                mgr.put(f"k{i}", b"v")
+            mgr.write_barrier()
+            # Five puts rode one merged WriteBatch: four were absorbed.
+            assert mgr.counters.batches_merged >= 4
+            assert mgr.store.db.stats.writes == 5
+            assert mgr.store.db.stats.wal_records <= 1
+            for i in range(5):
+                assert mgr.get(f"k{i}") == b"v"
+
+    def test_reads_flush_pending_writes(self):
+        # Read-your-writes: a get/scan must observe puts still sitting in
+        # the accumulation batch.
+        with make_manager() as mgr:
+            mgr.put("k", b"v")
+            assert mgr.get("k") == b"v"
+            mgr.put("k2", b"w")
+            assert [name for name, _ in mgr.scan()] == [b"k", b"k2"]
+
+    def test_batch_writes_off_restores_per_op_path(self):
+        opts = LsmioOptions(write_buffer_size="64K", batch_writes=False)
+        with make_manager(options=opts) as mgr:
+            for i in range(5):
+                mgr.put(f"k{i}", b"v")
+            mgr.write_barrier()
+            assert mgr.counters.batches_merged == 0
+            assert mgr.get("k0") == b"v"
+
+    def test_sync_write_flushes_immediately(self):
+        opts = LsmioOptions(write_buffer_size="64K", sync_writes=True)
+        with make_manager(options=opts) as mgr:
+            mgr.put("k", b"v")
+            # The pending batch was flushed by the sync put, not parked
+            # (paper config runs WAL-less, so durability is the flush).
+            assert mgr._pending is None  # noqa: SLF001
+            assert mgr.store.db.stats.writes == 1
+
+    def test_new_counters_survive_snapshot_and_reset(self):
+        with make_manager() as mgr:
+            for i in range(3):
+                mgr.put(f"k{i}", b"v")
+            mgr.write_barrier()
+            snap = mgr.counters.snapshot()
+            assert snap["batches_merged"] >= 2
+            assert "bytes_coalesced" in snap
+            assert "commit_queue_depth" in snap
+            mgr.counters.reset()
+            assert mgr.counters.batches_merged == 0
+
+
+class TestDegradedGroupCommit:
+    def test_failed_group_commit_degrades_at_barrier(self):
+        # A terminal storage fault surfacing from the merged commit must
+        # take PR 1's degraded path: DegradedWriteError with a report,
+        # not a bare storage exception — and the error covers every
+        # operation that rode the merged batch.
+        with make_manager() as mgr:
+            for i in range(3):
+                mgr.put(f"k{i}", b"v" * 64)
+
+            def sabotage(group):
+                raise OstUnavailableError("ost0001 unavailable")
+
+            mgr.store.db._commit_group = sabotage  # noqa: SLF001
+            with pytest.raises(DegradedWriteError) as excinfo:
+                mgr.write_barrier()
+            report = excinfo.value.report
+            assert report is not None and report.completed is False
+            assert mgr.last_barrier_report is report
+            assert mgr.counters.failed_barriers == 1
+            assert mgr.counters.degraded_barriers == 1
+
+            # None of the merged group's keys became visible.
+            for i in range(3):
+                with pytest.raises(NotFoundError):
+                    mgr.get(f"k{i}")
+
+            # Healed storage: the manager keeps working.
+            del mgr.store.db._commit_group  # noqa: SLF001
+            mgr.put("after", b"ok")
+            mgr.write_barrier()
+            assert mgr.get("after") == b"ok"
 
 
 class TestLifecycle:

@@ -1,0 +1,318 @@
+"""Group-commit semantics: batch merging, sequencing, concurrency, errors.
+
+The writer queue in :mod:`repro.lsm.db` follows LevelDB: the queue head
+(the *leader*) merges compatible follower batches into one WAL append +
+one memtable apply, and a commit failure is attributed to every batch in
+the merged group.  These tests pin down the merge semantics — operation
+ordering, sequence assignment, tombstone/merge interleavings, per-member
+CPU-charge segmentation — plus the concurrency protocol itself: leader
+election, follower wake-up, next-leader promotion, and shared-error
+attribution.
+"""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotFoundError, OstUnavailableError
+from repro.lsm import DB, MemEnv, Options, WriteBatch, WriteOptions
+from repro.lsm.batch import _HEADER_SIZE
+from repro.lsm.dbformat import ValueType
+
+
+def mem_db(**opts):
+    defaults = dict(write_buffer_size="256K")
+    defaults.update(opts)
+    return DB.open("db", Options(**defaults), env=MemEnv())
+
+
+def state(db):
+    """The user-visible key/value mapping."""
+    return dict(db.iterate())
+
+
+def batch_of(ops):
+    batch = WriteBatch()
+    for kind, key, value in ops:
+        if kind == "put":
+            batch.put(key, value)
+        elif kind == "merge":
+            batch.merge(key, value)
+        else:
+            batch.delete(key)
+    return batch
+
+
+class TestMergeFrom:
+    def test_preserves_enqueue_order(self):
+        a = batch_of([("put", b"x", b"1"), ("delete", b"y", b"")])
+        b = batch_of([("merge", b"x", b"2"), ("put", b"z", b"3")])
+        a.merge_from(b)
+        assert list(a.items()) == [
+            (ValueType.VALUE, b"x", b"1"),
+            (ValueType.DELETE, b"y", b""),
+            (ValueType.MERGE, b"x", b"2"),
+            (ValueType.VALUE, b"z", b"3"),
+        ]
+
+    def test_sizes_are_additive(self):
+        a = batch_of([("put", b"k1", b"v" * 100)])
+        b = batch_of([("merge", b"k2", b"w" * 50), ("delete", b"k3", b"")])
+        size_a, size_b = a.approximate_size, b.approximate_size
+        payload = a.payload_bytes + b.payload_bytes
+        a.merge_from(b)
+        assert a.approximate_size == size_a + size_b - _HEADER_SIZE
+        assert a.payload_bytes == payload
+        assert len(a) == 3
+
+    def test_charge_segments_match_members(self):
+        # A merged group must charge modeled CPU per constituent batch,
+        # in order — that keeps simulated timings identical to committing
+        # the members individually (the fig5 bit-identity guarantee).
+        a = batch_of([("put", b"k1", b"v" * 64)])
+        b = batch_of([("put", b"k2", b"v" * 256), ("merge", b"k2", b"x")])
+        c = batch_of([("delete", b"k1", b"")])
+        expected = [
+            a.approximate_size,
+            b.approximate_size,
+            c.approximate_size,
+        ]
+        a.merge_from(b)
+        a.merge_from(c)
+        assert a.charge_sizes() == expected
+
+    def test_merged_apply_equals_serial_apply(self):
+        def make_batches():
+            return [
+                batch_of([("put", b"k", b"v1"), ("put", b"other", b"o")]),
+                batch_of([("delete", b"k", b""), ("merge", b"k", b"m1")]),
+                batch_of([("merge", b"k", b"m2")]),
+            ]
+
+        serial = mem_db()
+        for batch in make_batches():
+            serial.write(batch)
+
+        merged_db = mem_db()
+        first, *rest = make_batches()
+        for follower in rest:
+            first.merge_from(follower)
+        merged_db.write(first)
+
+        assert state(merged_db) == state(serial) == {b"k": b"m1m2", b"other": b"o"}
+        serial.close()
+        merged_db.close()
+
+
+class TestSequencing:
+    def test_merged_group_consumes_one_sequence_per_op(self):
+        db = mem_db()
+        before = db._versions.last_sequence
+        merged = batch_of([("put", b"a", b"1"), ("put", b"b", b"2")])
+        merged.merge_from(batch_of([("put", b"c", b"3")]))
+        db.write(merged)
+        assert db._versions.last_sequence == before + 3
+        db.close()
+
+    def test_snapshot_isolates_mid_group_state(self):
+        # A snapshot taken between two commits sees the first group's
+        # sequence ceiling, never a partially applied group.
+        db = mem_db()
+        db.write(batch_of([("put", b"k", b"old"), ("put", b"j", b"1")]))
+        snap = db.snapshot()
+        merged = batch_of([("put", b"k", b"new")])
+        merged.merge_from(batch_of([("delete", b"j", b"")]))
+        db.write(merged)
+        from repro.lsm.options import ReadOptions
+
+        assert db.get(b"k", ReadOptions(snapshot=snap)) == b"old"
+        assert db.get(b"j", ReadOptions(snapshot=snap)) == b"1"
+        assert db.get(b"k") == b"new"
+        with pytest.raises(NotFoundError):
+            db.get(b"j")
+        snap.release()
+        db.close()
+
+
+class TestInterleavings:
+    """Tombstone + merge interleavings across merged batch boundaries."""
+
+    def test_delete_then_merge_restarts_value(self):
+        db = mem_db()
+        db.put(b"k", b"base")
+        merged = batch_of([("delete", b"k", b"")])
+        merged.merge_from(batch_of([("merge", b"k", b"x"), ("merge", b"k", b"y")]))
+        db.write(merged)
+        assert db.get(b"k") == b"xy"
+        db.close()
+
+    def test_merge_then_delete_leaves_tombstone(self):
+        db = mem_db()
+        db.put(b"k", b"base")
+        merged = batch_of([("merge", b"k", b"x")])
+        merged.merge_from(batch_of([("delete", b"k", b"")]))
+        db.write(merged)
+        with pytest.raises(NotFoundError):
+            db.get(b"k")
+        db.close()
+
+    def test_put_shadows_earlier_members(self):
+        merged = batch_of([("put", b"k", b"first"), ("merge", b"k", b"+t")])
+        merged.merge_from(batch_of([("put", b"k", b"second")]))
+        db = mem_db()
+        db.write(merged)
+        assert db.get(b"k") == b"second"
+        db.close()
+
+
+_op = st.tuples(
+    st.sampled_from(["put", "merge", "delete"]),
+    st.binary(min_size=1, max_size=8),
+    st.binary(max_size=32),
+)
+
+
+class TestGroupCommitEquivalence:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.lists(_op, min_size=1, max_size=6), min_size=1, max_size=6))
+    def test_group_commit_equals_serial_application(self, groups):
+        """Merging N batches and committing once ≡ committing them in order."""
+        serial = mem_db()
+        for ops in groups:
+            serial.write(batch_of(ops))
+
+        grouped = mem_db()
+        merged = batch_of(groups[0])
+        for ops in groups[1:]:
+            merged.merge_from(batch_of(ops))
+        grouped.write(merged)
+
+        try:
+            assert state(grouped) == state(serial)
+        finally:
+            serial.close()
+            grouped.close()
+
+
+class _StalledCommit:
+    """Hold the DB's commit lock so writers pile up in the queue."""
+
+    def __init__(self, db):
+        self._db = db
+
+    def __enter__(self):
+        self._db._lock.acquire()
+        return self
+
+    def __exit__(self, *exc):
+        self._db._lock.release()
+
+
+def _spawn_writer(db, batch, errors=None, write_options=None):
+    def run():
+        try:
+            db.write(batch, write_options)
+        except BaseException as exc:  # noqa: BLE001 — collected for assertions
+            if errors is not None:
+                errors.append(exc)
+            else:
+                raise
+
+    thread = threading.Thread(target=run)
+    thread.start()
+    return thread
+
+
+def _wait_for_queue_depth(db, depth, timeout=5.0):
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        with db._queue_lock:
+            if len(db._writer_queue) >= depth:
+                return
+        time.sleep(0.001)
+    raise AssertionError(f"writer queue never reached depth {depth}")
+
+
+class TestWriterQueue:
+    def test_leader_merges_stalled_followers(self):
+        db = mem_db()
+        threads = []
+        with _StalledCommit(db):
+            # The first writer becomes leader and blocks on the commit
+            # lock; the rest park as followers behind it.
+            for i in range(4):
+                batch = batch_of([("put", b"k%d" % i, b"v%d" % i)])
+                threads.append(_spawn_writer(db, batch))
+                _wait_for_queue_depth(db, i + 1)
+        for thread in threads:
+            thread.join(timeout=5)
+            assert not thread.is_alive()
+        assert {db.get(b"k%d" % i) for i in range(4)} == {b"v0", b"v1", b"v2", b"v3"}
+        assert db.stats.group_commits == 1
+        assert db.stats.batches_merged == 3
+        assert db.stats.max_commit_queue_depth == 4
+        # One WAL record for the whole group.
+        assert db.stats.wal_records == 1
+        db.close()
+
+    def test_incompatible_follower_promoted_to_leader(self):
+        # A disable_wal follower cannot ride a WAL leader's group; the
+        # finishing leader must wake it with done unset so it leads its
+        # own group (the gate-handoff path).
+        db = mem_db()
+        threads = []
+        with _StalledCommit(db):
+            threads.append(_spawn_writer(db, batch_of([("put", b"a", b"1")])))
+            _wait_for_queue_depth(db, 1)
+            threads.append(
+                _spawn_writer(
+                    db,
+                    batch_of([("put", b"b", b"2")]),
+                    write_options=WriteOptions(disable_wal=True),
+                )
+            )
+            _wait_for_queue_depth(db, 2)
+        for thread in threads:
+            thread.join(timeout=5)
+            assert not thread.is_alive()
+        assert db.get(b"a") == b"1"
+        assert db.get(b"b") == b"2"
+        assert db.stats.group_commits == 0  # two singleton groups
+        assert db.stats.wal_records == 1  # only the WAL-enabled batch
+        db.close()
+
+    def test_failed_commit_attributed_to_every_member(self):
+        db = mem_db()
+        errors = []
+        threads = []
+
+        def sabotage(group):
+            raise OstUnavailableError("ost0003 unavailable")
+
+        with _StalledCommit(db):
+            for i in range(3):
+                batch = batch_of([("put", b"k%d" % i, b"v")])
+                threads.append(_spawn_writer(db, batch, errors))
+                _wait_for_queue_depth(db, i + 1)
+            db._commit_group = sabotage
+        for thread in threads:
+            thread.join(timeout=5)
+            assert not thread.is_alive()
+
+        # Every writer in the merged group observed the *same* failure.
+        assert len(errors) == 3
+        assert all(isinstance(exc, OstUnavailableError) for exc in errors)
+        assert len({id(exc) for exc in errors}) == 1
+        for i in range(3):
+            with pytest.raises(NotFoundError):
+                db.get(b"k%d" % i)
+
+        # The queue drained; the DB accepts writes again once healed.
+        del db._commit_group  # restore the class method
+        db.put(b"after", b"ok")
+        assert db.get(b"after") == b"ok"
+        db.close()

@@ -77,6 +77,67 @@ class TestSkipListBasics:
         assert len(sl) == 5000
 
 
+class TestSequentialInsertFastPath:
+    """The tail-hint fast path (append-at-end inserts skip the search).
+
+    Checkpoint keys arrive mostly ascending, so inserts that land past
+    the current maximum link in O(1) via per-level tail pointers.  These
+    tests pin the invariant that matters: the tails must stay correct
+    when *interior* inserts grow taller than any node behind them, or a
+    later fast-path insert would link the new maximum out of order.
+    """
+
+    def test_ascending_inserts_sorted(self):
+        sl = SkipList(seed=11)
+        for i in range(2000):
+            sl.insert(i)
+        assert list(sl) == list(range(2000))
+        assert sl.first() == 0 and sl.last() == 1999
+        assert sl.contains(1234) and not sl.contains(2000)
+
+    def test_interior_insert_then_append(self):
+        # Regression: an interior insert that becomes the tallest node at
+        # some level must update that level's tail, else the next
+        # append-at-end insert links *before* it on that level and the
+        # list silently loses ordering on upper levels.  Sweep seeds so
+        # at least one run gives the interior node a new top level.
+        for seed in range(10):
+            sl = SkipList(seed=seed)
+            for i in range(0, 600, 2):  # ascending run (fast path)
+                sl.insert(i)
+            for i in range(599, 0, -2):  # interior fills (slow path)
+                sl.insert(i)
+            for i in range(600, 660):  # fast path again, after interiors
+                sl.insert(i)
+            expected = list(range(660))
+            assert list(sl) == expected, f"seed {seed}"
+            assert list(sl.seek(595)) == expected[595:], f"seed {seed}"
+
+    def test_seeded_iteration_regression(self):
+        # Frozen seed + frozen insert sequence: iteration, seeks, and
+        # bounds must not drift as the skiplist internals evolve.
+        sl = SkipList(seed=42)
+        keys = [(i * 769) % 997 for i in range(400)]  # scattered interiors
+        run = list(range(1000, 1200))  # then a pure ascending tail
+        for key in keys:
+            sl.insert(key)
+        for key in run:
+            sl.insert(key)
+        expected = sorted(set(keys) | set(run))
+        assert list(sl) == expected
+        assert len(sl) == len(expected)
+        assert sl.last() == 1199
+        assert list(sl.seek(997)) == run
+
+    def test_duplicate_rejected_on_fast_path_boundary(self):
+        sl = SkipList(seed=5)
+        sl.insert(10)
+        sl.insert(20)
+        with pytest.raises(ValueError):
+            sl.insert(20)  # equals current max: must not take the fast path
+        assert list(sl) == [10, 20]
+
+
 class TestSkipListProperties:
     @given(st.sets(st.binary(min_size=1, max_size=16), max_size=200))
     def test_matches_sorted_set(self, keys):

@@ -81,3 +81,27 @@ def test_run_ior_attaches_report():
 
     without = run_ior(config, small_test_cluster())
     assert without.cluster_report is None
+
+
+def test_writev_coalescing_is_counted():
+    # Adjacent extents on the same object merge into one RPC-sized dirty
+    # range; the client's stats record the merge (accounting only — the
+    # RPC schedule itself is unchanged by the counters).
+    with sim.Engine() as engine:
+        cluster = LustreCluster(engine, small_test_cluster())
+
+        def main():
+            client = LustreClient(cluster, 0)
+            file = client.create("f", stripe_count=1)
+            client.writev(file, [(0, 1 << 16), (1 << 16, 1 << 16)])
+            client.fsync(file)
+            return (
+                client.stats.extents_coalesced,
+                client.stats.bytes_coalesced,
+            )
+
+        proc = engine.spawn(main)
+        engine.run()
+    merged, nbytes = proc.result
+    assert merged == 1
+    assert nbytes == 1 << 16
