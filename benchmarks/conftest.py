@@ -8,11 +8,49 @@ assertions check the figure's *shape* (who wins, where the crossovers
 fall), which is the reproduction target per DESIGN.md.
 """
 
+import os
+
 import pytest
 
 #: reduced sweep used by the pytest-benchmark wrappers
 BENCH_NODE_COUNTS = (4, 16, 48)
 BENCH_BYTES_PER_TASK = 4 << 20
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--trace", metavar="DIR", default=None,
+        help="record a checkpoint-timeline trace per benchmark into DIR "
+             "(<test name>.trace.json; inspect with python -m repro.trace)",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _bench_trace(request):
+    """Per-test tracer when ``--trace DIR`` is given; no-op otherwise."""
+    trace_dir = request.config.getoption("--trace")
+    if not trace_dir:
+        yield None
+        return
+    from repro import trace
+
+    tracer = trace.install()
+    try:
+        yield tracer
+    finally:
+        payload = tracer.to_payload(
+            metrics=trace.current_metrics().snapshot(),
+            meta={"test": request.node.name},
+        )
+        trace.uninstall()
+        os.makedirs(trace_dir, exist_ok=True)
+        path = os.path.join(trace_dir, f"{request.node.name}.trace.json")
+        trace.write_payload(payload, path)
+        breakdown = trace.phase_breakdown(payload)
+        lines = [f"trace written to {path} ({len(payload['spans'])} spans)"]
+        if breakdown:
+            lines.append(breakdown)
+        print("\n".join(lines))
 
 
 @pytest.fixture(scope="session")

@@ -57,7 +57,19 @@ def main(argv=None) -> int:
         help="small sweep (nodes 4/16/48, 2M per task)",
     )
     parser.add_argument("--json", help="also dump results to this JSON file")
+    parser.add_argument(
+        "--trace", metavar="PATH",
+        help="record a checkpoint-timeline trace of the run to PATH "
+             "(raw dump; export with `python -m repro.trace export`) and "
+             "print the per-phase breakdown",
+    )
     args = parser.parse_args(argv)
+
+    tracer = None
+    if args.trace:
+        from repro import trace
+
+        tracer = trace.install()
 
     node_counts = tuple(args.nodes) if args.nodes else DEFAULT_NODE_COUNTS
     bytes_per_task = args.bytes_per_task or "8M"
@@ -118,6 +130,22 @@ def main(argv=None) -> int:
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2)
         print(f"results written to {args.json}")
+
+    if tracer is not None:
+        from repro import trace
+
+        dump = tracer.to_payload(
+            metrics=trace.current_metrics().snapshot(),
+            meta={"target": args.target, "nodes": list(node_counts)},
+        )
+        trace.uninstall()
+        trace.write_payload(dump, args.trace)
+        print(f"trace written to {args.trace} "
+              f"({len(dump['spans'])} spans); inspect with "
+              f"`python -m repro.trace summarize {args.trace}`")
+        breakdown = trace.phase_breakdown(dump)
+        if breakdown:
+            print(breakdown)
     return 0
 
 

@@ -129,6 +129,11 @@ class LsmioFStream:
         """True after an unrecoverable stream error (C++ ``fail()``)."""
         return self._failed
 
+    def clear(self) -> "LsmioFStream":
+        """Reset the error state (C++ ``clear()``); position is untouched."""
+        self._failed = False
+        return self
+
     def tellp(self) -> int:
         """Current position."""
         return self._pos
@@ -157,8 +162,14 @@ class LsmioFStream:
     # -- data ------------------------------------------------------------
 
     def write(self, data: bytes) -> "LsmioFStream":
-        """Write at the current position, growing the file as needed."""
+        """Write at the current position, growing the file as needed.
+
+        A failed stream no-ops (C++ iostream semantics: operations on a
+        stream whose failbit is set do nothing until ``clear()``).
+        """
         self._check_writable()
+        if self._failed:
+            return self
         data = bytes(data)
         position = self._pos
         remaining = memoryview(data)
@@ -188,8 +199,13 @@ class LsmioFStream:
         return out
 
     def flush(self) -> "LsmioFStream":
-        """Persist dirty chunk + size record (no durability barrier)."""
+        """Persist dirty chunk + size record (no durability barrier).
+
+        No-ops while the fail bit is set, like ``write``/``read``.
+        """
         self._check_writable(allow_readonly=True)
+        if self._failed:
+            return self
         self._flush_dirty()
         if self.mode != "r":
             self._store_ref.put(_size_key(self._key), encode_fixed64(self._size))

@@ -34,6 +34,7 @@ from repro.core.counters import PerfCounters, ambient_clock
 from repro.core.options import LsmioOptions
 from repro.core.serialization import deserialize_value, serialize_value
 from repro.core.store import LsmioStore
+from repro.trace import runtime as _trace
 
 #: storage faults that a barrier converts into a DegradedWriteError
 _BARRIER_FAULTS = (OstUnavailableError, RetryExhaustedError, RpcTimeoutError)
@@ -109,6 +110,12 @@ class LsmioManager:
         self.is_aggregator = (
             not self.collective or comm.rank == self.aggregator_rank
         )
+        metrics = _trace.METRICS
+        if metrics is not None:
+            namespace = f"core.manager.{path}"
+            if comm is not None:
+                namespace = f"{namespace}.rank{comm.rank}"
+            metrics.register(namespace, self.counters)
         self.store: Optional[LsmioStore] = None
         self._server = None
         # Write accumulation (group commit at manager level): local
@@ -134,16 +141,36 @@ class LsmioManager:
     def put(self, key: bytes | str, value: bytes | str, sync: Optional[bool] = None) -> None:
         """Write the value locally or remotely (collective I/O)."""
         key, value = _as_key(key), _as_value(value)
+        # Counter invariant: bytes accounted == bytes the store writes,
+        # i.e. the UTF-8-encoded length, never len() of a str argument.
+        nbytes = len(value)
+        tracer = _trace.TRACER
+        span = None
+        if tracer is not None:
+            span = tracer.span("core", "put", nbytes=nbytes)
         start = ambient_clock()
-        self._forward_or_apply(("put", key, value, sync))
-        self.counters.record("put", len(value), ambient_clock() - start)
+        try:
+            self._forward_or_apply(("put", key, value, sync))
+        finally:
+            if span is not None:
+                span.finish()
+        self.counters.record("put", nbytes, ambient_clock() - start)
 
     def append(self, key: bytes | str, value: bytes | str, sync: Optional[bool] = None) -> None:
         """Append to the existing value, locally or remotely."""
         key, value = _as_key(key), _as_value(value)
+        nbytes = len(value)  # encoded length — see put()
+        tracer = _trace.TRACER
+        span = None
+        if tracer is not None:
+            span = tracer.span("core", "append", nbytes=nbytes)
         start = ambient_clock()
-        self._forward_or_apply(("append", key, value, sync))
-        self.counters.record("append", len(value), ambient_clock() - start)
+        try:
+            self._forward_or_apply(("append", key, value, sync))
+        finally:
+            if span is not None:
+                span.finish()
+        self.counters.record("append", nbytes, ambient_clock() - start)
 
     def delete(self, key: bytes | str) -> None:
         """Delete the value, locally or remotely."""
@@ -154,21 +181,32 @@ class LsmioManager:
     def get(self, key: bytes | str) -> bytes:
         """Get the value for the key.  Always synchronous (Table 2)."""
         key = _as_key(key)
+        tracer = _trace.TRACER
+        span = None
+        if tracer is not None:
+            span = tracer.span("core", "get")
         start = ambient_clock()
-        self._check_open()
-        if self.is_aggregator:
-            self._flush_pending()
-            value = self.store.get(key)
-        else:
-            self.comm.channel_send(
-                _OPS_CHANNEL, ("get", self.comm.rank, key), self.aggregator_rank
-            )
-            status, payload = self.comm.channel_recv(
-                _reply_channel(self.comm.rank)
-            )
-            if status == "err":
-                raise payload
-            value = payload
+        try:
+            self._check_open()
+            if self.is_aggregator:
+                self._flush_pending()
+                value = self.store.get(key)
+            else:
+                self.comm.channel_send(
+                    _OPS_CHANNEL, ("get", self.comm.rank, key),
+                    self.aggregator_rank,
+                )
+                status, payload = self.comm.channel_recv(
+                    _reply_channel(self.comm.rank)
+                )
+                if status == "err":
+                    raise payload
+                value = payload
+            if span is not None:
+                span.set(nbytes=len(value))
+        finally:
+            if span is not None:
+                span.finish()
         self.counters.record("get", len(value), ambient_clock() - start)
         return value
 
@@ -185,6 +223,13 @@ class LsmioManager:
         injector installed this is the original fast path plus one
         attribute probe.
         """
+        tracer = _trace.TRACER
+        if tracer is not None:
+            with tracer.span("core", "barrier", sync=sync):
+                return self._write_barrier(sync)
+        return self._write_barrier(sync)
+
+    def _write_barrier(self, sync: bool) -> None:
         start = ambient_clock()
         self._check_open()
         injector = self._fault_injector()
@@ -368,6 +413,12 @@ class LsmioManager:
         self._check_open()
         kind, key, value, sync = op
         if not self.is_aggregator:
+            tracer = _trace.TRACER
+            if tracer is not None:
+                tracer.instant(
+                    "core", "forward", op=kind, rank=self.comm.rank,
+                    aggregator=self.aggregator_rank,
+                )
             self.comm.channel_send(_OPS_CHANNEL, op, self.aggregator_rank)
             return
         if self._batch_writes:
@@ -411,7 +462,18 @@ class LsmioManager:
         self._pending = None
         if len(pending) > 1:
             self.counters.batches_merged += len(pending) - 1
-        self.store.write_batch(pending, sync=sync)
+        tracer = _trace.TRACER
+        span = None
+        if tracer is not None:
+            span = tracer.span(
+                "core", "flush_pending", ops=len(pending),
+                nbytes=pending.payload_bytes, sync=sync,
+            )
+        try:
+            self.store.write_batch(pending, sync=sync)
+        finally:
+            if span is not None:
+                span.finish()
 
     def _sync_group_commit_counters(self) -> None:
         """Fold engine/client coalescing telemetry into the perf counters.

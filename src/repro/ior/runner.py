@@ -28,6 +28,7 @@ from repro.pfs.client import LustreClient
 from repro.pfs.configs import viking
 from repro.pfs.lustre import LustreCluster, LustreConfig
 from repro.pfs.simenv import SimLustreEnv
+from repro.trace import runtime as _trace
 
 import repro.core.plugin  # noqa: F401 — registers the "lsmio" engine
 
@@ -80,19 +81,38 @@ def run_ior(
 def _rank_main(comm, config: IorConfig) -> dict:
     client = LustreClient(comm.world._cluster, comm.rank)
     api = _APIS[config.api](config, comm, client)
+    tracer = _trace.TRACER
 
     comm.barrier()
     t0 = sim.now()
-    api.write_phase()
-    comm.barrier()
+    span = None
+    if tracer is not None:
+        span = tracer.span(
+            "bench", "phase:write", rank=comm.rank, api=config.api,
+        )
+    try:
+        api.write_phase()
+        comm.barrier()
+    finally:
+        if span is not None:
+            span.finish()
     write_time = sim.now() - t0
 
     read_time = 0.0
     if config.read_back:
         comm.barrier()
         t2 = sim.now()
-        api.read_phase()
-        comm.barrier()
+        span = None
+        if tracer is not None:
+            span = tracer.span(
+                "bench", "phase:read", rank=comm.rank, api=config.api,
+            )
+        try:
+            api.read_phase()
+            comm.barrier()
+        finally:
+            if span is not None:
+                span.finish()
         read_time = sim.now() - t2
     api.teardown()
     return {"write_time": write_time, "read_time": read_time}

@@ -40,12 +40,14 @@ class LRUCache:
     def insert(self, key: Hashable, value: object, charge: int) -> None:
         """Add/replace an entry accounting ``charge`` bytes, evicting LRU."""
         with self._lock:
+            if charge > self._capacity:
+                # An entry larger than the whole cache is not worth
+                # keeping — and rejecting it must not evict a valid
+                # smaller entry already cached under the key.
+                return
             old = self._entries.pop(key, None)
             if old is not None:
                 self._usage -= old[1]
-            if charge > self._capacity:
-                # An entry larger than the whole cache is not worth keeping.
-                return
             self._entries[key] = (value, charge)
             self._usage += charge
             while self._usage > self._capacity and self._entries:
@@ -65,7 +67,8 @@ class LRUCache:
 
     @property
     def usage(self) -> int:
-        return self._usage
+        with self._lock:
+            return self._usage
 
     @property
     def capacity(self) -> int:
@@ -73,8 +76,9 @@ class LRUCache:
 
     @property
     def hit_rate(self) -> float:
-        total = self._hits + self._misses
-        return self._hits / total if total else 0.0
+        with self._lock:
+            total = self._hits + self._misses
+            return self._hits / total if total else 0.0
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -47,6 +47,7 @@ from repro.lsm.memtable import MemTable
 from repro.lsm.options import Options, ReadOptions, WriteOptions
 from repro.lsm.sstable import Table, TableBuilder
 from repro.lsm.wal import LogReader, LogWriter
+from repro.trace import runtime as _trace
 
 _FILE_RE = re.compile(r"^(\d{6})\.(log|sst)$")
 
@@ -163,6 +164,9 @@ class DB:
         self._lock = AdaptiveRLock()
         self._closed = False
         self.stats = DBStats()
+        metrics = _trace.METRICS
+        if metrics is not None:
+            metrics.register(f"lsm.db.{dbname}", self.stats)
         # Group commit (LevelDB's writer queue): concurrent writers park
         # here; the queue head leads, merging follower batches into one
         # WAL record + one memtable apply.
@@ -301,7 +305,15 @@ class DB:
                 self.stats.max_commit_queue_depth = depth
             leads = queue[0] is writer
         if not leads:
-            writer.gate.wait()
+            tracer = _trace.TRACER
+            stall = None
+            if tracer is not None:
+                stall = tracer.span("lsm", "commit_stall", depth=depth)
+            try:
+                writer.gate.wait()
+            finally:
+                if stall is not None:
+                    stall.finish()
             if writer.done:
                 if writer.error is not None:
                     raise writer.error
@@ -359,6 +371,17 @@ class DB:
 
     def _commit_group(self, group: list[_Writer]) -> None:
         """One WAL append + one memtable apply for the whole group."""
+        tracer = _trace.TRACER
+        if tracer is not None:
+            span = tracer.span("lsm", "commit", group=len(group))
+            try:
+                self._commit_group_inner(group, span)
+            finally:
+                span.finish()
+            return
+        self._commit_group_inner(group, None)
+
+    def _commit_group_inner(self, group: list[_Writer], span) -> None:
         leader = group[0]
         if len(group) == 1:
             batch = leader.batch
@@ -372,6 +395,8 @@ class DB:
         sequence = self._versions.last_sequence + 1
         self._versions.last_sequence += len(batch)
         use_wal = self._options.enable_wal and not leader.disable_wal
+        if span is not None:
+            span.set(nbytes=batch.payload_bytes, wal=use_wal)
         if use_wal:
             scratch = self._wal_scratch
             del scratch[:]
@@ -421,6 +446,13 @@ class DB:
             return
         frozen = self._mem
         self._imm.append(frozen)
+        tracer = _trace.TRACER
+        if tracer is not None:
+            tracer.instant(
+                "lsm", "memtable_freeze",
+                nbytes=frozen.approximate_memory_usage(),
+                frozen=len(self._imm),
+            )
         self._mem = MemTable(seed=self._mem_seed)
         self._mem_seed += 1
         min_log = None
@@ -446,32 +478,42 @@ class DB:
         min_log: Optional[int] = None,
     ) -> None:
         """Write one frozen memtable as an L0 SSTable and install it."""
-        path = self._env.join(self._dbname, table_file_name(file_number))
-        dest = self._env.new_writable_file(path)
-        builder = TableBuilder(self._options, dest)
-        for ikey, value in frozen.entries():
-            builder.add(ikey, value)
-        size = builder.finish()
-        dest.sync()
-        dest.close()
-        meta = FileMetaData(
-            number=file_number,
-            file_size=size,
-            smallest=builder.first_key,
-            largest=builder.last_key,
-        )
-        with self._lock:
-            edit = VersionEdit(log_number=min_log)
-            edit.add_file(0, meta)
-            self._versions.log_and_apply(edit)
-            if frozen in self._imm:
-                self._imm.remove(frozen)
-            self.stats.memtable_flushes += 1
-            self.stats.flushed_bytes += size
-            for number in retired_wals:
-                if number in self._obsolete_wals:
-                    self._obsolete_wals.remove(number)
-                self._delete_if_exists(log_file_name(number))
+        tracer = _trace.TRACER
+        span = None
+        if tracer is not None:
+            span = tracer.span("lsm", "memtable_flush", file=file_number)
+        try:
+            path = self._env.join(self._dbname, table_file_name(file_number))
+            dest = self._env.new_writable_file(path)
+            builder = TableBuilder(self._options, dest)
+            for ikey, value in frozen.entries():
+                builder.add(ikey, value)
+            size = builder.finish()
+            dest.sync()
+            dest.close()
+            if span is not None:
+                span.set(nbytes=size)
+            meta = FileMetaData(
+                number=file_number,
+                file_size=size,
+                smallest=builder.first_key,
+                largest=builder.last_key,
+            )
+            with self._lock:
+                edit = VersionEdit(log_number=min_log)
+                edit.add_file(0, meta)
+                self._versions.log_and_apply(edit)
+                if frozen in self._imm:
+                    self._imm.remove(frozen)
+                self.stats.memtable_flushes += 1
+                self.stats.flushed_bytes += size
+                for number in retired_wals:
+                    if number in self._obsolete_wals:
+                        self._obsolete_wals.remove(number)
+                    self._delete_if_exists(log_file_name(number))
+        finally:
+            if span is not None:
+                span.finish()
         if self._options.enable_compaction:
             self._maybe_compact()
 
@@ -528,12 +570,23 @@ class DB:
         executor = CompactionExecutor(
             self._options, open_table_iter, new_table_writer
         )
-        edit = executor.run(task, drop_tombstones)
-        with self._lock:
-            self._versions.log_and_apply(edit)
-            self.stats.compactions += 1
-            self.stats.compacted_bytes += task.total_bytes()
-            self._remove_obsolete_files()
+        tracer = _trace.TRACER
+        span = None
+        if tracer is not None:
+            span = tracer.span(
+                "lsm", "compaction", level=task.level,
+                nbytes=task.total_bytes(),
+            )
+        try:
+            edit = executor.run(task, drop_tombstones)
+            with self._lock:
+                self._versions.log_and_apply(edit)
+                self.stats.compactions += 1
+                self.stats.compacted_bytes += task.total_bytes()
+                self._remove_obsolete_files()
+        finally:
+            if span is not None:
+                span.finish()
 
     # ------------------------------------------------------------------
     # Reads

@@ -15,6 +15,7 @@ from repro import sim
 from repro.errors import InvalidArgumentError
 from repro.mpi.network import Network, message_size
 from repro.sim.resources import Resource, Store
+from repro.trace import runtime as _trace
 
 ANY_SOURCE = -1
 
@@ -95,10 +96,21 @@ class Communicator:
             self.world.mailbox(dest, self.rank, tag).put(obj)
             return
         nbytes = message_size(obj)
-        with self.world._nics[self.rank].request():
-            sim.sleep(self.world.network.transfer_time(nbytes))
-        self.world.mailbox(dest, self.rank, tag).put(obj)
-        self.world._any_source[dest].put((self.rank, tag))
+        tracer = _trace.TRACER
+        span = None
+        if tracer is not None:
+            span = tracer.span(
+                "mpi", "send", src=self.rank, dest=dest, tag=tag,
+                nbytes=nbytes,
+            )
+        try:
+            with self.world._nics[self.rank].request():
+                sim.sleep(self.world.network.transfer_time(nbytes))
+            self.world.mailbox(dest, self.rank, tag).put(obj)
+            self.world._any_source[dest].put((self.rank, tag))
+        finally:
+            if span is not None:
+                span.finish()
 
     def recv(self, source: int = ANY_SOURCE, tag: int = 0) -> Any:
         """Blocking receive.
@@ -106,6 +118,14 @@ class Communicator:
         ``source=ANY_SOURCE`` matches messages from any rank with the
         given tag (arrival order).
         """
+        tracer = _trace.TRACER
+        if tracer is not None:
+            with tracer.span("mpi", "recv", rank=self.rank, src=source,
+                             tag=tag):
+                return self._recv(source, tag)
+        return self._recv(source, tag)
+
+    def _recv(self, source: int, tag: int) -> Any:
         if source == ANY_SOURCE:
             # Hold non-matching arrival notices aside while scanning, then
             # re-post them; re-posting inside the loop would spin forever
@@ -147,12 +167,27 @@ class Communicator:
             raise InvalidArgumentError(f"bad destination rank {dest}")
         if dest != self.rank:
             nbytes = message_size(obj)
-            with self.world._nics[self.rank].request():
-                sim.sleep(self.world.network.transfer_time(nbytes))
+            tracer = _trace.TRACER
+            span = None
+            if tracer is not None:
+                span = tracer.span(
+                    "mpi", "channel_send", src=self.rank, dest=dest,
+                    key=key, nbytes=nbytes,
+                )
+            try:
+                with self.world._nics[self.rank].request():
+                    sim.sleep(self.world.network.transfer_time(nbytes))
+            finally:
+                if span is not None:
+                    span.finish()
         self.world.channel(dest, key).put(obj)
 
     def channel_recv(self, key: str) -> Any:
         """Blocking take from this rank's named channel."""
+        tracer = _trace.TRACER
+        if tracer is not None:
+            with tracer.span("mpi", "channel_recv", rank=self.rank, key=key):
+                return self.world.channel(self.rank, key).get()
         return self.world.channel(self.rank, key).get()
 
     # ------------------------------------------------------------------
@@ -164,6 +199,13 @@ class Communicator:
 
     def barrier(self) -> None:
         """Block until every rank in the world has entered the barrier."""
+        tracer = _trace.TRACER
+        if tracer is not None:
+            with tracer.span("mpi", "barrier", rank=self.rank):
+                return self._barrier()
+        return self._barrier()
+
+    def _barrier(self) -> None:
         world = self.world
         world._barrier_count += 1
         gate = world._barrier_event

@@ -30,6 +30,7 @@ from repro.errors import (
     StorageIOError,
 )
 from repro.pfs.lustre import LustreCluster, LustreFile
+from repro.trace import runtime as _trace
 
 
 class Rpc(NamedTuple):
@@ -93,6 +94,9 @@ class LustreClient:
         self._write_errors: list[BaseException] = []
         self._read_errors: list[BaseException] = []
         cluster.clients.append(self)
+        metrics = _trace.METRICS
+        if metrics is not None:
+            metrics.register(f"pfs.client{client_id}", self.stats)
 
     # ------------------------------------------------------------------
     # Namespace operations (charge the MDS)
@@ -234,42 +238,76 @@ class LustreClient:
 
     def _issue_write_rpcs(self, rpcs: list[Rpc]) -> None:
         engine = self.cluster.engine
-        for rpc in rpcs:
-            # osc.max_rpcs_in_flight: block until a slot frees before
-            # issuing another RPC (real clients bound dirty RPCs too).
-            self._outstanding = [p for p in self._outstanding if p.alive]
-            while len(self._outstanding) >= self._max_rpcs_in_flight:
-                sim.wait(self._outstanding[0].done)
-                self._outstanding = [p for p in self._outstanding if p.alive]
-            # NIC stage: serialize this node's outbound traffic, in order.
-            with self._nic.request():
-                sim.sleep(self._rpc_latency + rpc.length / self._nic_bandwidth)
-            proc = engine.spawn(
-                self._write_behind,
-                rpc,
-                name=f"client{self.client_id}.wb",
+        tracer = _trace.TRACER
+        span = None
+        if tracer is not None:
+            span = tracer.span(
+                "pfs", "rpc_issue", client=self.client_id, rpcs=len(rpcs),
+                nbytes=sum(r.length for r in rpcs),
             )
-            self._outstanding.append(proc)
-            self.stats.write_rpcs += 1
+        try:
+            for rpc in rpcs:
+                # osc.max_rpcs_in_flight: block until a slot frees before
+                # issuing another RPC (real clients bound dirty RPCs too).
+                self._outstanding = [p for p in self._outstanding if p.alive]
+                while len(self._outstanding) >= self._max_rpcs_in_flight:
+                    sim.wait(self._outstanding[0].done)
+                    self._outstanding = [
+                        p for p in self._outstanding if p.alive
+                    ]
+                # NIC stage: serialize this node's outbound traffic, in order.
+                with self._nic.request():
+                    sim.sleep(
+                        self._rpc_latency + rpc.length / self._nic_bandwidth
+                    )
+                proc = engine.spawn(
+                    self._write_behind,
+                    rpc,
+                    name=f"client{self.client_id}.wb",
+                )
+                self._outstanding.append(proc)
+                self.stats.write_rpcs += 1
+                if tracer is not None:
+                    tracer.gauge(
+                        "pfs",
+                        f"client{self.client_id}.rpcs_in_flight",
+                        len(self._outstanding),
+                    )
+        finally:
+            if span is not None:
+                span.finish()
 
     def _write_behind(self, rpc: Rpc) -> None:
-        self._jitter_delay()
-        if self.cluster.fault_injector is None:
-            # Healthy fast path: identical to a cluster without the fault
-            # subsystem (one attribute check of overhead).
-            self.cluster.oss_for_ost(rpc.ost_index).transfer(rpc.length)
-            self.cluster.osts[rpc.ost_index].serve(
-                self.client_id, rpc.object_id, rpc.object_offset, rpc.length,
-                is_write=True,
+        tracer = _trace.TRACER
+        span = None
+        if tracer is not None:
+            span = tracer.span(
+                "pfs", "write_rpc", client=self.client_id,
+                ost=rpc.ost_index, nbytes=rpc.length,
             )
-            return
         try:
-            self._faulty_transfer(rpc, is_write=True)
-        except StorageIOError as exc:
-            # Write-behind semantics: the failure surfaces at fsync/close
-            # (like EIO reported from the page cache), not here — raising
-            # out of a background process would tear down the engine.
-            self._write_errors.append(exc)
+            self._jitter_delay()
+            if self.cluster.fault_injector is None:
+                # Healthy fast path: identical to a cluster without the fault
+                # subsystem (one attribute check of overhead).
+                self.cluster.oss_for_ost(rpc.ost_index).transfer(rpc.length)
+                self.cluster.osts[rpc.ost_index].serve(
+                    self.client_id, rpc.object_id, rpc.object_offset,
+                    rpc.length, is_write=True,
+                )
+                return
+            try:
+                self._faulty_transfer(rpc, is_write=True)
+            except StorageIOError as exc:
+                # Write-behind semantics: the failure surfaces at fsync/close
+                # (like EIO reported from the page cache), not here — raising
+                # out of a background process would tear down the engine.
+                self._write_errors.append(exc)
+                if span is not None:
+                    span.set(failed=True)
+        finally:
+            if span is not None:
+                span.finish()
 
     # -- retry/timeout/backoff (the degraded path) ------------------------
 
@@ -298,6 +336,13 @@ class LustreClient:
                         last_error=exc,
                     ) from exc
                 self.stats.retries += 1
+                tracer = _trace.TRACER
+                if tracer is not None:
+                    tracer.instant(
+                        "pfs", "rpc_retry", client=self.client_id,
+                        ost=rpc.ost_index, attempt=attempts,
+                        error=type(exc).__name__,
+                    )
                 self._backoff(attempts)
 
     def _attempt_transfer(self, injector, rpc: Rpc, is_write: bool) -> None:
@@ -336,7 +381,17 @@ class LustreClient:
         if self._backoff_jitter > 0.0:
             delay *= 1.0 + self._backoff_jitter * float(self._retry_rng.random())
         self.stats.backoff_time += delay
-        sim.sleep(delay)
+        tracer = _trace.TRACER
+        span = None
+        if tracer is not None:
+            span = tracer.span(
+                "pfs", "backoff", client=self.client_id, attempt=attempts,
+            )
+        try:
+            sim.sleep(delay)
+        finally:
+            if span is not None:
+                span.finish()
 
     def fsync(self, file: Optional[LustreFile] = None) -> None:
         """Block until all of this client's outstanding writes are stable.
@@ -345,13 +400,24 @@ class LustreClient:
         (:class:`RetryExhaustedError` after the retry budget is spent) —
         the POSIX contract that fsync is where async write errors land.
         """
-        pending, self._outstanding = self._outstanding, []
-        for proc in pending:
-            if proc.alive:
-                sim.wait(proc.done)
-        if self._write_errors:
-            errors, self._write_errors = self._write_errors, []
-            raise errors[0]
+        tracer = _trace.TRACER
+        span = None
+        if tracer is not None:
+            span = tracer.span(
+                "pfs", "fsync", client=self.client_id,
+                pending=sum(1 for p in self._outstanding if p.alive),
+            )
+        try:
+            pending, self._outstanding = self._outstanding, []
+            for proc in pending:
+                if proc.alive:
+                    sim.wait(proc.done)
+            if self._write_errors:
+                errors, self._write_errors = self._write_errors, []
+                raise errors[0]
+        finally:
+            if span is not None:
+                span.finish()
 
     def read(self, file: LustreFile, offset: int, nbytes: int) -> bytes:
         """Synchronous striped read; returns the logical bytes."""
@@ -381,20 +447,33 @@ class LustreClient:
         return file.load(offset, nbytes)
 
     def _read_remote(self, rpc: Rpc) -> None:
-        self._jitter_delay()
-        if self.cluster.fault_injector is None:
-            self.cluster.osts[rpc.ost_index].serve(
-                self.client_id, rpc.object_id, rpc.object_offset, rpc.length,
-                is_write=False,
+        tracer = _trace.TRACER
+        span = None
+        if tracer is not None:
+            span = tracer.span(
+                "pfs", "read_rpc", client=self.client_id,
+                ost=rpc.ost_index, nbytes=rpc.length,
             )
-            self.cluster.oss_for_ost(rpc.ost_index).transfer(rpc.length)
-            return
         try:
-            self._faulty_transfer(rpc, is_write=False)
-        except StorageIOError as exc:
-            # Reads are synchronous: the error re-raises in read() after
-            # every parallel RPC has settled.
-            self._read_errors.append(exc)
+            self._jitter_delay()
+            if self.cluster.fault_injector is None:
+                self.cluster.osts[rpc.ost_index].serve(
+                    self.client_id, rpc.object_id, rpc.object_offset,
+                    rpc.length, is_write=False,
+                )
+                self.cluster.oss_for_ost(rpc.ost_index).transfer(rpc.length)
+                return
+            try:
+                self._faulty_transfer(rpc, is_write=False)
+            except StorageIOError as exc:
+                # Reads are synchronous: the error re-raises in read() after
+                # every parallel RPC has settled.
+                self._read_errors.append(exc)
+                if span is not None:
+                    span.set(failed=True)
+        finally:
+            if span is not None:
+                span.finish()
 
     def _jitter_delay(self) -> None:
         """Fabric/scheduling variance, order-preserving per client.

@@ -19,6 +19,7 @@ from repro.pfs.layout import StripeLayout
 from repro.pfs.mds import Mds
 from repro.pfs.oss import Oss
 from repro.pfs.ost import Ost
+from repro.trace import runtime as _trace
 from repro.util.humanize import parse_size
 
 
@@ -154,6 +155,13 @@ class LustreCluster:
             for index in range(self.config.num_oss)
         ]
         self.mds = Mds(engine, op_costs=self.config.mds_op_costs)
+        metrics = _trace.METRICS
+        if metrics is not None:
+            for ost in self.osts:
+                metrics.register(f"pfs.ost{ost.index}", ost.stats)
+            for oss in self.osses:
+                metrics.register(f"pfs.oss{oss.index}", oss.stats)
+            metrics.register("pfs.mds", self.mds.stats)
         #: installed by repro.fault.FaultInjector.install(); None means
         #: every fault hook is a single is-None check (healthy fast path)
         self.fault_injector = None

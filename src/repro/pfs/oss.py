@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro import sim
+from repro.trace import runtime as _trace
 from repro.util.humanize import parse_size
 
 
@@ -69,12 +70,25 @@ class Oss:
             from repro.errors import RpcTimeoutError
 
             raise RpcTimeoutError(f"oss{self.index} unreachable")
-        with self._pipe.request():
-            start = sim.now()
-            sim.sleep(self.rpc_overhead + nbytes / self.bandwidth)
-            self.stats.bytes_moved += nbytes
-            self.stats.requests += 1
-            self.stats.busy_time += sim.now() - start
+        tracer = _trace.TRACER
+        span = None
+        if tracer is not None:
+            tracer.gauge(
+                "pfs", f"oss{self.index}.queue", self._pipe.queue_length,
+            )
+            span = tracer.span(
+                "pfs", "oss_transfer", oss=self.index, nbytes=nbytes,
+            )
+        try:
+            with self._pipe.request():
+                start = sim.now()
+                sim.sleep(self.rpc_overhead + nbytes / self.bandwidth)
+                self.stats.bytes_moved += nbytes
+                self.stats.requests += 1
+                self.stats.busy_time += sim.now() - start
+        finally:
+            if span is not None:
+                span.finish()
 
     @property
     def queue_length(self) -> int:

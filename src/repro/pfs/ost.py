@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from repro import sim
 from repro.errors import OstUnavailableError
 from repro.pfs.disk import DiskProfile, HeadPosition
+from repro.trace import runtime as _trace
 
 
 @dataclass
@@ -94,11 +95,39 @@ class Ost:
         Raises :class:`OstUnavailableError` while the target is down —
         the client's retry path decides whether to back off or give up.
         """
+        tracer = _trace.TRACER
         if not self.up:
             self.stats.rejected_requests += 1
+            if tracer is not None:
+                tracer.instant(
+                    "pfs", "ost_rejected", ost=self.index, client=client_id,
+                )
             raise OstUnavailableError(
                 f"ost{self.index} is down", ost_index=self.index
             )
+        span = None
+        if tracer is not None:
+            tracer.gauge(
+                "pfs", f"ost{self.index}.queue", self._service.queue_length,
+            )
+            span = tracer.span(
+                "pfs", "ost_serve", ost=self.index, client=client_id,
+                nbytes=nbytes, write=is_write,
+            )
+        try:
+            self._serve(client_id, object_id, offset, nbytes, is_write)
+        finally:
+            if span is not None:
+                span.finish()
+
+    def _serve(
+        self,
+        client_id: int,
+        object_id: int,
+        offset: int,
+        nbytes: int,
+        is_write: bool,
+    ) -> None:
         with self._service.request():
             start = sim.now()
             service, sequential = self.disk.service_time(

@@ -24,6 +24,7 @@ import threading
 from typing import Any, Callable, Optional
 
 from repro.errors import DeadlockError, SimulationError
+from repro.trace import runtime as _trace
 
 
 class ProcessKilled(BaseException):
@@ -199,6 +200,12 @@ class Engine:
         )
         self._processes.append(proc)
         self._schedule(0.0, proc._resume_action)
+        tracer = _trace.TRACER
+        if tracer is not None:
+            tracer.instant(
+                "sim", "spawn", ts=self._now, track="engine",
+                proc=proc.name, daemon=daemon,
+            )
         return proc
 
     def _wrap(self, fn: Callable) -> Callable:
@@ -209,9 +216,18 @@ class Engine:
             token_proc = getattr(_TLS, "process", None)
             _TLS.engine = engine
             _TLS.process = engine._running_process
+            tracer = _trace.TRACER
+            span = None
+            if tracer is not None:
+                proc = _TLS.process
+                span = tracer.span(
+                    "sim", f"proc:{proc.name if proc is not None else 'proc'}"
+                )
             try:
                 return fn(*args, **kwargs)
             finally:
+                if span is not None:
+                    span.finish()
                 _TLS.engine = token_engine
                 _TLS.process = token_proc
 
@@ -264,6 +280,9 @@ class Engine:
 
 
 _TLS = threading.local()
+# Let the tracer read the simulated clock without importing repro.sim
+# (the dependency is inverted to keep repro.trace import-cycle free).
+_trace._SIM_TLS = _TLS
 
 
 def current_engine() -> Engine:

@@ -1,0 +1,94 @@
+"""CLI: inspect and export checkpoint-timeline traces.
+
+Usage::
+
+    python -m repro.trace summarize  TRACE.json
+    python -m repro.trace top-spans  TRACE.json [-n 15]
+    python -m repro.trace export     TRACE.json -o OUT.chrome.json
+    python -m repro.trace validate   OUT.chrome.json
+
+``TRACE.json`` is a raw dump written by a ``--trace`` benchmark run (or
+an already-exported Chrome trace — both forms are accepted).  ``export``
+writes the Chrome Trace Event form that chrome://tracing and Perfetto
+open; it always schema-validates before writing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.trace.export import (
+    load_payload,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.trace.summary import summarize, top_spans
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="Inspect/export repro.trace checkpoint-timeline dumps.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sum = sub.add_parser("summarize", help="per-layer/per-span rollup")
+    p_sum.add_argument("trace", help="trace file (raw dump or Chrome form)")
+
+    p_top = sub.add_parser("top-spans", help="longest spans")
+    p_top.add_argument("trace")
+    p_top.add_argument("-n", type=int, default=15, help="how many (15)")
+
+    p_exp = sub.add_parser(
+        "export", help="convert a raw dump to Chrome trace JSON"
+    )
+    p_exp.add_argument("trace")
+    p_exp.add_argument(
+        "-o", "--out", required=True, help="output Chrome-trace path"
+    )
+
+    p_val = sub.add_parser(
+        "validate", help="schema-check a Chrome trace file"
+    )
+    p_val.add_argument("trace")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "validate":
+        with open(args.trace) as fh:
+            obj = json.load(fh)
+        try:
+            validate_chrome_trace(obj)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 1
+        print(
+            f"{args.trace}: valid Chrome trace "
+            f"({len(obj['traceEvents'])} events)"
+        )
+        return 0
+
+    payload = load_payload(args.trace)
+    if args.command == "summarize":
+        print(summarize(payload))
+    elif args.command == "top-spans":
+        print(top_spans(payload, args.n))
+    elif args.command == "export":
+        obj = to_chrome_trace(payload)
+        validate_chrome_trace(obj)
+        with open(args.out, "w") as fh:
+            json.dump(obj, fh)
+        print(
+            f"wrote {args.out} ({len(obj['traceEvents'])} events); open in "
+            f"chrome://tracing or https://ui.perfetto.dev"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `... | head`
+        sys.exit(0)

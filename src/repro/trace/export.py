@@ -1,0 +1,228 @@
+"""Chrome-trace/Perfetto export and schema validation.
+
+The raw dump (``Tracer.to_payload``) keeps seconds on the simulated
+clock; the exported form is the Chrome Trace Event JSON object format —
+``{"traceEvents": [...]}`` with microsecond timestamps — which both
+``chrome://tracing`` and https://ui.perfetto.dev open directly.
+
+Event mapping: spans → ``"X"`` complete events, instants → ``"i"``,
+gauges → ``"C"`` counter events, plus ``"M"`` metadata events naming
+each track (one tid per simulated process / thread).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Union
+
+_PID = 0
+
+
+def to_chrome_trace(payload_or_tracer: Union[dict, object]) -> dict:
+    """Convert a raw dump (or a live Tracer) to Chrome trace JSON."""
+    payload = payload_or_tracer
+    if not isinstance(payload, dict):
+        payload = payload.to_payload()
+    events: list[dict] = []
+    tids: dict[str, int] = {}
+
+    def tid_for(track: str) -> int:
+        tid = tids.get(track)
+        if tid is None:
+            tid = tids[track] = len(tids) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": _PID,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": track},
+                }
+            )
+        return tid
+
+    for span in payload.get("spans", ()):
+        events.append(
+            {
+                "ph": "X",
+                "pid": _PID,
+                "tid": tid_for(span.get("track", "main")),
+                "cat": span["cat"],
+                "name": span["name"],
+                "ts": span["ts"] * 1e6,
+                "dur": span["dur"] * 1e6,
+                "args": dict(span.get("args", {})),
+            }
+        )
+    for instant in payload.get("instants", ()):
+        events.append(
+            {
+                "ph": "i",
+                "s": "t",
+                "pid": _PID,
+                "tid": tid_for(instant.get("track", "main")),
+                "cat": instant["cat"],
+                "name": instant["name"],
+                "ts": instant["ts"] * 1e6,
+                "args": dict(instant.get("args", {})),
+            }
+        )
+    for gauge in payload.get("gauges", ()):
+        events.append(
+            {
+                "ph": "C",
+                "pid": _PID,
+                "tid": 0,
+                "cat": gauge["cat"],
+                "name": gauge["name"],
+                "ts": gauge["ts"] * 1e6,
+                "args": {"value": gauge["value"]},
+            }
+        )
+    # Stable presentation order: metadata first, then by timestamp.
+    events.sort(key=lambda e: (e["ph"] != "M", e.get("ts", 0.0)))
+    out = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.trace",
+            "clock": "simulated-seconds-as-us",
+            "meta": dict(payload.get("meta", {})),
+            "metrics": dict(payload.get("metrics", {})),
+            "dropped": payload.get("dropped", 0),
+        },
+    }
+    return out
+
+
+_VALID_PHASES = {"X", "i", "I", "C", "M", "B", "E"}
+
+
+def validate_chrome_trace(obj: dict) -> None:
+    """Schema-check a Chrome trace object; raises ValueError on problems.
+
+    Checks the subset of the Trace Event Format this exporter emits plus
+    the invariants Perfetto's importer cares about (numeric non-negative
+    timestamps/durations, integer pid/tid, named events).
+    """
+    problems: list[str] = []
+    if not isinstance(obj, dict):
+        raise ValueError(f"trace must be a JSON object, got {type(obj)}")
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace has no traceEvents list")
+    for index, event in enumerate(events):
+        if len(problems) >= 20:
+            problems.append("... (truncated)")
+            break
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in _VALID_PHASES:
+            problems.append(f"{where}: bad phase {phase!r}")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            problems.append(f"{where}: missing name")
+        if not isinstance(event.get("pid"), int):
+            problems.append(f"{where}: pid must be an int")
+        if not isinstance(event.get("tid"), int):
+            problems.append(f"{where}: tid must be an int")
+        if phase == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: bad ts {ts!r}")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: bad dur {dur!r}")
+            if not isinstance(event.get("cat"), str):
+                problems.append(f"{where}: X event needs a cat string")
+        if "args" in event and not isinstance(event["args"], dict):
+            problems.append(f"{where}: args must be an object")
+    if problems:
+        raise ValueError(
+            "invalid Chrome trace:\n  " + "\n  ".join(problems)
+        )
+
+
+def _chrome_to_payload(obj: dict) -> dict:
+    """Best-effort inverse mapping so the CLI can read exported files."""
+    tracks = {
+        event["tid"]: event.get("args", {}).get("name", f"tid{event['tid']}")
+        for event in obj.get("traceEvents", ())
+        if event.get("ph") == "M" and event.get("name") == "thread_name"
+    }
+    spans, instants, gauges = [], [], []
+    for event in obj.get("traceEvents", ()):
+        phase = event.get("ph")
+        track = tracks.get(event.get("tid"), f"tid{event.get('tid', 0)}")
+        if phase == "X":
+            spans.append(
+                {
+                    "cat": event.get("cat", ""),
+                    "name": event["name"],
+                    "ts": event["ts"] / 1e6,
+                    "dur": event.get("dur", 0.0) / 1e6,
+                    "track": track,
+                    "depth": 0,
+                    "args": dict(event.get("args", {})),
+                }
+            )
+        elif phase in ("i", "I"):
+            instants.append(
+                {
+                    "cat": event.get("cat", ""),
+                    "name": event["name"],
+                    "ts": event["ts"] / 1e6,
+                    "track": track,
+                    "args": dict(event.get("args", {})),
+                }
+            )
+        elif phase == "C":
+            gauges.append(
+                {
+                    "cat": event.get("cat", ""),
+                    "name": event["name"],
+                    "ts": event["ts"] / 1e6,
+                    "value": event.get("args", {}).get("value"),
+                }
+            )
+    other = obj.get("otherData", {})
+    return {
+        "format": "repro-trace",
+        "version": 1,
+        "meta": dict(other.get("meta", {})),
+        "spans": spans,
+        "instants": instants,
+        "gauges": gauges,
+        "dropped": other.get("dropped", 0),
+        "metrics": dict(other.get("metrics", {})),
+    }
+
+
+def load_payload(path: str) -> dict:
+    """Load a trace file — raw dump or exported Chrome form — as a payload."""
+    with open(path) as fh:
+        obj = json.load(fh)
+    if isinstance(obj, dict) and obj.get("format") == "repro-trace":
+        return obj
+    if isinstance(obj, dict) and "traceEvents" in obj:
+        return _chrome_to_payload(obj)
+    raise ValueError(f"{path}: not a repro-trace dump or Chrome trace")
+
+
+def write_payload(payload: dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(payload, fh)
+
+
+def write_chrome_trace(payload_or_tracer, path: str) -> dict:
+    """Export to ``path``; validates before writing.  Returns the object."""
+    obj = to_chrome_trace(payload_or_tracer)
+    validate_chrome_trace(obj)
+    with open(path, "w") as fh:
+        json.dump(obj, fh)
+    return obj

@@ -1,0 +1,85 @@
+"""Global tracing hooks — safe to import from the hottest layers.
+
+This module must not import anything else from ``repro``: the sim
+engine, PFS client, LSM engine, MPI communicator, and LSMIO manager all
+import it at module scope and gate their instrumentation on
+``TRACER is not None`` — one module-global read plus an identity check
+when tracing is off, with no allocation on the disabled path.
+
+The simulated-clock hookup is inverted to keep the import graph acyclic:
+:mod:`repro.sim.engine` registers its thread-local state here
+(:data:`_SIM_TLS`) when it is imported, so :func:`ambient_clock` and
+:func:`current_track` can resolve simulated time and the running process
+without this package ever importing the simulator.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+#: the installed :class:`~repro.trace.tracer.Tracer`, or None (disabled)
+TRACER = None
+
+#: the installed :class:`~repro.trace.metrics.MetricsRegistry`, or None
+METRICS = None
+
+#: thread-local of the discrete-event engine (set by repro.sim.engine)
+_SIM_TLS = None
+
+
+def ambient_clock() -> float:
+    """Simulated time inside a sim process, else monotonic wall seconds.
+
+    The same clock policy as :func:`repro.core.counters.ambient_clock`,
+    re-implemented here so the trace package has no ``repro`` imports.
+    """
+    tls = _SIM_TLS
+    engine = getattr(tls, "engine", None) if tls is not None else None
+    if engine is None:
+        return time.monotonic()
+    return engine._now
+
+
+def current_track() -> str:
+    """Name of the executing context: sim process name or thread name."""
+    tls = _SIM_TLS
+    proc = getattr(tls, "process", None) if tls is not None else None
+    if proc is not None:
+        return proc.name
+    return threading.current_thread().name
+
+
+class _NullSpan:
+    """Shared no-op span: the disabled path allocates nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **args) -> "_NullSpan":
+        return self
+
+    def finish(self) -> None:
+        pass
+
+
+#: the singleton returned wherever tracing is off
+NULL_SPAN = _NullSpan()
+
+
+def span(category: str, name: str, **args):
+    """Convenience: open a span on the installed tracer, or no-op.
+
+    Library hot paths check ``TRACER is not None`` themselves (the
+    keyword arguments here allocate even when disabled); this helper is
+    for user code and cold paths.
+    """
+    tracer = TRACER
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(category, name, **args)

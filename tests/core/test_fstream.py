@@ -160,6 +160,58 @@ class TestStreamState:
             stream(store, "f", chunk_size=0)
 
 
+class TestFailBit:
+    """C++ iostream semantics: a failed stream no-ops until clear()."""
+
+    def test_failed_write_noops_until_clear(self, store):
+        fh = stream(store, "f")
+        fh.write(b"keep")
+        fh.seekp(-5)  # sets the fail bit
+        assert fh.fail()
+        fh.write(b"dropped")  # must not touch data or position
+        assert fh.tellp() == 4
+        fh.clear()
+        assert fh.good()
+        fh.write(b"!")
+        fh.close()
+        with stream(store, "f", "r") as rd:
+            assert rd.read() == b"keep!"
+
+    def test_failed_flush_noops(self, store):
+        fh = stream(store, "f")
+        fh.write(b"data")
+        fh.seekp(-1)
+        assert fh.flush() is fh  # no exception, nothing persisted
+        fh.clear()
+        fh.close()
+        with stream(store, "f", "r") as rd:
+            assert rd.read() == b"data"
+
+    def test_failed_read_returns_empty_until_clear(self, store):
+        with stream(store, "f") as fh:
+            fh.write(b"content")
+        rd = stream(store, "f", "r")
+        rd.seekp(-3)
+        assert rd.fail()
+        assert rd.read() == b""
+        rd.clear()
+        assert rd.read() == b"content"
+
+    def test_clear_returns_self_and_keeps_position(self, store):
+        fh = stream(store, "f")
+        fh.write(b"abcdef")
+        fh.seekp(-100)
+        assert fh.clear() is fh
+        assert not fh.fail()
+        assert fh.tellp() == 6  # failed seek left the position alone
+
+    def test_close_of_failed_stream_skips_barrier(self, store):
+        fh = stream(store, "missing-but-writable")
+        fh.seekp(-1)
+        fh.close()  # must not raise
+        assert not fh.good()
+
+
 class TestStaticLifecycle:
     def test_initialize_open_cleanup(self):
         env = MemEnv()

@@ -97,6 +97,17 @@ class TestCounters:
             assert snap["bytes_put"] == 8
             assert snap["bytes_got"] == 8
 
+    def test_counters_record_encoded_byte_length(self):
+        # Regression: byte accounting must use the UTF-8 encoded length,
+        # not the pre-encoding character count.
+        with make_manager() as mgr:
+            mgr.put("k", "héllo")  # 6 bytes encoded, 5 characters
+            mgr.append("k", "é")  # 2 bytes encoded, 1 character
+            snap = mgr.counters.snapshot()
+            assert snap["bytes_put"] == 8
+            assert mgr.get("k") == "héllo".encode() + "é".encode()
+            assert mgr.counters.bytes_got == 8
+
     def test_counters_reset(self):
         with make_manager() as mgr:
             mgr.put("k", b"v")

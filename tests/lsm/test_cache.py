@@ -48,6 +48,27 @@ def test_oversized_entry_rejected():
     assert cache.usage == 0
 
 
+def test_oversized_replace_keeps_existing_entry():
+    # Regression: an over-capacity insert used to pop the key first,
+    # destroying the cached entry it then declined to replace.
+    cache = LRUCache(50)
+    cache.insert("k", "old", 10)
+    cache.insert("k", "too big", 100)  # rejected...
+    assert cache.get("k") == "old"  # ...without evicting the old value
+    assert cache.usage == 10
+
+
+def test_oversized_insert_does_not_disturb_lru_order():
+    cache = LRUCache(50)
+    cache.insert("a", 1, 20)
+    cache.insert("b", 2, 20)
+    cache.insert("a", "giant", 100)  # rejected; "a" keeps its slot
+    cache.insert("c", 3, 20)  # evicts "a" (still least recent)
+    assert cache.get("a") is None
+    assert cache.get("b") == 2
+    assert cache.get("c") == 3
+
+
 def test_erase():
     cache = LRUCache(100)
     cache.insert("k", 1, 10)

@@ -1,0 +1,29 @@
+"""Tracing must not perturb the simulation: traced == untraced, bit for bit."""
+
+from repro import trace
+from repro.ior.config import IorConfig
+from repro.ior.runner import run_ior
+
+
+def _run():
+    config = IorConfig(
+        api="lsmio", num_tasks=2, block_size="256K", transfer_size="64K",
+        read_back=True,
+    )
+    result = run_ior(config)
+    return (result.max_write_bw, result.max_read_bw)
+
+
+def test_traced_run_is_bit_identical():
+    baseline = _run()
+    tracer = trace.install()
+    try:
+        traced = _run()
+    finally:
+        trace.uninstall()
+    rerun = _run()
+    assert traced == baseline  # tracing never advances simulated time
+    assert rerun == baseline  # and leaves no state behind
+    assert {"sim", "pfs", "lsm", "core", "mpi", "bench"} <= set(
+        tracer.categories()
+    )

@@ -1,0 +1,164 @@
+"""Tests for the Chrome-trace exporter, validator, and loaders."""
+
+import json
+
+import pytest
+
+from repro.trace.export import (
+    load_payload,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_payload,
+)
+
+#: fixed input for the golden-file check below
+GOLDEN_PAYLOAD = {
+    "format": "repro-trace",
+    "version": 1,
+    "meta": {"test": "golden"},
+    "spans": [
+        {
+            "cat": "lsm", "name": "commit", "ts": 1.0, "dur": 0.5,
+            "track": "rank0", "depth": 0, "args": {"nbytes": 42},
+        },
+    ],
+    "instants": [
+        {
+            "cat": "pfs", "name": "rpc_retry", "ts": 1.25,
+            "track": "rank0", "args": {"attempt": 1},
+        },
+    ],
+    "gauges": [
+        {"cat": "pfs", "name": "ost0.queue", "ts": 0.5, "value": 3},
+    ],
+    "dropped": 0,
+    "metrics": {"lsm.db.x.writes": 7},
+}
+
+#: the exact Chrome Trace Event form GOLDEN_PAYLOAD must export to —
+#: timestamps in microseconds, metadata first, then by ts.
+GOLDEN_CHROME = {
+    "traceEvents": [
+        {
+            "ph": "M", "pid": 0, "tid": 1, "name": "thread_name",
+            "args": {"name": "rank0"},
+        },
+        {
+            "ph": "C", "pid": 0, "tid": 0, "cat": "pfs",
+            "name": "ost0.queue", "ts": 0.5e6, "args": {"value": 3},
+        },
+        {
+            "ph": "X", "pid": 0, "tid": 1, "cat": "lsm", "name": "commit",
+            "ts": 1.0e6, "dur": 0.5e6, "args": {"nbytes": 42},
+        },
+        {
+            "ph": "i", "s": "t", "pid": 0, "tid": 1, "cat": "pfs",
+            "name": "rpc_retry", "ts": 1.25e6, "args": {"attempt": 1},
+        },
+    ],
+    "displayTimeUnit": "ms",
+    "otherData": {
+        "source": "repro.trace",
+        "clock": "simulated-seconds-as-us",
+        "meta": {"test": "golden"},
+        "metrics": {"lsm.db.x.writes": 7},
+        "dropped": 0,
+    },
+}
+
+
+class TestExport:
+    def test_golden_chrome_trace(self):
+        assert to_chrome_trace(GOLDEN_PAYLOAD) == GOLDEN_CHROME
+
+    def test_export_validates(self):
+        validate_chrome_trace(to_chrome_trace(GOLDEN_PAYLOAD))
+
+    def test_export_accepts_live_tracer(self):
+        from repro.trace.tracer import Tracer
+
+        tracer = Tracer()
+        tracer.span("sim", "s").finish()
+        obj = to_chrome_trace(tracer)
+        validate_chrome_trace(obj)
+        names = [e["name"] for e in obj["traceEvents"] if e["ph"] == "X"]
+        assert names == ["s"]
+
+    def test_one_tid_per_track(self):
+        payload = dict(GOLDEN_PAYLOAD)
+        payload["spans"] = [
+            {"cat": "c", "name": "a", "ts": 0.0, "dur": 1.0,
+             "track": "t1", "depth": 0},
+            {"cat": "c", "name": "b", "ts": 0.0, "dur": 1.0,
+             "track": "t2", "depth": 0},
+            {"cat": "c", "name": "c", "ts": 2.0, "dur": 1.0,
+             "track": "t1", "depth": 0},
+        ]
+        obj = to_chrome_trace(payload)
+        xs = [e for e in obj["traceEvents"] if e["ph"] == "X"]
+        by_name = {e["name"]: e["tid"] for e in xs}
+        assert by_name["a"] == by_name["c"]
+        assert by_name["a"] != by_name["b"]
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace([])
+
+    def test_rejects_missing_trace_events(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace({})
+
+    @pytest.mark.parametrize(
+        "event, message",
+        [
+            ({"ph": "Z", "pid": 0, "tid": 0, "name": "x"}, "bad phase"),
+            ({"ph": "i", "pid": 0, "tid": 0, "ts": 1}, "missing name"),
+            ({"ph": "i", "pid": "0", "tid": 0, "name": "x", "ts": 1},
+             "pid must be an int"),
+            ({"ph": "i", "pid": 0, "tid": 0, "name": "x", "ts": -1},
+             "bad ts"),
+            ({"ph": "X", "pid": 0, "tid": 0, "name": "x", "cat": "c",
+              "ts": 1, "dur": "no"}, "bad dur"),
+            ({"ph": "X", "pid": 0, "tid": 0, "name": "x", "ts": 1,
+              "dur": 1}, "needs a cat"),
+            ({"ph": "i", "pid": 0, "tid": 0, "name": "x", "ts": 1,
+              "args": []}, "args must be an object"),
+        ],
+    )
+    def test_rejects_malformed_events(self, event, message):
+        with pytest.raises(ValueError, match=message):
+            validate_chrome_trace({"traceEvents": [event]})
+
+    def test_problem_list_truncates(self):
+        events = [{"ph": "Z"}] * 50
+        with pytest.raises(ValueError, match="truncated"):
+            validate_chrome_trace({"traceEvents": events})
+
+
+class TestLoaders:
+    def test_raw_dump_roundtrip(self, tmp_path):
+        path = str(tmp_path / "t.trace.json")
+        write_payload(GOLDEN_PAYLOAD, path)
+        assert load_payload(path) == GOLDEN_PAYLOAD
+
+    def test_chrome_form_loads_back(self, tmp_path):
+        path = str(tmp_path / "t.chrome.json")
+        write_chrome_trace(GOLDEN_PAYLOAD, path)
+        payload = load_payload(path)
+        (span,) = payload["spans"]
+        assert span["cat"] == "lsm" and span["name"] == "commit"
+        assert span["ts"] == pytest.approx(1.0)
+        assert span["dur"] == pytest.approx(0.5)
+        assert span["track"] == "rank0"
+        (gauge,) = payload["gauges"]
+        assert gauge["value"] == 3
+        assert payload["metrics"] == {"lsm.db.x.writes": 7}
+
+    def test_unknown_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"something": "else"}))
+        with pytest.raises(ValueError, match="not a repro-trace"):
+            load_payload(str(path))

@@ -1,0 +1,128 @@
+"""Tests for the MetricsRegistry: duck-typed sources, namespacing."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.counters import PerfCounters
+from repro.trace.metrics import MetricsRegistry
+
+
+@dataclasses.dataclass
+class _FakeStats:
+    requests: int = 3
+    ops: dict = dataclasses.field(default_factory=lambda: {"open": 2})
+
+
+class TestSources:
+    def test_snapshot_method_source(self):
+        registry = MetricsRegistry()
+        counters = PerfCounters()
+        counters.record("put", 16)
+        registry.register("core.manager.x", counters)
+        snap = registry.snapshot()
+        assert snap["core.manager.x.puts"] == 1
+        assert snap["core.manager.x.bytes_put"] == 16
+
+    def test_dataclass_source_flattens_nested_dicts(self):
+        registry = MetricsRegistry()
+        registry.register("pfs.mds", _FakeStats())
+        snap = registry.snapshot()
+        assert snap["pfs.mds.requests"] == 3
+        assert snap["pfs.mds.ops.open"] == 2
+
+    def test_dict_and_callable_sources(self):
+        registry = MetricsRegistry()
+        registry.register("plain", {"a": 1})
+        registry.register("lazy", lambda: {"b": 2})
+        snap = registry.snapshot()
+        assert snap == {"plain.a": 1, "lazy.b": 2}
+
+    def test_bad_source_rejected_at_register_time(self):
+        registry = MetricsRegistry()
+        with pytest.raises(TypeError):
+            registry.register("bad", object())
+        assert len(registry) == 0
+
+    def test_sources_are_live_not_copied(self):
+        registry = MetricsRegistry()
+        counters = PerfCounters()
+        registry.register("m", counters)
+        counters.record("put", 8)
+        assert registry.snapshot()["m.puts"] == 1
+
+
+class TestNamespacing:
+    def test_prefix_filter(self):
+        registry = MetricsRegistry()
+        registry.register("pfs.ost0", {"requests": 1})
+        registry.register("pfs.ost1", {"requests": 2})
+        registry.register("lsm.db.x", {"writes": 3})
+        assert registry.snapshot(prefix="pfs.") == {
+            "pfs.ost0.requests": 1,
+            "pfs.ost1.requests": 2,
+        }
+
+    def test_register_replaces_unregister_removes(self):
+        registry = MetricsRegistry()
+        registry.register("n", {"v": 1})
+        registry.register("n", {"v": 2})
+        assert registry.snapshot() == {"n.v": 2}
+        registry.unregister("n")
+        assert "n" not in registry
+        assert registry.snapshot() == {}
+        registry.unregister("n")  # idempotent
+
+    def test_namespaces_sorted(self):
+        registry = MetricsRegistry()
+        registry.register("b", {})
+        registry.register("a", {})
+        assert registry.namespaces() == ["a", "b"]
+        assert "a" in registry
+        assert len(registry) == 2
+
+
+class TestSelfRegistration:
+    def test_instrumented_constructors_register(self):
+        from repro import sim, trace
+        from repro.pfs.lustre import LustreCluster, LustreConfig
+        from repro.pfs.client import LustreClient
+
+        trace.install()
+        try:
+            with sim.Engine() as engine:
+                cluster = LustreCluster(
+                    engine,
+                    LustreConfig(
+                        num_osts=2, num_oss=1, default_stripe_count=2
+                    ),
+                )
+                LustreClient(cluster, 0)
+            registry = trace.current_metrics()
+            names = registry.namespaces()
+            assert "pfs.ost0" in names and "pfs.ost1" in names
+            assert "pfs.oss0" in names
+            assert "pfs.mds" in names
+            assert "pfs.client0" in names
+        finally:
+            trace.uninstall()
+
+    def test_manager_and_db_register(self):
+        from repro import trace
+        from repro.core import LsmioManager, LsmioOptions
+        from repro.lsm.env import MemEnv
+
+        trace.install()
+        try:
+            with LsmioManager(
+                "mgr", options=LsmioOptions(), env=MemEnv()
+            ) as mgr:
+                mgr.put("k", "v")
+                registry = trace.current_metrics()
+                names = registry.namespaces()
+                assert "core.manager.mgr" in names
+                assert any(n.startswith("lsm.db.") for n in names)
+                snap = registry.snapshot(prefix="core.manager.mgr")
+                assert snap["core.manager.mgr.puts"] == 1
+        finally:
+            trace.uninstall()

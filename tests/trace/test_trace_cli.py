@@ -1,0 +1,46 @@
+"""Smoke tests for the ``python -m repro.trace`` CLI."""
+
+import json
+
+import pytest
+
+from repro.trace.__main__ import main
+from repro.trace.export import write_payload
+
+from test_export import GOLDEN_PAYLOAD
+
+
+@pytest.fixture
+def dump(tmp_path):
+    path = str(tmp_path / "run.trace.json")
+    write_payload(GOLDEN_PAYLOAD, path)
+    return path
+
+
+def test_summarize(dump, capsys):
+    assert main(["summarize", dump]) == 0
+    out = capsys.readouterr().out
+    assert "lsm" in out and "commit" in out
+    assert "1 spans" in out
+
+
+def test_top_spans(dump, capsys):
+    assert main(["top-spans", dump, "-n", "3"]) == 0
+    assert "lsm/commit" in capsys.readouterr().out
+
+
+def test_export_then_validate(dump, tmp_path, capsys):
+    out_path = str(tmp_path / "run.chrome.json")
+    assert main(["export", dump, "-o", out_path]) == 0
+    with open(out_path) as fh:
+        obj = json.load(fh)
+    assert any(e["ph"] == "X" for e in obj["traceEvents"])
+    assert main(["validate", out_path]) == 0
+    assert "valid Chrome trace" in capsys.readouterr().out
+
+
+def test_validate_rejects_broken_file(tmp_path, capsys):
+    path = tmp_path / "broken.json"
+    path.write_text(json.dumps({"traceEvents": [{"ph": "Z"}]}))
+    assert main(["validate", str(path)]) == 1
+    assert "bad phase" in capsys.readouterr().err
