@@ -58,6 +58,16 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--json", help="also dump results to this JSON file")
     parser.add_argument(
+        "--io-policy", choices=("fifo", "strict", "drr"), default=None,
+        help="client I/O admission policy (default: the cluster's fifo "
+             "pass-through; figures are bit-stable only under fifo)",
+    )
+    parser.add_argument(
+        "--compaction-bw", metavar="RATE", default=None,
+        help="cap COMPACTION-class client bandwidth (e.g. 50M); "
+             "0 disables throttling",
+    )
+    parser.add_argument(
         "--trace", metavar="PATH",
         help="record a checkpoint-timeline trace of the run to PATH "
              "(raw dump; export with `python -m repro.trace export`) and "
@@ -80,17 +90,23 @@ def main(argv=None) -> int:
 
     bytes_per_task = parse_size(bytes_per_task)
 
+    cluster_overrides: dict = {}
+    if args.io_policy:
+        cluster_overrides["io_policy"] = args.io_policy
+    if args.compaction_bw is not None:
+        cluster_overrides["io_compaction_bandwidth"] = args.compaction_bw
+
     payload: dict = {}
     if args.target == "fig1":
         result = fig1_history()
         print(format_fig1(result))
         payload["fig1"] = result
     elif args.target == "ablations":
-        result = run_ablations(default_cluster())
+        result = run_ablations(default_cluster(**cluster_overrides))
         print(result.table())
         payload["ablations"] = result.variants
     elif args.target == "groups":
-        result = run_collective_group_sweep(default_cluster())
+        result = run_collective_group_sweep(default_cluster(**cluster_overrides))
         print("Collective-mode group-size sweep — LSMIO, 48 nodes, 64K")
         print("=" * 56)
         for group, bandwidth in result.items():
@@ -115,6 +131,10 @@ def main(argv=None) -> int:
         for name in targets:
             figure = FIGURES[name](
                 node_counts=node_counts,
+                cluster=(
+                    default_cluster(**cluster_overrides)
+                    if cluster_overrides else None
+                ),
                 bytes_per_task=bytes_per_task,
                 repetitions=args.reps,
             )

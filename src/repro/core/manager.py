@@ -129,10 +129,30 @@ class LsmioManager:
         )
         self._db_merges_seen = 0
         self._client_coalesced_seen = 0
+        self._apply_io_policy()
         if self.is_aggregator:
             self.store = LsmioStore(path, options=self.options, env=env)
             if self.collective:
                 self._start_server()
+
+    def _apply_io_policy(self) -> None:
+        """Push the options' admission policy onto the backing client.
+
+        Only meaningful when the env wraps a simulated Lustre client
+        (``SimLustreEnv``); local-filesystem envs have no scheduler and
+        the options are silently inert, like the other cluster knobs.
+        """
+        client = getattr(self._env, "client", None)
+        if client is None:
+            return
+        policy = self.options.io_policy
+        bandwidth = self.options.compaction_bandwidth
+        if policy is None and bandwidth is None:
+            return
+        if policy is not None:
+            client.set_io_policy(policy, compaction_bandwidth=bandwidth)
+        elif bandwidth is not None:
+            client.scheduler.set_compaction_bandwidth(bandwidth)
 
     # ------------------------------------------------------------------
     # K/V API (Table 2)
@@ -296,7 +316,7 @@ class LsmioManager:
         if client is None:
             return None
         stats = client.stats
-        return (client, stats.retries, stats.timeouts, stats.backoff_time)
+        return (client, stats.rpc_retries, stats.rpc_timeouts, stats.backoff_time)
 
     def _barrier_report(
         self, before, completed: bool, error: Optional[str] = None
@@ -305,8 +325,8 @@ class LsmioManager:
             return DegradedWriteReport(completed=completed, error=error)
         client, retries0, timeouts0, backoff0 = before
         stats = client.stats
-        retries = stats.retries - retries0
-        timeouts = stats.timeouts - timeouts0
+        retries = stats.rpc_retries - retries0
+        timeouts = stats.rpc_timeouts - timeouts0
         backoff = stats.backoff_time - backoff0
         failed_osts: tuple[int, ...] = ()
         # Down OSTs are only *this* barrier's problem when it actually hit

@@ -62,6 +62,14 @@ class LsmioOptions:
     #: charge hook for modeled CPU cost under simulation (None = off)
     cpu_charge: Optional[object] = field(default=None, repr=False)
 
+    #: I/O admission policy applied to the backing client's scheduler
+    #: ("fifo" | "strict" | "drr"); None keeps the cluster's configured
+    #: policy (fifo by default — the bit-identical pass-through)
+    io_policy: Optional[str] = None
+    #: cap on COMPACTION-class bytes/s at the client (token bucket);
+    #: None keeps the cluster default, 0 disables throttling
+    compaction_bandwidth: Optional[float | str] = None
+
     def __post_init__(self) -> None:
         if isinstance(self.backend, str):
             self.backend = Backend(self.backend.lower())
@@ -71,6 +79,21 @@ class LsmioOptions:
             raise InvalidArgumentError("buffer and block size must be positive")
         if isinstance(self.checksum, str):
             self.checksum = ChecksumType(self.checksum)
+        if self.io_policy is not None and self.io_policy not in (
+            "fifo", "strict", "drr",
+        ):
+            raise InvalidArgumentError(
+                f"unknown io_policy {self.io_policy!r} "
+                "(expected fifo, strict, or drr)"
+            )
+        if self.compaction_bandwidth is not None:
+            self.compaction_bandwidth = float(
+                parse_size(self.compaction_bandwidth)
+            )
+            if self.compaction_bandwidth < 0:
+                raise InvalidArgumentError(
+                    "compaction_bandwidth must be >= 0"
+                )
 
     def to_engine_options(self) -> Options:
         """Render onto the LSM engine's option set."""

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Iterator, Optional
 
 from repro.errors import ClosedError, InvalidArgumentError
+from repro.io import BARRIER_CLASSES
 from repro.lsm.batch import WriteBatch
 from repro.lsm.db import DB
 from repro.lsm.env import Env
@@ -127,13 +128,17 @@ class LsmioStore:
                 return
             self.db.write(batch, WriteOptions())
         if sync if sync is not None else self.options.sync_writes:
-            self._executor.drain()
+            self._executor.drain(priorities=BARRIER_CLASSES)
 
     def write_barrier(self, sync: bool = True) -> None:
         """Flush all buffered writes to disk; block until done (Table 1).
 
         Also flushes an open batch first — the paper calls the barrier
         implicitly at the end of a checkpoint file write (§3.1.1).
+
+        The barrier waits only on the FOREGROUND+FLUSH service classes:
+        durability needs the memtable flushes, not the compaction debt,
+        so a trailing compaction keeps running behind the barrier.
         """
         with self._lock:
             self._check_open()
@@ -142,7 +147,7 @@ class LsmioStore:
                 self.db.write(batch, WriteOptions())
             self.db.flush(wait=False)
         if sync:
-            self._executor.drain()
+            self._executor.drain(priorities=BARRIER_CLASSES)
 
     # -- extras used by the manager/FStream ---------------------------------
 
@@ -180,7 +185,7 @@ class LsmioStore:
             self._batch_op(batch, kind, key, value)
             self.db.write(batch, WriteOptions())
         if sync if sync is not None else self.options.sync_writes:
-            self._executor.drain()
+            self._executor.drain(priorities=BARRIER_CLASSES)
 
     @staticmethod
     def _batch_op(batch: WriteBatch, kind: str, key: bytes, value: bytes) -> None:

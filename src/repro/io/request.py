@@ -1,0 +1,65 @@
+"""The I/O request object and its priority classes.
+
+A request is one client-side submission (a ``write``/``writev`` call's
+coalesced RPC batch, one ``read``, one ``fsync``, one MDS op) — the unit
+the admission policies reorder.  RPC-level pipelining below a request
+(``max_rpcs_in_flight``, the NIC resource) is untouched by scheduling.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class Priority(enum.IntEnum):
+    """Service classes, highest priority first (lower value wins).
+
+    ``METADATA`` sits between ``FOREGROUND`` and ``FLUSH``: namespace ops
+    are tiny and the caller always blocks on them, so starving them
+    behind a 32 MB flush would serialize ``open``/``close`` storms for
+    no modeling benefit.  ``COMPACTION`` is last — the paper's (and
+    Luo & Carey's) whole point is that compaction I/O must yield to the
+    checkpoint write path.
+    """
+
+    FOREGROUND = 0   #: application/iolib reads+writes, fsync barriers
+    METADATA = 1     #: MDS namespace traffic (create/open/close/stat)
+    FLUSH = 2        #: memtable → SSTable background flushes
+    COMPACTION = 3   #: background merge I/O (rate-limitable)
+
+
+#: The classes a checkpoint ``write_barrier`` must wait on: the caller's
+#: own writes plus the flushes that persist them.  Compaction is folded
+#: work, not durability — barriers do not wait for it.
+BARRIER_CLASSES = frozenset({Priority.FOREGROUND, Priority.FLUSH})
+
+_SEQ = itertools.count()
+
+
+@dataclass
+class IoRequest:
+    """One schedulable unit of client I/O.
+
+    ``nbytes`` is the payload the policy charges (DRR deficits, the
+    compaction rate limiter); zero-byte requests (fsync, metadata) are
+    charged as control traffic.  ``ost`` is the first OST the request
+    touches — the admission-queue key; multi-OST batches queue whole
+    under their first target so their RPC pipeline stays intact.
+    """
+
+    kind: str                           #: "write" | "read" | "fsync" | "meta"
+    priority: Priority = Priority.FOREGROUND
+    nbytes: int = 0
+    ost: Optional[int] = None           #: admission-queue key (first OST)
+    deadline: Optional[float] = None    #: sim-time bound, advisory
+    owner: str = ""                     #: submitting span/process label
+    seq: int = field(default_factory=lambda: next(_SEQ))
+    submit_time: float = 0.0            #: stamped by the scheduler
+    _gate: Any = field(default=None, repr=False)  #: park/grant event
+
+    @property
+    def class_name(self) -> str:
+        return self.priority.name.lower()

@@ -30,6 +30,7 @@ from typing import Callable, Optional, Union
 
 from repro import sim
 from repro.errors import InvalidArgumentError, NotFoundError
+from repro.io import Priority, io_priority
 from repro.pfs.client import LustreClient
 from repro.util.humanize import parse_size
 
@@ -216,11 +217,12 @@ class Bp5Writer:
         # rank 0, which writes md.0 and md.idx.
         all_md = self.comm.gather(self._metadata_bytes, root=0)
         if self.comm.rank == 0:
-            md = self.client.create(f"{self.path}/md.0")
-            self.client.write(md, 0, max(sum(all_md), 64))
-            idx = self.client.create(f"{self.path}/md.idx")
-            self.client.write(idx, 0, max(64 * len(all_md), 64))
-            self.client.fsync(md)
+            with io_priority(Priority.METADATA):
+                md = self.client.create(f"{self.path}/md.0")
+                self.client.write(md, 0, max(sum(all_md), 64))
+                idx = self.client.create(f"{self.path}/md.idx")
+                self.client.write(idx, 0, max(64 * len(all_md), 64))
+                self.client.fsync(md)
         self.client.close(self.subfile)
         self.comm.barrier()
         self._closed = True
@@ -255,10 +257,11 @@ class Bp5Reader:
         )
         # Opening a BP5 run reads the aggregated metadata once.
         try:
-            md = client.open(f"{path}/md.idx")
-            client.read(md, 0, md.size)
-            md0 = client.open(f"{path}/md.0")
-            client.read(md0, 0, md0.size)
+            with io_priority(Priority.METADATA):
+                md = client.open(f"{path}/md.idx")
+                client.read(md, 0, md.size)
+                md0 = client.open(f"{path}/md.0")
+                client.read(md0, 0, md0.size)
         except NotFoundError as exc:
             raise NotFoundError(f"{path} has no BP5 metadata") from exc
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Optional, Sequence, Union
 
 from repro.errors import InvalidArgumentError
+from repro.io import Priority, io_priority
 from repro.pfs.client import LustreClient
 from repro.pfs.lustre import LustreFile
 from repro.util.humanize import parse_size
@@ -138,7 +139,9 @@ def two_phase_write(
             if batch:
                 # Write-behind: ROMIO does not fsync per call; durability
                 # comes from the file close at the end of the benchmark.
-                client.writev(file, batch)
+                # Aggregated application data stays FOREGROUND class.
+                with io_priority(Priority.FOREGROUND):
+                    client.writev(file, batch)
         # ROMIO synchronizes exchange-buffer reuse between rounds.
         comm.barrier()
 

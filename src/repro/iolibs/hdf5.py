@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro.errors import InvalidArgumentError, NotFoundError
+from repro.io import Priority, io_priority
 from repro.pfs.client import LustreClient
 from repro.pfs.lustre import LustreFile
 
@@ -99,7 +100,8 @@ class Hdf5File:
         state = _H5State(datasets={})
         file._h5_state = state  # the on-disk structure  # noqa: SLF001
         self = cls(client, file, writable=True, state=state)
-        client.write(file, 0, SUPERBLOCK_SIZE)
+        with io_priority(Priority.METADATA):
+            client.write(file, 0, SUPERBLOCK_SIZE)
         return self
 
     @classmethod
@@ -109,7 +111,8 @@ class Hdf5File:
         state = getattr(file, "_h5_state", None)
         if state is None:
             raise NotFoundError(f"{path} is not an HDF5 file in this run")
-        client.read(file, 0, SUPERBLOCK_SIZE)
+        with io_priority(Priority.METADATA):
+            client.read(file, 0, SUPERBLOCK_SIZE)
         return cls(client, file, writable=writable, state=state)
 
     def create_dataset(self, name: str, chunk_size: int | str) -> None:
@@ -123,7 +126,8 @@ class Hdf5File:
             raise InvalidArgumentError(f"dataset {name!r} exists")
         self._require_writable()
         header_offset = self._allocate_metadata(OBJECT_HEADER_SIZE)
-        self.client.write(self.file, header_offset, OBJECT_HEADER_SIZE)
+        with io_priority(Priority.METADATA):
+            self.client.write(self.file, header_offset, OBJECT_HEADER_SIZE)
         self._datasets[name] = _Dataset(
             name=name,
             header_offset=header_offset,
@@ -163,9 +167,12 @@ class Hdf5File:
     def flush(self) -> None:
         """H5Fflush: metadata cache writeback (header rewrites) + fsync."""
         self._require_writable()
-        self.client.write(self.file, 0, SUPERBLOCK_SIZE)
-        for ds in self._datasets.values():
-            self.client.write(self.file, ds.header_offset, OBJECT_HEADER_SIZE)
+        with io_priority(Priority.METADATA):
+            self.client.write(self.file, 0, SUPERBLOCK_SIZE)
+            for ds in self._datasets.values():
+                self.client.write(
+                    self.file, ds.header_offset, OBJECT_HEADER_SIZE
+                )
         self.client.fsync(self.file)
 
     def close(self) -> None:
@@ -207,6 +214,10 @@ class Hdf5File:
         ) % METADATA_REGION
 
     def _btree_insert(self, ds: _Dataset, chunk: int) -> None:
+        with io_priority(Priority.METADATA):
+            self._btree_insert_inner(ds, chunk)
+
+    def _btree_insert_inner(self, ds: _Dataset, chunk: int) -> None:
         node = chunk // BTREE_FANOUT
         offset = self._btree_offset(ds, node)
         # Modify-write of the leaf (read only on a cold cache).  The
@@ -231,8 +242,11 @@ class Hdf5File:
         # compete with every rank's data reads for the head-region
         # objects, so the metadata cache provides no locality there.
         node = chunk // BTREE_FANOUT
-        self.client.read(self.file, SUPERBLOCK_SIZE, BTREE_NODE_SIZE)
-        self.client.read(
-            self.file, self._btree_offset(ds, node + 1), BTREE_NODE_SIZE
-        )
-        self.client.read(self.file, self._btree_offset(ds, node), BTREE_NODE_SIZE)
+        with io_priority(Priority.METADATA):
+            self.client.read(self.file, SUPERBLOCK_SIZE, BTREE_NODE_SIZE)
+            self.client.read(
+                self.file, self._btree_offset(ds, node + 1), BTREE_NODE_SIZE
+            )
+            self.client.read(
+                self.file, self._btree_offset(ds, node), BTREE_NODE_SIZE
+            )

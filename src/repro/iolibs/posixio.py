@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Optional, Union
 
 from repro.errors import ClosedError
+from repro.io import Priority, io_priority
 from repro.pfs.client import LustreClient
 from repro.pfs.lustre import LustreFile
 
@@ -46,12 +47,16 @@ class PosixFile:
     def pwrite(self, offset: int, data: Payload) -> None:
         """Positioned write (bytes, or a length in data-less mode)."""
         self._check_open()
-        self.client.write(self.file, offset, data)
+        # Application data: pin FOREGROUND class even when called from a
+        # background context (e.g. a checkpoint engine's worker).
+        with io_priority(Priority.FOREGROUND):
+            self.client.write(self.file, offset, data)
 
     def pread(self, offset: int, nbytes: int) -> bytes:
         """Positioned read."""
         self._check_open()
-        return self.client.read(self.file, offset, nbytes)
+        with io_priority(Priority.FOREGROUND):
+            return self.client.read(self.file, offset, nbytes)
 
     def fsync(self) -> None:
         """Force write-behind data to the OSTs (IOR's ``-e``)."""

@@ -41,6 +41,11 @@ class IorConfig:
     cb_buffer_size: int | str = "16M"
     #: extra parameters forwarded to the ADIOS2/plugin engines
     engine_params: dict = field(default_factory=dict)
+    #: per-rank I/O admission policy ("fifo" | "strict" | "drr");
+    #: None keeps the cluster's configured policy
+    io_policy: Optional[str] = None
+    #: cap on COMPACTION-class bytes/s per rank (None = cluster default)
+    compaction_bandwidth: Optional[float | str] = None
 
     def __post_init__(self) -> None:
         self.api = self.api.lower()
@@ -68,6 +73,17 @@ class IorConfig:
         if self.collective and self.api in ("adios2", "lsmio", "lsmio-plugin"):
             raise InvalidArgumentError(
                 f"IOR collective mode applies to posix/hdf5, not {self.api}"
+            )
+        if self.io_policy is not None and self.io_policy not in (
+            "fifo", "strict", "drr",
+        ):
+            raise InvalidArgumentError(
+                f"unknown io_policy {self.io_policy!r} "
+                "(expected fifo, strict, or drr)"
+            )
+        if self.compaction_bandwidth is not None:
+            self.compaction_bandwidth = float(
+                parse_size(self.compaction_bandwidth)
             )
 
     @property

@@ -80,6 +80,13 @@ def run_ior(
 
 def _rank_main(comm, config: IorConfig) -> dict:
     client = LustreClient(comm.world._cluster, comm.rank)
+    if config.io_policy is not None:
+        client.set_io_policy(
+            config.io_policy,
+            compaction_bandwidth=config.compaction_bandwidth,
+        )
+    elif config.compaction_bandwidth is not None:
+        client.scheduler.set_compaction_bandwidth(config.compaction_bandwidth)
     api = _APIS[config.api](config, comm, client)
     tracer = _trace.TRACER
 

@@ -39,6 +39,7 @@ from repro.lsm.dbformat import (
     decode_internal_key,
     seek_key,
 )
+from repro.io import Priority, io_priority
 from repro.lsm.env import Env, LocalFsEnv
 from repro.lsm.executors import Executor, SyncExecutor
 from repro.lsm.iterator import MergingIterator, resolve_user_entries
@@ -183,6 +184,7 @@ class DB:
         self._block_cache = LRUCache(self._options.block_cache_capacity)
         self._mem_seed = 1
         self._snapshots: list[Snapshot] = []
+        self._compacting = False
 
         self._env.create_dir(dbname)
         # Exclusive advisory lock: two live DB handles on one directory
@@ -467,7 +469,8 @@ class DB:
         wal_to_retire = self._obsolete_wals[:]
         file_number = self._versions.new_file_number()
         self._executor.submit(
-            lambda: self._flush_job(frozen, file_number, wal_to_retire, min_log)
+            lambda: self._flush_job(frozen, file_number, wal_to_retire, min_log),
+            priority=Priority.FLUSH,
         )
 
     def _flush_job(
@@ -515,7 +518,11 @@ class DB:
             if span is not None:
                 span.finish()
         if self._options.enable_compaction:
-            self._maybe_compact()
+            # Separate job, separate service class: a write barrier can
+            # drain FLUSH work without waiting for the compaction debt.
+            self._executor.submit(
+                self._maybe_compact, priority=Priority.COMPACTION
+            )
 
     def flush(self, wait: bool = True) -> None:
         """Flush buffered writes to SSTables (LSMIO's write barrier body)."""
@@ -530,25 +537,44 @@ class DB:
     # ------------------------------------------------------------------
 
     def _maybe_compact(self) -> None:
-        while True:
+        # Single-compactor guard: the background COMPACTION job and the
+        # inline callers (compact_range, snapshot release) may overlap
+        # under a threaded executor; whoever arrives second defers to the
+        # running loop, which re-picks until no level is over budget.
+        with self._lock:
+            if self._compacting:
+                return
+            self._compacting = True
+        try:
+            while True:
+                with self._lock:
+                    if self._snapshots:
+                        # Live snapshots pin every visible version; defer.
+                        return
+                    task = pick_compaction(self._versions.current, self._options)
+                    if task is None:
+                        return
+                    drop = is_bottommost(self._versions.current, task)
+                self._run_compaction(task, drop)
+        finally:
             with self._lock:
-                if self._snapshots:
-                    # Live snapshots pin every visible version; defer.
-                    return
-                task = pick_compaction(self._versions.current, self._options)
-                if task is None:
-                    return
-                drop = is_bottommost(self._versions.current, task)
-            self._run_compaction(task, drop)
+                self._compacting = False
 
     def compact_range(self) -> None:
         """Manually compact until no level is over budget."""
         with self._lock:
             self._check_open()
         self.flush()
+        # flush() drained every class (including the compaction job the
+        # flush chained); one inline pass covers the compaction-disabled
+        # configuration where no background job was submitted.
         self._maybe_compact()
 
     def _run_compaction(self, task, drop_tombstones: bool) -> None:
+        with io_priority(Priority.COMPACTION):
+            self._run_compaction_inner(task, drop_tombstones)
+
+    def _run_compaction_inner(self, task, drop_tombstones: bool) -> None:
         def open_table_iter(meta: FileMetaData):
             return iter(self._table(meta.number))
 

@@ -9,26 +9,49 @@ The engine keeps that policy pluggable:
 - the simulation substrate provides a ``SimExecutor`` that runs jobs as
   discrete-event processes so flushes overlap compute in *simulated* time.
 
-All executors expose the same three methods; ``drain()`` is the write
-barrier's hook — it blocks until every submitted job has finished and
-re-raises the first job exception, so a failed background flush cannot be
-silently lost.
+All executors expose the same three methods.  Jobs carry an I/O service
+class (:class:`repro.io.Priority`): the executor runs each job inside the
+matching :func:`repro.io.io_priority` context so every client RPC the job
+issues is classified, and ``drain(priorities=...)`` can act as a
+*selective* barrier — ``write_barrier`` waits only on FOREGROUND+FLUSH
+work, never on trailing compaction.
+
+Error contract (pinned by ``tests/lsm/test_executors.py``):
+
+- ``drain()`` re-raises the **first** failed job's exception, in
+  submission order, even when later jobs also fail; the error is
+  consumed (a second drain does not re-raise it).
+- A class-filtered ``drain`` still re-raises a recorded error from any
+  class — a failed background job must surface at the next barrier, not
+  be silently lost to filtering.
+- ``close()`` is idempotent: the first call drains (and may raise); any
+  further call is a no-op even if the first raised.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional
+
+from repro.io import Priority, io_priority
 
 
 class Executor:
-    """Interface: submit jobs, drain to a barrier, close."""
+    """Interface: submit classified jobs, drain to a barrier, close."""
 
-    def submit(self, job: Callable[[], None]) -> None:
+    def submit(
+        self, job: Callable[[], None], priority: Priority = Priority.FLUSH
+    ) -> None:
         raise NotImplementedError
 
-    def drain(self) -> None:
+    def drain(self, priorities: Optional[Iterable[Priority]] = None) -> None:
+        """Barrier: block until submitted jobs finish, re-raise failures.
+
+        ``priorities=None`` waits for everything; a set waits only for
+        jobs submitted under those classes (recorded errors from any
+        class still re-raise — they cannot be silently lost).
+        """
         raise NotImplementedError
 
     def close(self) -> None:
@@ -38,10 +61,13 @@ class Executor:
 class SyncExecutor(Executor):
     """Runs each job immediately on the calling thread."""
 
-    def submit(self, job: Callable[[], None]) -> None:
-        job()
+    def submit(
+        self, job: Callable[[], None], priority: Priority = Priority.FLUSH
+    ) -> None:
+        with io_priority(priority):
+            job()
 
-    def drain(self) -> None:
+    def drain(self, priorities: Optional[Iterable[Priority]] = None) -> None:
         pass
 
     def close(self) -> None:
@@ -52,8 +78,8 @@ class ThreadExecutor(Executor):
     """A single background worker thread with barrier-style drain."""
 
     def __init__(self, name: str = "lsm-flush"):
-        self._queue: "queue.Queue[Optional[Callable[[], None]]]" = queue.Queue()
-        self._pending = 0
+        self._queue: "queue.Queue[Optional[tuple]]" = queue.Queue()
+        self._pending = {p: 0 for p in Priority}
         self._cond = threading.Condition()
         self._error: Optional[BaseException] = None
         self._worker = threading.Thread(target=self._run, name=name, daemon=True)
@@ -62,30 +88,40 @@ class ThreadExecutor(Executor):
 
     def _run(self) -> None:
         while True:
-            job = self._queue.get()
-            if job is None:
+            item = self._queue.get()
+            if item is None:
                 return
+            job, priority = item
             try:
-                job()
+                with io_priority(priority):
+                    job()
             except BaseException as exc:  # propagated at drain()
                 with self._cond:
+                    # Single worker runs jobs in submission order, so
+                    # first-recorded == first-submitted failure; later
+                    # failures are dropped (drain's pinned contract).
                     if self._error is None:
                         self._error = exc
             finally:
                 with self._cond:
-                    self._pending -= 1
+                    self._pending[priority] -= 1
                     self._cond.notify_all()
 
-    def submit(self, job: Callable[[], None]) -> None:
+    def submit(
+        self, job: Callable[[], None], priority: Priority = Priority.FLUSH
+    ) -> None:
         if self._closed:
             raise RuntimeError("executor is closed")
         with self._cond:
-            self._pending += 1
-        self._queue.put(job)
+            self._pending[priority] += 1
+        self._queue.put((job, priority))
 
-    def drain(self) -> None:
+    def drain(self, priorities: Optional[Iterable[Priority]] = None) -> None:
+        waited = (
+            tuple(Priority) if priorities is None else tuple(priorities)
+        )
         with self._cond:
-            while self._pending > 0:
+            while any(self._pending[p] > 0 for p in waited):
                 self._cond.wait()
             if self._error is not None:
                 error, self._error = self._error, None
@@ -94,7 +130,11 @@ class ThreadExecutor(Executor):
     def close(self) -> None:
         if self._closed:
             return
-        self.drain()
+        # Flag first: close() stays a no-op on re-entry even when the
+        # drain below raises a deferred job error.
         self._closed = True
-        self._queue.put(None)
-        self._worker.join()
+        try:
+            self.drain()
+        finally:
+            self._queue.put(None)
+            self._worker.join()

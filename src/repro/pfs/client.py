@@ -29,6 +29,7 @@ from repro.errors import (
     RpcTimeoutError,
     StorageIOError,
 )
+from repro.io import IoScheduler, Priority
 from repro.pfs.lustre import LustreCluster, LustreFile
 from repro.trace import runtime as _trace
 
@@ -49,9 +50,10 @@ class ClientStats:
     write_rpcs: int = 0
     read_rpcs: int = 0
     mds_ops: int = 0
-    #: fault-path counters (all zero on a healthy cluster)
-    retries: int = 0
-    timeouts: int = 0
+    #: fault-path counters (all zero on a healthy cluster); named to
+    #: match the ``pfs.*`` metrics namespace and ClusterReport exactly
+    rpc_retries: int = 0
+    rpc_timeouts: int = 0
     rpc_failures: int = 0
     backoff_time: float = 0.0
     #: osc-layer coalescing (accounting only — merging happens for reads
@@ -93,14 +95,52 @@ class LustreClient:
         )
         self._write_errors: list[BaseException] = []
         self._read_errors: list[BaseException] = []
+        # All data/metadata ops are admitted through the per-client
+        # scheduler; the default "fifo" policy is an inline pass-through.
+        self.scheduler = IoScheduler(
+            cluster.engine,
+            policy=config.io_policy,
+            name=f"client{client_id}",
+            compaction_bandwidth=config.io_compaction_bandwidth,
+            drr_quantum=config.io_drr_quantum,
+        )
         cluster.clients.append(self)
         metrics = _trace.METRICS
         if metrics is not None:
             metrics.register(f"pfs.client{client_id}", self.stats)
+            metrics.register(f"io.sched.client{client_id}", self.scheduler.stats)
+
+    def set_io_policy(
+        self,
+        policy: str,
+        compaction_bandwidth: "Optional[float]" = None,
+        drr_quantum: Optional[int] = None,
+    ) -> None:
+        """Override the admission policy for this client (idle only)."""
+        kwargs = {}
+        if drr_quantum is not None:
+            kwargs["drr_quantum"] = drr_quantum
+        self.scheduler.set_policy(
+            policy, compaction_bandwidth=compaction_bandwidth, **kwargs
+        )
 
     # ------------------------------------------------------------------
     # Namespace operations (charge the MDS)
     # ------------------------------------------------------------------
+
+    def _mds_op(self, op: str) -> None:
+        """One MDS request, admitted as METADATA class.
+
+        Namespace ops always classify as METADATA regardless of the
+        ambient :func:`io_priority` context: they are tiny, the caller
+        blocks on them, and real MDS traffic rides a separate portal
+        from bulk data.
+        """
+        self.scheduler.submit(
+            "meta", 0, lambda: self.cluster.mds.perform(op),
+            priority=Priority.METADATA,
+        )
+        self.stats.mds_ops += 1
 
     def create(
         self,
@@ -109,8 +149,7 @@ class LustreClient:
         stripe_size: Optional[int | str] = None,
         store_data: Optional[bool] = None,
     ) -> LustreFile:
-        self.cluster.mds.perform("create")
-        self.stats.mds_ops += 1
+        self._mds_op("create")
         return self.cluster.create(
             path,
             stripe_count=stripe_count,
@@ -119,30 +158,25 @@ class LustreClient:
         )
 
     def open(self, path: str) -> LustreFile:
-        self.cluster.mds.perform("open")
-        self.stats.mds_ops += 1
+        self._mds_op("open")
         return self.cluster.lookup(path)
 
     def close(self, file: LustreFile) -> None:
         """Flush write-behind data, then release the handle at the MDS."""
         self.fsync(file)
-        self.cluster.mds.perform("close")
-        self.stats.mds_ops += 1
+        self._mds_op("close")
 
     def stat(self, path: str) -> LustreFile:
-        self.cluster.mds.perform("stat")
-        self.stats.mds_ops += 1
+        self._mds_op("stat")
         return self.cluster.lookup(path)
 
     def unlink(self, path: str) -> None:
-        self.cluster.mds.perform("unlink")
-        self.stats.mds_ops += 1
+        self._mds_op("unlink")
         self.cluster.unlink(path)
 
     def metadata_op(self, op: str) -> None:
         """Charge an arbitrary MDS operation (used by format models)."""
-        self.cluster.mds.perform(op)
-        self.stats.mds_ops += 1
+        self._mds_op(op)
 
     # ------------------------------------------------------------------
     # Data path
@@ -206,7 +240,11 @@ class LustreClient:
             file.extend_size(offset, length)
         if length == 0:
             return
-        self._issue_write_rpcs(self._coalesce(file, offset, length))
+        rpcs = self._coalesce(file, offset, length)
+        self.scheduler.submit(
+            "write", length, lambda: self._issue_write_rpcs(rpcs),
+            ost=rpcs[0].ost_index,
+        )
         self.stats.bytes_written += length
 
     def writev(
@@ -233,7 +271,11 @@ class LustreClient:
                 total += length
         if not ranges:
             return
-        self._issue_write_rpcs(self._coalesce_ranges(file, ranges))
+        rpcs = self._coalesce_ranges(file, ranges)
+        self.scheduler.submit(
+            "write", total, lambda: self._issue_write_rpcs(rpcs),
+            ost=rpcs[0].ost_index,
+        )
         self.stats.bytes_written += total
 
     def _issue_write_rpcs(self, rpcs: list[Rpc]) -> None:
@@ -335,7 +377,7 @@ class LustreClient:
                         attempts=attempts,
                         last_error=exc,
                     ) from exc
-                self.stats.retries += 1
+                self.stats.rpc_retries += 1
                 tracer = _trace.TRACER
                 if tracer is not None:
                     tracer.instant(
@@ -355,7 +397,7 @@ class LustreClient:
         if drop or not oss.up:
             # The request (or its reply) vanished: wait out the timeout.
             sim.sleep(self._rpc_timeout)
-            self.stats.timeouts += 1
+            self.stats.rpc_timeouts += 1
             raise RpcTimeoutError(
                 f"client{self.client_id}: rpc to ost{rpc.ost_index} "
                 f"timed out after {self._rpc_timeout}s",
@@ -400,6 +442,9 @@ class LustreClient:
         (:class:`RetryExhaustedError` after the retry budget is spent) —
         the POSIX contract that fsync is where async write errors land.
         """
+        self.scheduler.submit("fsync", 0, self._fsync_impl)
+
+    def _fsync_impl(self) -> None:
         tracer = _trace.TRACER
         span = None
         if tracer is not None:
@@ -424,8 +469,17 @@ class LustreClient:
         nbytes = min(nbytes, max(0, file.size - offset))
         if nbytes <= 0:
             return b""
-        engine = self.cluster.engine
         rpcs = self._coalesce(file, offset, nbytes)
+        return self.scheduler.submit(
+            "read", nbytes,
+            lambda: self._read_impl(file, offset, nbytes, rpcs),
+            ost=rpcs[0].ost_index,
+        )
+
+    def _read_impl(
+        self, file: LustreFile, offset: int, nbytes: int, rpcs: list[Rpc]
+    ) -> bytes:
+        engine = self.cluster.engine
         # OST + OSS stages proceed in parallel across targets…
         procs = [
             engine.spawn(

@@ -64,6 +64,14 @@ class LustreConfig:
     rpc_backoff_base: float = 0.05
     rpc_backoff_max: float = 2.0
     rpc_backoff_jitter: float = 0.2
+    #: client I/O admission policy ("fifo" | "strict" | "drr"); fifo is
+    #: a pure inline pass-through, bit-identical to the unscheduled path
+    io_policy: str = "fifo"
+    #: cap on COMPACTION-class bytes/s per client (token bucket); None
+    #: or 0 disables throttling
+    io_compaction_bandwidth: Optional[float | str] = None
+    #: DRR byte quantum per class visit (only used when io_policy="drr")
+    io_drr_quantum: int | str = "1M"
 
     def __post_init__(self) -> None:
         self.oss_bandwidth = float(parse_size(self.oss_bandwidth))
@@ -80,6 +88,24 @@ class LustreConfig:
             self.rpc_backoff_base, self.rpc_backoff_max, self.rpc_backoff_jitter
         ) < 0:
             raise InvalidArgumentError("backoff parameters must be >= 0")
+        if self.io_policy not in ("fifo", "strict", "drr"):
+            raise InvalidArgumentError(
+                f"unknown io_policy {self.io_policy!r} "
+                "(expected fifo, strict, or drr)"
+            )
+        if self.io_compaction_bandwidth is not None:
+            self.io_compaction_bandwidth = float(
+                parse_size(self.io_compaction_bandwidth)
+            )
+            if self.io_compaction_bandwidth < 0:
+                raise InvalidArgumentError(
+                    "io_compaction_bandwidth must be >= 0"
+                )
+            if self.io_compaction_bandwidth == 0:
+                self.io_compaction_bandwidth = None
+        self.io_drr_quantum = parse_size(self.io_drr_quantum)
+        if self.io_drr_quantum < 1:
+            raise InvalidArgumentError("io_drr_quantum must be >= 1 byte")
 
 
 class LustreFile:
@@ -259,10 +285,10 @@ class LustreCluster:
         return sum(ost.stats.lock_switches for ost in self.osts)
 
     def total_rpc_retries(self) -> int:
-        return sum(client.stats.retries for client in self.clients)
+        return sum(client.stats.rpc_retries for client in self.clients)
 
     def total_rpc_timeouts(self) -> int:
-        return sum(client.stats.timeouts for client in self.clients)
+        return sum(client.stats.rpc_timeouts for client in self.clients)
 
     def total_backoff_time(self) -> float:
         return sum(client.stats.backoff_time for client in self.clients)

@@ -4,14 +4,22 @@ Plugs into :class:`repro.lsm.db.DB` (and therefore LSMIO) when the engine
 runs under the discrete-event clock: an *asynchronous* flush becomes a
 sim process overlapping the writer's simulated time, exactly like the
 paper's single background flush thread (§3.1.2).  ``drain()`` is the
-write barrier.
+write barrier; it accepts a priority filter so checkpoint barriers wait
+only on FOREGROUND+FLUSH work while a trailing compaction keeps running.
+
+Error contract (matches :class:`repro.lsm.executors.ThreadExecutor`):
+jobs are chained, so the *first* failure propagates down the chain and
+``drain()`` re-raises that first exception exactly once; jobs submitted
+after the error has been reported at a barrier run normally.  ``close()``
+is idempotent — a second call is a no-op even if the first one raised.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from repro import sim
+from repro.io import Priority, io_priority
 from repro.lsm.executors import Executor
 
 
@@ -19,42 +27,111 @@ class SimExecutor(Executor):
     """Run jobs as (serialized) background processes on one engine.
 
     Jobs are chained so at most one runs at a time — the paper's "single
-    thread ... configured for flushing writes".
+    thread ... configured for flushing writes".  The chain is global
+    across priority classes (one background thread), but the executor
+    tracks the last job per class so a filtered drain can wait for "all
+    flushes" without waiting for a compaction queued behind them.
     """
 
     def __init__(self, engine: sim.Engine, name: str = "lsm-flush"):
         self._engine = engine
         self._name = name
         self._last: Optional[sim.Process] = None
+        self._last_by_class: Dict[Priority, sim.Process] = {}
         self._count = 0
+        self._closed = False
+        #: exception instances already re-raised at a barrier — they must
+        #: not poison later jobs or surface twice (id() keys: exceptions
+        #: are compared by identity, never equality)
+        self._reported: set[int] = set()
 
-    def submit(self, job: Callable[[], None]) -> None:
+    def submit(
+        self, job: Callable[[], None], priority: Priority = Priority.FLUSH
+    ) -> None:
+        if self._closed:
+            raise RuntimeError("executor is closed")
         predecessor = self._last
         self._count += 1
 
         def run() -> None:
             if predecessor is not None:
                 if predecessor.alive:
-                    sim.wait(predecessor.done)
-                elif predecessor.error is not None:
+                    try:
+                        sim.wait(predecessor.done)
+                    except BaseException as exc:
+                        if (
+                            exc is predecessor.error
+                            and id(exc) in self._reported
+                        ):
+                            pass  # already surfaced at a barrier
+                        else:
+                            raise
+                elif (
+                    predecessor.error is not None
+                    and id(predecessor.error) not in self._reported
+                ):
                     raise predecessor.error
-            job()
+            with io_priority(priority):
+                job()
 
         # Daemon: a failed flush must surface at drain() — the write
         # barrier — like ThreadExecutor's deferred error, not crash the
         # event loop from a background process.
-        self._last = self._engine.spawn(
+        proc = self._engine.spawn(
             run, name=f"{self._name}-{self._count}", daemon=True
         )
+        self._last = proc
+        self._last_by_class[priority] = proc
 
-    def drain(self) -> None:
-        last = self._last
-        if last is None:
-            return
-        if last.alive:
-            sim.wait(last.done)
-        elif last.error is not None:
-            raise last.error
+    def _targets(
+        self, priorities: Optional[Iterable[Priority]]
+    ) -> Tuple[sim.Process, ...]:
+        if priorities is None:
+            return (self._last,) if self._last is not None else ()
+        out: list[sim.Process] = []
+        for priority in priorities:
+            proc = self._last_by_class.get(priority)
+            if proc is not None and proc not in out:
+                out.append(proc)
+        return tuple(out)
+
+    def drain(self, priorities: Optional[Iterable[Priority]] = None) -> None:
+        # Jobs can enqueue follow-up work while we wait (a flush job
+        # submits its compaction check), so loop until the drained
+        # classes are quiescent, not just until today's tail finished.
+        if priorities is not None:
+            priorities = tuple(priorities)
+        while True:
+            targets = self._targets(priorities)
+            if not targets:
+                return
+            for proc in targets:
+                if proc.alive:
+                    try:
+                        sim.wait(proc.done)
+                    except BaseException as exc:
+                        if exc is proc.error:
+                            pass  # collected below, raised exactly once
+                        else:
+                            raise
+            if self._targets(priorities) == targets:
+                break
+        first: Optional[BaseException] = None
+        for proc in targets:
+            exc = proc.error
+            if exc is not None and id(exc) not in self._reported:
+                self._reported.add(id(exc))
+                # Chained propagation makes every poisoned job carry the
+                # *first* failure's instance, so this is the first error.
+                if first is None:
+                    first = exc
+        if first is not None:
+            raise first
 
     def close(self) -> None:
+        if self._closed:
+            return
+        # Flag first: a deferred job error raised out of this drain must
+        # not resurface if close() is called again.
+        self._closed = True
         self.drain()

@@ -104,7 +104,7 @@ class TestOstFailures:
         )
         assert ok
         client_stats = cluster.clients[0].stats
-        assert client_stats.retries > 0
+        assert client_stats.rpc_retries > 0
         assert client_stats.rpc_failures == 0
         assert client_stats.backoff_time > 0
         assert injector.stats.osts_failed == 1
@@ -181,7 +181,7 @@ class TestOssAndRpcFaults:
             fast_retry_cluster(rpc_max_retries=8), schedule, write_one_file
         )
         assert ok
-        assert cluster.clients[0].stats.timeouts > 0
+        assert cluster.clients[0].stats.rpc_timeouts > 0
         assert injector.stats.osses_failed == 1
         assert cluster.osses[0].up
 
@@ -193,8 +193,8 @@ class TestOssAndRpcFaults:
         assert ok
         assert injector.stats.rpcs_dropped > 0
         stats = cluster.clients[0].stats
-        assert stats.timeouts == injector.stats.rpcs_dropped
-        assert stats.retries >= stats.timeouts
+        assert stats.rpc_timeouts == injector.stats.rpcs_dropped
+        assert stats.rpc_retries >= stats.rpc_timeouts
 
     def test_delayed_rpcs_inject_latency(self):
         clean = run_faulty(fast_retry_cluster(), None, write_one_file)
@@ -300,8 +300,8 @@ class TestZeroOverhead:
         )
         assert ok and injector is None
         stats = cluster.clients[0].stats
-        assert stats.retries == 0
-        assert stats.timeouts == 0
+        assert stats.rpc_retries == 0
+        assert stats.rpc_timeouts == 0
         assert stats.backoff_time == 0.0
 
     def test_healthy_elapsed_identical_with_and_without_empty_schedule(self):

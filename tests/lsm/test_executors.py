@@ -1,0 +1,127 @@
+"""Executor contract tests: error ordering, idempotent close, class drain.
+
+Pins the documented contract of :mod:`repro.lsm.executors`:
+``drain()`` re-raises the *first* failed job's exception (submission
+order) exactly once, and ``close()`` is idempotent even when the first
+call surfaced a deferred error.
+"""
+
+import threading
+
+import pytest
+
+from repro.io import Priority, current_priority
+from repro.lsm.executors import SyncExecutor, ThreadExecutor
+
+
+class TestSyncExecutor:
+    def test_runs_inline_under_priority_context(self):
+        executor = SyncExecutor()
+        seen = []
+        executor.submit(lambda: seen.append(current_priority()))
+        executor.submit(
+            lambda: seen.append(current_priority()),
+            priority=Priority.COMPACTION,
+        )
+        assert seen == [Priority.FLUSH, Priority.COMPACTION]
+
+    def test_close_idempotent(self):
+        executor = SyncExecutor()
+        executor.close()
+        executor.close()
+
+
+class TestThreadExecutor:
+    def test_drain_reraises_first_error_even_when_later_jobs_fail(self):
+        executor = ThreadExecutor()
+        first = ValueError("first failure")
+        second = ValueError("second failure")
+
+        def fail(exc):
+            def job():
+                raise exc
+            return job
+
+        executor.submit(fail(first))
+        executor.submit(fail(second))
+        executor.submit(lambda: None)
+        with pytest.raises(ValueError) as info:
+            executor.drain()
+        # single worker runs jobs in submission order: the first
+        # submitted failure wins; the later one is dropped, not raised
+        assert info.value is first
+        executor.drain()  # the error was consumed — barrier is clean now
+        executor.close()
+
+    def test_error_raised_exactly_once(self):
+        """A failed job surfaces at the next barrier, then is consumed —
+        later barriers and close() don't re-raise it."""
+        executor = ThreadExecutor()
+        boom = RuntimeError("compaction failed")
+
+        def job():
+            raise boom
+
+        executor.submit(job, priority=Priority.COMPACTION)
+        with pytest.raises(RuntimeError) as info:
+            executor.drain(priorities=(Priority.COMPACTION,))
+        assert info.value is boom
+        executor.drain()
+        executor.close()
+
+    def test_filtered_drain_does_not_wait_for_other_classes(self):
+        executor = ThreadExecutor()
+        release = threading.Event()
+        started = threading.Event()
+        done = []
+
+        executor.submit(lambda: done.append("flush"), priority=Priority.FLUSH)
+
+        def compaction():
+            started.set()
+            release.wait(timeout=10)
+            done.append("compaction")
+
+        executor.submit(compaction, priority=Priority.COMPACTION)
+        started.wait(timeout=10)
+        # The compaction job is parked on `release`; a FLUSH-only drain
+        # must return anyway.
+        executor.drain(priorities=(Priority.FLUSH, Priority.FOREGROUND))
+        assert done == ["flush"]
+        release.set()
+        executor.drain()
+        assert done == ["flush", "compaction"]
+        executor.close()
+
+    def test_close_idempotent_after_deferred_error(self):
+        executor = ThreadExecutor()
+        executor.submit(lambda: (_ for _ in ()).throw(OSError("disk full")))
+        with pytest.raises(OSError):
+            executor.close()
+        # The first close raised the deferred error but still shut the
+        # worker down; further closes are no-ops.
+        executor.close()
+        executor.close()
+
+    def test_submit_after_close_raises(self):
+        executor = ThreadExecutor()
+        executor.close()
+        with pytest.raises(RuntimeError):
+            executor.submit(lambda: None)
+
+
+class TestThreadExecutorFilteredError:
+    def test_filtered_drain_reraises_recorded_error(self):
+        executor = ThreadExecutor()
+        boom = RuntimeError("flush failed")
+
+        def job():
+            raise boom
+
+        executor.submit(job, priority=Priority.FLUSH)
+        with pytest.raises(RuntimeError) as info:
+            # Filtering classes never filters errors: the barrier
+            # surfaces whatever already failed.
+            executor.drain(priorities=(Priority.FLUSH,))
+        assert info.value is boom
+        executor.close()

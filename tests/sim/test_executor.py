@@ -1,6 +1,7 @@
 """Tests for the simulated flush executor (async writes in sim time)."""
 
 from repro import sim
+from repro.io import Priority
 from repro.sim.executor import SimExecutor
 
 
@@ -67,3 +68,113 @@ def test_drain_idempotent_and_empty():
         proc = engine.spawn(main)
         engine.run()
         assert proc.result == 1.0
+
+
+def test_class_filtered_drain_skips_other_classes():
+    """Draining FLUSH+FOREGROUND must not wait for a queued compaction."""
+    with sim.Engine() as engine:
+        def main():
+            executor = SimExecutor(engine)
+            executor.submit(lambda: sim.sleep(1.0), priority=Priority.FLUSH)
+            executor.submit(
+                lambda: sim.sleep(10.0), priority=Priority.COMPACTION
+            )
+            executor.drain(priorities=(Priority.FOREGROUND, Priority.FLUSH))
+            t_barrier = sim.now()
+            executor.drain()
+            return t_barrier, sim.now()
+
+        proc = engine.spawn(main)
+        engine.run()
+        barrier, full = proc.result
+        # The single worker serializes, so the barrier still waits for
+        # compaction work *ahead of* the flush — but here flush was
+        # submitted first, so the filtered drain returns at t=1.
+        assert barrier == 1.0
+        assert full == 11.0
+
+
+def test_drain_raises_first_error_exactly_once():
+    with sim.Engine() as engine:
+        def main():
+            executor = SimExecutor(engine)
+            boom = ValueError("flush blew up")
+
+            def bad():
+                raise boom
+
+            executor.submit(bad)
+            # chained behind the failure: poisoned, never runs
+            executor.submit(lambda: sim.sleep(1.0))
+            try:
+                executor.drain()
+            except ValueError as exc:
+                seen = exc
+            else:
+                seen = None
+            executor.drain()  # consumed: second barrier is clean
+            return seen is boom, sim.now()
+
+        proc = engine.spawn(main)
+        engine.run()
+        raised_first, now = proc.result
+        assert raised_first
+        assert now == 0.0   # the queued sleep was poisoned by the failure
+
+
+def test_close_idempotent_after_error():
+    with sim.Engine() as engine:
+        def main():
+            executor = SimExecutor(engine)
+            executor.submit(lambda: (_ for _ in ()).throw(OSError("enospc")))
+            try:
+                executor.close()
+            except OSError:
+                first_raised = True
+            else:
+                first_raised = False
+            executor.close()   # no-op, must not re-raise
+            executor.close()
+            return first_raised
+
+        proc = engine.spawn(main)
+        engine.run()
+        assert proc.result is True
+
+
+def test_submit_after_close_raises():
+    with sim.Engine() as engine:
+        def main():
+            executor = SimExecutor(engine)
+            executor.close()
+            try:
+                executor.submit(lambda: None)
+            except RuntimeError:
+                return True
+            return False
+
+        proc = engine.spawn(main)
+        engine.run()
+        assert proc.result is True
+
+
+def test_jobs_submitted_after_reported_error_run_normally():
+    """An already-reported error must not poison later submissions."""
+    with sim.Engine() as engine:
+        log = []
+
+        def main():
+            executor = SimExecutor(engine)
+            executor.submit(lambda: (_ for _ in ()).throw(RuntimeError("x")))
+            try:
+                executor.drain()
+            except RuntimeError:
+                pass
+            executor.submit(lambda: log.append("after"))
+            executor.drain()
+            executor.close()
+            return list(log)
+
+        proc = engine.spawn(main)
+        engine.run()
+        assert proc.result == ["after"]

@@ -1,0 +1,91 @@
+"""Schema lock for the pfs.* and io.sched.* metrics namespaces.
+
+Dashboards and the CI perf-smoke job key on these flat snapshot names;
+renaming a counter is an interface change and must show up here.  In
+particular the client's retry/backoff counters are ``rpc_retries`` /
+``rpc_timeouts`` (matching ClusterReport), not the bare ``retries`` /
+``timeouts`` spelled by the core-level PerfCounters API.
+"""
+
+from repro import sim, trace
+from repro.pfs import LustreClient, LustreCluster
+from repro.pfs.configs import small_test_cluster
+
+CLIENT_KEYS = {
+    "bytes_written",
+    "bytes_read",
+    "write_rpcs",
+    "read_rpcs",
+    "mds_ops",
+    "rpc_retries",
+    "rpc_timeouts",
+    "rpc_failures",
+    "backoff_time",
+    "extents_coalesced",
+    "bytes_coalesced",
+}
+
+SCHED_KEYS = {
+    "inline_issues",
+    "queued_issues",
+    "max_queue_depth",
+    "throttle_time",
+    "throttled_bytes",
+} | {
+    f"{stem}_{cls}"
+    for stem in ("submitted", "issued", "bytes", "stall_time")
+    for cls in ("foreground", "metadata", "flush", "compaction")
+}
+
+
+def test_client_and_scheduler_snapshot_schema():
+    trace.install()
+    try:
+        with sim.Engine() as engine:
+            cluster = LustreCluster(engine, small_test_cluster())
+            client = LustreClient(cluster, 0)
+
+            def main():
+                file = client.create("f")
+                client.write(file, 0, b"x" * (1 << 20))
+                client.fsync(file)
+
+            engine.spawn(main)
+            engine.run()
+
+        registry = trace.current_metrics()
+        assert "pfs.client0" in registry.namespaces()
+        assert "io.sched.client0" in registry.namespaces()
+
+        client_snap = registry.snapshot(prefix="pfs.client0")
+        assert set(client_snap) == {f"pfs.client0.{k}" for k in CLIENT_KEYS}
+        assert client_snap["pfs.client0.bytes_written"] == 1 << 20
+        # healthy cluster: the fault-path counters exist but stay zero
+        assert client_snap["pfs.client0.rpc_retries"] == 0
+        assert client_snap["pfs.client0.rpc_timeouts"] == 0
+
+        sched_snap = registry.snapshot(prefix="io.sched.client0")
+        assert set(sched_snap) == {
+            f"io.sched.client0.{k}" for k in SCHED_KEYS
+        }
+        # the default FIFO policy issues everything inline
+        assert sched_snap["io.sched.client0.queued_issues"] == 0
+        assert sched_snap["io.sched.client0.inline_issues"] > 0
+    finally:
+        trace.uninstall()
+
+
+def test_cluster_totals_use_rpc_counter_names():
+    """Cluster aggregates read the renamed counters 1:1."""
+    with sim.Engine() as engine:
+        cluster = LustreCluster(engine, small_test_cluster())
+        client = LustreClient(cluster, 0)
+
+        def main():
+            file = client.create("f")
+            client.write(file, 0, b"x" * (1 << 16))
+
+        engine.spawn(main)
+        engine.run()
+        assert cluster.total_rpc_retries() == client.stats.rpc_retries == 0
+        assert cluster.total_rpc_timeouts() == client.stats.rpc_timeouts == 0
