@@ -1,0 +1,255 @@
+"""Microbenchmark: effective checkpoint bandwidth through the burst buffer.
+
+The tier's pitch is that a checkpoint is "done" (restart-safe) once it
+is sealed on node-local NVMe, with the PFS copy draining asynchronously
+behind the application's compute. This harness measures that directly
+in simulated time:
+
+- **bursty** — epochs of checkpoint state separated by compute think
+  time, saved direct-to-OST vs through the tier.  Effective checkpoint
+  bandwidth = payload bytes / time the application spent blocked in
+  ``save``.  The tier must win by >= 2x (the ``--check`` gate): absorb
+  runs at NVMe bandwidth while the drain overlaps the think time.
+- **overflow** — the drain is token-bucket throttled (DRAIN class, like
+  compaction) below the checkpoint rate, so the backlog grows until the
+  tier walks its degradation ladder.  Reported: drain-backlog p99 and
+  save-latency p99 under that pressure, plus how many writes degraded
+  to write-through — none of which loses a byte.
+
+Emits ``BENCH_bb.json`` so the repo carries the tiering numbers from PR
+to PR.
+
+Usage::
+
+    python benchmarks/micro/bench_bb.py                # run, print
+    python benchmarks/micro/bench_bb.py --out BENCH_bb.json
+    python benchmarks/micro/bench_bb.py --check        # tier >= 2x direct?
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+import numpy as np  # noqa: E402
+
+from repro import sim  # noqa: E402
+from repro._version import __version__  # noqa: E402
+from repro.core import Checkpointer, LsmioManager, LsmioOptions  # noqa: E402
+from repro.pfs import LustreClient, LustreCluster, SimLustreEnv  # noqa: E402
+from repro.pfs.configs import small_test_cluster  # noqa: E402
+
+DEFAULT_JSON = os.path.join(
+    os.path.dirname(__file__), "..", "..", "BENCH_bb.json"
+)
+
+EPOCHS = 6
+STATE_BYTES = 1 << 20          # checkpoint payload per epoch
+THINK_TIME = 0.05              # simulated compute between epochs
+OVERFLOW_EPOCHS = 12
+OVERFLOW_STATE_BYTES = 512 << 10
+OVERFLOW_THINK = 0.002
+BB_CAPACITY = "64M"
+OVERFLOW_CAPACITY = "1M"
+OVERFLOW_DRAIN_BW = "2M"       # token-bucket cap on the DRAIN class
+
+
+def _state(epoch: int, nbytes: int) -> dict:
+    rng = np.random.default_rng(epoch)
+    return {"field": rng.standard_normal(nbytes // 8)}
+
+
+def _percentiles(samples: list[float]) -> dict:
+    ordered = sorted(samples)
+
+    def pct(p: float) -> float:
+        idx = min(len(ordered) - 1, int(round(p * (len(ordered) - 1))))
+        return ordered[idx]
+
+    return {"p50": pct(0.50), "p99": pct(0.99), "max": ordered[-1]}
+
+
+def _run_epochs(burst_buffer, epochs, nbytes, think):
+    """One checkpoint campaign; returns save/backlog samples (sim time)."""
+    options = LsmioOptions(
+        write_buffer_size="1M", burst_buffer=burst_buffer
+    )
+    with sim.Engine() as engine:
+        cluster = LustreCluster(engine, small_test_cluster())
+        client = LustreClient(cluster, 0)
+
+        def main():
+            manager = LsmioManager(
+                "bench.lsmio/rank0",
+                options=options,
+                env=SimLustreEnv(client),
+            )
+            ckpt = Checkpointer(manager)
+            save_times, backlog = [], []
+            for epoch in range(1, epochs + 1):
+                start = sim.now()
+                ckpt.save(epoch, _state(epoch, nbytes))
+                save_times.append(sim.now() - start)
+                tier = manager.burst_buffer
+                backlog.append(
+                    tier.stats.dirty_bytes if tier is not None else 0
+                )
+                sim.sleep(think)
+            start = sim.now()
+            manager.drain_barrier()
+            drain_wait = sim.now() - start
+            snapshot = (
+                manager.burst_buffer.stats.snapshot()
+                if manager.burst_buffer is not None
+                else {}
+            )
+            epoch, state = ckpt.load_latest()
+            identical = np.array_equal(
+                state["field"], _state(epoch, nbytes)["field"]
+            )
+            manager.close()
+            return save_times, backlog, drain_wait, snapshot, identical
+
+        proc = engine.spawn(main)
+        engine.run()
+    return proc.result
+
+
+def run_bursty() -> dict:
+    """Direct-to-OST vs tiered on the same epoch sequence."""
+    out = {}
+    for label, bb in (
+        ("direct", None),
+        ("tiered", {"capacity": BB_CAPACITY}),
+    ):
+        saves, _, drain_wait, snap, identical = _run_epochs(
+            bb, EPOCHS, STATE_BYTES, THINK_TIME
+        )
+        blocked = sum(saves)
+        out[label] = {
+            "epochs": EPOCHS,
+            "payload_bytes": EPOCHS * STATE_BYTES,
+            "save_blocked_s": round(blocked, 6),
+            "save_p99_ms": round(_percentiles(saves)["p99"] * 1e3, 3),
+            "effective_bandwidth_mib_s": round(
+                EPOCHS * STATE_BYTES / blocked / (1 << 20), 1
+            ),
+            "final_drain_wait_s": round(drain_wait, 6),
+            "restore_byte_identical": identical,
+        }
+        if snap:
+            out[label]["bytes_absorbed"] = snap["bytes_absorbed"]
+            out[label]["degraded_writes"] = snap["degraded_writes"]
+    out["speedup"] = round(
+        out["tiered"]["effective_bandwidth_mib_s"]
+        / out["direct"]["effective_bandwidth_mib_s"],
+        2,
+    )
+    return out
+
+
+def run_overflow() -> dict:
+    """Throttled drain: the backlog grows until the ladder engages."""
+    bb = {
+        "capacity": OVERFLOW_CAPACITY,
+        "drain_bandwidth": OVERFLOW_DRAIN_BW,
+        "overflow_timeout": 0.05,
+    }
+    saves, backlog, drain_wait, snap, identical = _run_epochs(
+        bb, OVERFLOW_EPOCHS, OVERFLOW_STATE_BYTES, OVERFLOW_THINK
+    )
+    save_pct = _percentiles(saves)
+    backlog_pct = _percentiles([float(b) for b in backlog])
+    return {
+        "epochs": OVERFLOW_EPOCHS,
+        "payload_bytes": OVERFLOW_EPOCHS * OVERFLOW_STATE_BYTES,
+        "drain_bandwidth": OVERFLOW_DRAIN_BW,
+        "save_p99_ms": round(save_pct["p99"] * 1e3, 3),
+        "backlog_p99_bytes": int(backlog_pct["p99"]),
+        "backlog_max_bytes": int(backlog_pct["max"]),
+        "final_drain_wait_s": round(drain_wait, 6),
+        "degraded_writes": snap["degraded_writes"],
+        "bytes_written_through": snap["bytes_written_through"],
+        "overflow_waits": snap["overflow_waits"],
+        "evictions": snap["evictions"],
+        "restore_byte_identical": identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--out", default=None, help="write/refresh this JSON")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail unless the tier achieves >= 2x effective checkpoint "
+             "bandwidth in the bursty scenario (and no restore is torn)",
+    )
+    args = parser.parse_args(argv)
+
+    bursty = run_bursty()
+    overflow = run_overflow()
+    doc = {
+        "schema": 1,
+        "config": {
+            "epochs": EPOCHS,
+            "state_bytes": STATE_BYTES,
+            "think_time_s": THINK_TIME,
+            "bb_capacity": BB_CAPACITY,
+            "overflow_capacity": OVERFLOW_CAPACITY,
+            "cluster": "small_test_cluster",
+            "version": __version__,
+        },
+        "bursty": bursty,
+        "overflow": overflow,
+    }
+
+    print("Effective checkpoint bandwidth (simulated), "
+          f"{EPOCHS} epochs x {STATE_BYTES >> 20} MiB")
+    for label in ("direct", "tiered"):
+        stats = bursty[label]
+        print(
+            f"  {label:<8} {stats['effective_bandwidth_mib_s']:>9.1f} MiB/s"
+            f"  (blocked {stats['save_blocked_s'] * 1e3:8.1f} ms, "
+            f"save p99 {stats['save_p99_ms']:7.3f} ms)"
+        )
+    print(f"  tier speedup: {bursty['speedup']}x")
+    print(
+        f"Overflow (drain capped at {OVERFLOW_DRAIN_BW}/s): "
+        f"backlog p99 {overflow['backlog_p99_bytes']} B, "
+        f"save p99 {overflow['save_p99_ms']} ms, "
+        f"{overflow['degraded_writes']} degraded writes, "
+        f"restore intact: {overflow['restore_byte_identical']}"
+    )
+
+    json_path = args.out or DEFAULT_JSON
+    if args.out:
+        with open(json_path, "w") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {os.path.relpath(json_path)}")
+
+    if args.check:
+        failures = []
+        if bursty["speedup"] < 2.0:
+            failures.append(
+                f"tier speedup {bursty['speedup']}x < 2x over direct-to-OST"
+            )
+        for label in ("direct", "tiered"):
+            if not bursty[label]["restore_byte_identical"]:
+                failures.append(f"bursty/{label} restore was not identical")
+        if not overflow["restore_byte_identical"]:
+            failures.append("overflow restore was not identical")
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}")
+            return 1
+        print("ok: tier >= 2x effective bandwidth, all restores intact")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,49 @@
+"""Node-local burst-buffer tier with a crash-consistent write-back drain.
+
+Production checkpointing systems interpose a node-local NVMe tier
+between the application and the parallel file system: checkpoints land
+at device bandwidth and drain to the OSTs asynchronously (Wang et al.,
+"Development of a Burst Buffer System for Data-Intensive Applications").
+This package reproduces that tier on the simulated clock:
+
+- :class:`~repro.bb.device.BurstBufferDevice` — the seeded persistence
+  model: capacity, write/read bandwidth, torn-write crash semantics,
+  device failure.  The device object survives simulated node restarts;
+  tests rebuild the tier over the same device.
+- :class:`~repro.bb.journal.DrainJournal` — CRC-32C length-prefixed
+  segment manifest.  A torn tail is discarded prefix-consistently, so
+  recovery always sees some durable prefix of seal/commit history.
+- :class:`~repro.bb.tier.BurstBufferTier` — absorbs LSM flush-path
+  writes, seals segments durably at ``sync``/``close``, and drains them
+  to the base env through the I/O scheduler under
+  :attr:`~repro.io.Priority.DRAIN` with a two-phase commit (data +
+  fsync to the PFS, then the journal COMMIT record).  Overflow walks a
+  degradation ladder — evict committed segments, backpressure-wait,
+  then write-through (:class:`~repro.bb.tier.BurstBufferDegradedReport`)
+  — never silent loss.
+- :class:`~repro.bb.tier.BurstBufferEnv` — the :class:`~repro.lsm.env.Env`
+  facade: a union namespace where the fast tier shadows the PFS copy and
+  reads fall back to the OSTs for drained/evicted/torn segments.
+"""
+
+from repro.bb.device import BurstBufferConfig, BurstBufferDevice
+from repro.bb.journal import DrainJournal, JournalRecord
+from repro.bb.tier import (
+    BurstBufferDegradedReport,
+    BurstBufferEnv,
+    BurstBufferStats,
+    BurstBufferTier,
+    SegmentState,
+)
+
+__all__ = [
+    "BurstBufferConfig",
+    "BurstBufferDegradedReport",
+    "BurstBufferDevice",
+    "BurstBufferEnv",
+    "BurstBufferStats",
+    "BurstBufferTier",
+    "DrainJournal",
+    "JournalRecord",
+    "SegmentState",
+]

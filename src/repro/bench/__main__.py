@@ -36,7 +36,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "target",
         choices=sorted(FIGURES) + [
-            "fig1", "ablations", "media", "groups", "all",
+            "fig1", "ablations", "media", "groups", "tiering", "all",
         ],
         help="which figure to regenerate",
     )
@@ -66,6 +66,11 @@ def main(argv=None) -> int:
         "--compaction-bw", metavar="RATE", default=None,
         help="cap COMPACTION-class client bandwidth (e.g. 50M); "
              "0 disables throttling",
+    )
+    parser.add_argument(
+        "--burst-buffer", metavar="CAPACITY", default=None,
+        help="node-local burst-buffer capacity for the tiering campaign "
+             "(e.g. 16M); only meaningful with the `tiering` target",
     )
     parser.add_argument(
         "--trace", metavar="PATH",
@@ -115,6 +120,14 @@ def main(argv=None) -> int:
         print("Aggregation saves metadata but serializes at the "
               "aggregator's NIC past ~4 ranks/group.")
         payload["groups"] = result
+    elif args.target == "tiering":
+        from repro.bench.tiering import format_tiering, run_tiering_campaign
+
+        result = run_tiering_campaign(
+            capacity=args.burst_buffer or "16M"
+        )
+        print(format_tiering(result))
+        payload["tiering"] = result
     elif args.target == "media":
         result = run_media_comparison()
         mib = 1 << 20

@@ -111,6 +111,9 @@ class Checkpointer:
     def __init__(self, manager, prefix: str = "ckpt"):
         self.manager = manager
         self.prefix = prefix.rstrip("/")
+        #: burst-buffer drain report from the last ``save(wait_drain=True)``
+        #: (None when no drain barrier ran or no tier is configured)
+        self.last_drain_report = None
 
     # -- key layout --------------------------------------------------------
 
@@ -123,12 +126,23 @@ class Checkpointer:
 
     # -- write path --------------------------------------------------------
 
-    def save(self, epoch: int, state: dict[str, Any]) -> DegradedWriteReport:
+    def save(
+        self,
+        epoch: int,
+        state: dict[str, Any],
+        wait_drain: bool = False,
+    ) -> DegradedWriteReport:
         """Write one epoch crash-consistently; return the barrier report.
 
         Raises :class:`~repro.errors.DegradedWriteError` (data phase
         failed — the epoch is simply absent) or propagates a rank crash;
         in both cases no commit marker exists and restarts fall back.
+
+        With a burst-buffer tier the commit barrier makes the epoch
+        durable *on the node* (the tier's sealed segments); the PFS copy
+        follows asynchronously.  ``wait_drain=True`` additionally blocks
+        until the drain backlog is empty — checkpoint-to-PFS semantics —
+        and leaves the tier's report in :attr:`last_drain_report`.
         """
         if not state:
             raise NotFoundError("cannot checkpoint an empty state")
@@ -147,7 +161,12 @@ class Checkpointer:
         manager.put(self._epoch_key(epoch, "commit"), b"1")
         manager.append(self._index_key, f"{epoch} ")
         manager.write_barrier()  # phase 2: the epoch exists
-        return data_report.merged(self._last_report())
+        report = data_report.merged(self._last_report())
+        if wait_drain:
+            barrier = getattr(manager, "drain_barrier", None)
+            if callable(barrier):
+                self.last_drain_report = barrier()
+        return report
 
     def _last_report(self) -> DegradedWriteReport:
         report = getattr(self.manager, "last_barrier_report", None)

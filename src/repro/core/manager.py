@@ -129,11 +129,48 @@ class LsmioManager:
         )
         self._db_merges_seen = 0
         self._client_coalesced_seen = 0
+        #: the node's burst-buffer tier (None without one configured)
+        self.burst_buffer = None
+        if self.is_aggregator and env is not None:
+            self._attach_burst_buffer(env)
         self._apply_io_policy()
         if self.is_aggregator:
-            self.store = LsmioStore(path, options=self.options, env=env)
+            self.store = LsmioStore(path, options=self.options, env=self._env)
             if self.collective:
                 self._start_server()
+
+    def _attach_burst_buffer(self, env: Env) -> None:
+        """Interpose the burst-buffer tier between the store and ``env``.
+
+        The tier's device is kept on the options' burst-buffer config,
+        so a restart that reuses the same options object reopens the
+        same (possibly dirty) device and runs journal recovery.
+        """
+        config = self.options.burst_buffer
+        if config is None:
+            return
+        from repro import sim
+        from repro.bb import BurstBufferDevice, BurstBufferTier
+
+        cluster = getattr(env, "cluster", None)
+        engine = getattr(cluster, "engine", None)
+        if engine is None:
+            engine = sim.current_engine()
+        if config.device is None:
+            config.device = BurstBufferDevice(
+                engine, config, name=f"bb.{self.path}"
+            )
+        injector = getattr(cluster, "fault_injector", None)
+        schedule = injector.schedule if injector is not None else None
+        self.burst_buffer = BurstBufferTier(
+            env,
+            device=config.device,
+            config=config,
+            schedule=schedule,
+            name=self.path,
+            engine=engine,
+        )
+        self._env = self.burst_buffer.env
 
     def _apply_io_policy(self) -> None:
         """Push the options' admission policy onto the backing client.
@@ -147,12 +184,13 @@ class LsmioManager:
             return
         policy = self.options.io_policy
         bandwidth = self.options.compaction_bandwidth
-        if policy is None and bandwidth is None:
-            return
         if policy is not None:
             client.set_io_policy(policy, compaction_bandwidth=bandwidth)
         elif bandwidth is not None:
             client.scheduler.set_compaction_bandwidth(bandwidth)
+        bb = self.options.burst_buffer
+        if bb is not None and bb.drain_bandwidth is not None:
+            client.scheduler.set_drain_bandwidth(bb.drain_bandwidth)
 
     # ------------------------------------------------------------------
     # K/V API (Table 2)
@@ -297,6 +335,23 @@ class LsmioManager:
                 degraded=True,
             )
         self.counters.record("barrier", elapsed=ambient_clock() - start)
+
+    def drain_barrier(self):
+        """Wait for the burst-buffer drain backlog to reach the PFS.
+
+        Returns the tier's
+        :class:`~repro.bb.tier.BurstBufferDegradedReport` (None without
+        a configured tier).  Parked segments — drain retry budget
+        exhausted against a degraded OST — do not block the barrier;
+        they surface in the report with ``completed=False``.
+        """
+        if self.burst_buffer is None:
+            return None
+        tracer = _trace.TRACER
+        if tracer is not None:
+            with tracer.span("core", "drain_barrier"):
+                return self.burst_buffer.drain_barrier()
+        return self.burst_buffer.drain_barrier()
 
     # -- fault plumbing (all no-ops on a healthy/local setup) ----------
 
@@ -619,6 +674,12 @@ class LsmioManager:
             self._flush_pending()
             self._sync_group_commit_counters()
             self.store.close()
+            if self.burst_buffer is not None:
+                # a closed manager leaves nothing stranded on the node:
+                # drain the backlog to the PFS, then stop the worker
+                if not self.burst_buffer.crashed:
+                    self.burst_buffer.drain_barrier()
+                self.burst_buffer.close()
         else:
             self.write_barrier(sync=True)
             self.comm.channel_send(

@@ -70,6 +70,14 @@ class LsmioOptions:
     #: None keeps the cluster default, 0 disables throttling
     compaction_bandwidth: Optional[float | str] = None
 
+    #: node-local burst-buffer tier configuration
+    #: (:class:`~repro.bb.device.BurstBufferConfig` or a kwargs dict);
+    #: None — the default — writes straight to the base env, bit-identical
+    #: to the pre-tier code path.  The config's ``device`` field is
+    #: filled in on first use so reusing the same options object across
+    #: a simulated restart reopens the same (possibly dirty) device.
+    burst_buffer: Optional[object] = None
+
     def __post_init__(self) -> None:
         if isinstance(self.backend, str):
             self.backend = Backend(self.backend.lower())
@@ -94,6 +102,10 @@ class LsmioOptions:
                 raise InvalidArgumentError(
                     "compaction_bandwidth must be >= 0"
                 )
+        if isinstance(self.burst_buffer, dict):
+            from repro.bb.device import BurstBufferConfig
+
+            self.burst_buffer = BurstBufferConfig(**self.burst_buffer)
 
     def to_engine_options(self) -> Options:
         """Render onto the LSM engine's option set."""

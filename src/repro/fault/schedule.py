@@ -53,6 +53,9 @@ class FaultSpec:
     kind: str                              # ost_down | ost_up | disk_degrade
     #                                      # | rpc_drop | rpc_delay
     #                                      # | sync_fail | rank_crash
+    #                                      # | bb_device_fail
+    #                                      # | bb_device_recover
+    #                                      # | bb_dirty_crash
     target: Optional[int] = None           # OST index / rank; None = any
     at_time: Optional[float] = None        # fire at this simulated time
     after_requests: Optional[int] = None   # fire once target served N reqs
@@ -61,8 +64,12 @@ class FaultSpec:
     duration: Optional[float] = None       # auto-heal after this long
     delay: Optional[float] = None          # extra latency for rpc_delay
     factor: Optional[float] = None         # slowdown for disk_degrade
-    at_count: Optional[int] = None         # sync_fail: fail the N-th sync
+    at_count: Optional[int] = None         # sync_fail / bb_dirty_crash:
+    #                                      # fire on the N-th sync/seal/drain
     at_barrier: Optional[int] = None       # rank_crash: crash at N-th barrier
+    phase: Optional[str] = None            # bb_dirty_crash: where the node
+    #                                      # dies (mid_drain | pre_commit
+    #                                      # | torn_journal)
 
 
 class FaultSchedule:
@@ -208,6 +215,55 @@ class FaultSchedule:
         self.specs.append(FaultSpec("sync_fail", at_count=at, every=every))
         return self
 
+    # -- burst-buffer faults (consumed by repro.bb.BurstBufferTier) -------
+
+    _BB_CRASH_PHASES = ("mid_drain", "pre_commit", "torn_journal")
+
+    def fail_bb_device(
+        self, at_time: float, duration: Optional[float] = None
+    ) -> "FaultSchedule":
+        """Fail the node's burst-buffer device at ``at_time``: absorbs
+        raise and the tier degrades to write-through.  With ``duration``
+        the device heals itself that many simulated seconds later."""
+        self.specs.append(
+            FaultSpec("bb_device_fail", at_time=at_time, duration=duration)
+        )
+        return self
+
+    def recover_bb_device(self, at_time: float) -> "FaultSchedule":
+        """Bring the burst-buffer device back up at ``at_time``."""
+        self.specs.append(FaultSpec("bb_device_recover", at_time=at_time))
+        return self
+
+    def crash_bb_dirty(
+        self, at: int = 1, phase: str = "mid_drain"
+    ) -> "FaultSchedule":
+        """Kill the node with a dirty burst buffer (1-based trigger).
+
+        ``phase`` picks the crash point the recovery path must survive:
+
+        - ``mid_drain`` — during the ``at``-th drain, after part of the
+          segment reached the PFS but before its fsync (the PFS copy is
+          torn; the device copy is sealed and survives);
+        - ``pre_commit`` — after the ``at``-th drain's PFS fsync but
+          before the journal COMMIT record (re-drain must be
+          idempotent);
+        - ``torn_journal`` — during the ``at``-th *seal*, between the
+          journal append and its fsync (the SEAL record may tear;
+          recovery discards the segment and falls back).
+        """
+        if at < 1:
+            raise InvalidArgumentError("at is 1-based")
+        if phase not in self._BB_CRASH_PHASES:
+            raise InvalidArgumentError(
+                f"unknown bb crash phase {phase!r} "
+                f"(expected one of {self._BB_CRASH_PHASES})"
+            )
+        self.specs.append(
+            FaultSpec("bb_dirty_crash", at_count=at, phase=phase)
+        )
+        return self
+
     # -- rank crashes -----------------------------------------------------
 
     def crash_rank(self, rank: int, at_barrier: int = 1) -> "FaultSchedule":
@@ -292,6 +348,10 @@ class FaultInjector:
                 self._crash_specs[spec.target].append(spec)
             elif spec.kind == "sync_fail":
                 pass  # consumed by FaultyEnv
+            elif spec.kind in (
+                "bb_device_fail", "bb_device_recover", "bb_dirty_crash",
+            ):
+                pass  # consumed by repro.bb.BurstBufferTier
             else:
                 raise InvalidArgumentError(f"unknown fault kind {spec.kind!r}")
 

@@ -15,7 +15,13 @@ requests); the per-RPC NIC/OSS/OST pipeline underneath is unchanged.
 """
 
 from repro.io.context import current_deadline, current_priority, io_priority
-from repro.io.request import BARRIER_CLASSES, IoRequest, Priority
+from repro.io.request import (
+    BARRIER_CLASSES,
+    NON_BARRIER_CLASSES,
+    IoRequest,
+    Priority,
+    validate_barrier_partition,
+)
 from repro.io.scheduler import (
     POLICIES,
     DeficitRoundRobinPolicy,
@@ -29,6 +35,7 @@ from repro.io.scheduler import (
 
 __all__ = [
     "BARRIER_CLASSES",
+    "NON_BARRIER_CLASSES",
     "DeficitRoundRobinPolicy",
     "FifoPolicy",
     "IoRequest",
@@ -42,4 +49,5 @@ __all__ = [
     "current_priority",
     "io_priority",
     "make_policy",
+    "validate_barrier_partition",
 ]

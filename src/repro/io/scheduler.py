@@ -23,10 +23,11 @@ policies:
     quanta), starvation-free: compaction keeps a configurable share of
     admission bandwidth instead of being locked out.
 
-Orthogonally, a token-bucket :class:`RateLimiter` can cap COMPACTION
-bytes/s — Luo & Carey's knob for trading compaction debt against write
-stalls.  Throttling happens *before* enqueue so a paced compaction
-never occupies the issue slot while it waits for tokens.
+Orthogonally, per-class token-bucket :class:`RateLimiter` instances cap
+COMPACTION bytes/s (Luo & Carey's knob for trading compaction debt
+against write stalls) and DRAIN bytes/s (pacing burst-buffer write-back
+behind live checkpoint traffic).  Throttling happens *before* enqueue so
+a paced request never occupies the issue slot while it waits for tokens.
 """
 
 from __future__ import annotations
@@ -193,10 +194,13 @@ class StrictPriorityPolicy(QueuePolicy):
 
 #: DRR service shares — foreground admission bandwidth dominates, but
 #: compaction keeps a guaranteed slice (starvation-free, unlike strict).
+#: DRAIN sits between FLUSH and COMPACTION: burst-buffer write-back is
+#: durability debt and must keep moving, but never at checkpoint cost.
 DEFAULT_DRR_WEIGHTS = {
     Priority.FOREGROUND: 4,
     Priority.METADATA: 2,
     Priority.FLUSH: 2,
+    Priority.DRAIN: 2,
     Priority.COMPACTION: 1,
 }
 
@@ -349,7 +353,9 @@ class IoScheduler:
         self.name = name
         self.stats = SchedulerStats()
         self._active: Optional[IoRequest] = None
-        self._limiter: Optional[RateLimiter] = None
+        #: per-class token buckets; only rate-limitable background
+        #: classes (DRAIN, COMPACTION) ever get an entry
+        self._limiters: Dict[Priority, RateLimiter] = {}
         self._policy: QueuePolicy = FifoPolicy()
         self.set_policy(
             policy,
@@ -389,9 +395,31 @@ class IoScheduler:
             self.set_compaction_bandwidth(compaction_bandwidth)
 
     def set_compaction_bandwidth(self, rate: Optional[float | str]) -> None:
+        self.set_class_bandwidth(Priority.COMPACTION, rate)
+
+    def set_drain_bandwidth(self, rate: Optional[float | str]) -> None:
+        self.set_class_bandwidth(Priority.DRAIN, rate)
+
+    def set_class_bandwidth(
+        self, priority: Priority, rate: Optional[float | str]
+    ) -> None:
+        """Cap one class's bytes/s with a token bucket (None/0 = off).
+
+        Only the background classes are rate-limitable; throttling the
+        foreground checkpoint path (or blocking metadata ops behind a
+        bucket) would invert the scheduler's whole purpose.
+        """
+        if priority not in (Priority.DRAIN, Priority.COMPACTION):
+            raise ValueError(
+                f"only DRAIN and COMPACTION are rate-limitable, "
+                f"not {priority.name}"
+            )
         if isinstance(rate, str):
             rate = float(parse_size(rate))
-        self._limiter = RateLimiter(rate) if rate else None
+        if rate:
+            self._limiters[priority] = RateLimiter(rate)
+        else:
+            self._limiters.pop(priority, None)
 
     # ------------------------------------------------------------------
 
@@ -413,12 +441,9 @@ class IoScheduler:
         stats = self.stats
         stats.class_submitted[cls] += 1
         stats.class_bytes[cls] += nbytes
-        if (
-            self._limiter is not None
-            and priority is Priority.COMPACTION
-            and nbytes > 0
-        ):
-            waited = self._limiter.throttle(nbytes)
+        limiter = self._limiters.get(priority)
+        if limiter is not None and nbytes > 0:
+            waited = limiter.throttle(nbytes)
             if waited > 0.0:
                 stats.throttle_time += waited
                 stats.throttled_bytes += nbytes

@@ -1,0 +1,204 @@
+"""Checkpointer restore-after-crash with a dirty burst buffer.
+
+The acceptance scenarios for the tier's crash story: an application
+checkpoints epochs through :class:`repro.core.Checkpointer` with a
+burst-buffer tier interposed, the node dies with the buffer dirty at a
+seeded crash point, and the restarted job recovers a *complete* epoch
+byte-identically — from the fast tier when the segments sealed before
+the crash, from the PFS (or the previous epoch) when they did not.
+
+Crash points (the probe numbers are deterministic: epoch 1 uses seals
+1-6 / drains 1-5, epoch 2 uses seals 7-10 / drains 6-8):
+
+- ``mid_drain``   — node dies while the drain worker is copying a
+  sealed segment to the PFS;
+- ``pre_commit``  — node dies after the PFS fsync but before the
+  journal COMMIT record (the two-phase-commit window);
+- ``torn_journal`` — node dies between the SEAL append and the journal
+  fsync, leaving a torn record whose segment must be discarded.
+"""
+
+import numpy as np
+import pytest
+
+from repro import sim
+from repro.core import Checkpointer, LsmioManager, LsmioOptions
+from repro.fault import FaultInjector, FaultSchedule, SimulatedCrash
+from repro.pfs import LustreClient, LustreCluster, SimLustreEnv
+from repro.pfs.configs import small_test_cluster
+
+
+def bb_options(**bb_overrides):
+    bb = {"capacity": "4M", "seed": 9}
+    bb.update(bb_overrides)
+    return LsmioOptions(write_buffer_size="256K", burst_buffer=bb)
+
+
+def make_manager(client, options):
+    return LsmioManager(
+        "job.lsmio/rank0", options=options, env=SimLustreEnv(client)
+    )
+
+
+def epoch_state(epoch):
+    rng = np.random.default_rng(epoch)
+    return {
+        "field": rng.standard_normal((32, 32)),
+        "step": epoch * 10,
+        "meta": {"epoch": epoch},
+    }
+
+
+def assert_state_equal(actual, expected):
+    assert set(actual) == set(expected)
+    np.testing.assert_array_equal(actual["field"], expected["field"])
+    assert actual["step"] == expected["step"]
+    assert actual["meta"] == expected["meta"]
+
+
+def crash_restore_run(phase, at, seed=9):
+    """Save epoch 1 clean, crash during epoch 2 at the seeded point,
+    restart over the same (dirty) device, and load the latest epoch."""
+    options = bb_options(seed=seed)
+    schedule = FaultSchedule(seed=seed).crash_bb_dirty(at=at, phase=phase)
+    with sim.Engine() as engine:
+        cluster = LustreCluster(engine, small_test_cluster())
+        FaultInjector(schedule).install(cluster)
+        client = LustreClient(cluster, 0)
+
+        def main():
+            manager = make_manager(client, options)
+            ckpt = Checkpointer(manager)
+            report1 = ckpt.save(1, epoch_state(1), wait_drain=True)
+            assert report1.completed
+            assert ckpt.last_drain_report.completed
+            with pytest.raises(SimulatedCrash):
+                ckpt.save(2, epoch_state(2), wait_drain=True)
+            assert manager.burst_buffer.crashed
+            # restart: the fault already fired; the node comes back clean
+            # over the same device (kept on the options' bb config)
+            cluster.fault_injector = None
+            restarted = make_manager(client, options)
+            tier = restarted.burst_buffer
+            assert tier is not manager.burst_buffer
+            assert tier.device is manager.burst_buffer.device
+            ckpt2 = Checkpointer(restarted)
+            epoch, state = ckpt2.load_latest()
+            committed = ckpt2.epochs()
+            report = restarted.drain_barrier()
+            assert report.completed
+            assert tier.dirty_segments() == []
+            snap = dict(tier.stats.snapshot())
+            restarted.close()
+            return epoch, state, committed, snap
+
+        proc = engine.spawn(main)
+        engine.run()
+    return proc.result
+
+
+class TestMidDrainCrash:
+    def test_crash_during_first_epoch2_drain_recovers_epoch2(self):
+        """Every epoch-2 segment sealed before the crash; the restarted
+        tier re-queues the DIRTY backlog and epoch 2 survives."""
+        epoch, state, committed, snap = crash_restore_run("mid_drain", at=6)
+        assert epoch == 2
+        assert committed == [1, 2]
+        assert_state_equal(state, epoch_state(2))
+        assert snap["segments_recovered"] == 3
+        assert snap["segments_discarded"] == 0
+
+    def test_crash_during_last_drain_recovers_epoch2(self):
+        epoch, state, committed, snap = crash_restore_run("mid_drain", at=8)
+        assert epoch == 2
+        assert committed == [1, 2]
+        assert_state_equal(state, epoch_state(2))
+        assert snap["segments_recovered"] == 1
+
+
+class TestPreCommitCrash:
+    def test_drained_but_uncommitted_segment_is_redrained(self):
+        """The PFS copy landed but the COMMIT record did not: recovery
+        must treat the segment as DIRTY and re-drain it idempotently."""
+        epoch, state, committed, snap = crash_restore_run("pre_commit", at=8)
+        assert epoch == 2
+        assert committed == [1, 2]
+        assert_state_equal(state, epoch_state(2))
+        assert snap["segments_recovered"] == 1
+        assert snap["segments_discarded"] == 0
+
+
+class TestTornJournalCrash:
+    def test_torn_seal_record_falls_back_to_previous_epoch(self):
+        """The SEAL record tore, so the segment's fsync never returned:
+        recovery discards it and the Checkpointer falls back to the
+        previous complete epoch, byte-identically."""
+        epoch, state, committed, snap = crash_restore_run(
+            "torn_journal", at=7
+        )
+        assert epoch == 1
+        assert committed == [1]
+        assert_state_equal(state, epoch_state(1))
+        assert snap["segments_recovered"] == 0
+        assert snap["segments_discarded"] == 1
+
+
+class TestSeededDeterminism:
+    def test_crash_restore_is_bit_identical_across_runs(self):
+        runs = [crash_restore_run("mid_drain", at=6) for _ in range(2)]
+        (e1, s1, c1, snap1), (e2, s2, c2, snap2) = runs
+        assert e1 == e2
+        assert c1 == c2
+        assert s1["field"].tobytes() == s2["field"].tobytes()
+        assert snap1 == snap2
+
+
+class TestDegradedOstDrain:
+    def test_ost_outage_parks_segments_then_retry_completes(self):
+        """Every OST dies while the drain worker is copying: the tier
+        burns its retry budget, parks the segments (completed=False),
+        and a retry after OST recovery lands every byte on the PFS."""
+        options = bb_options()
+        options.burst_buffer.drain_retries = 1
+        options.burst_buffer.drain_backoff = 0.01
+        config = small_test_cluster(
+            rpc_timeout=0.02,
+            rpc_max_retries=1,
+            rpc_backoff_base=0.01,
+            rpc_backoff_max=0.02,
+            rpc_backoff_jitter=0.0,
+        )
+        schedule = FaultSchedule(seed=5)
+        for ost in range(4):
+            schedule.fail_ost(ost, at_time=0.001, duration=0.5)
+        with sim.Engine() as engine:
+            cluster = LustreCluster(engine, config)
+            FaultInjector(schedule).install(cluster)
+            client = LustreClient(cluster, 0)
+
+            def main():
+                manager = make_manager(client, options)
+                ckpt = Checkpointer(manager)
+                ckpt.save(1, epoch_state(1), wait_drain=True)
+                report = ckpt.last_drain_report
+                tier = manager.burst_buffer
+                if not report.completed:
+                    assert report.failed_segments
+                    assert tier.parked_segments == report.failed_segments
+                    sim.sleep(1.0)  # OSTs back up
+                    assert tier.retry_failed() == len(report.failed_segments)
+                    retried = manager.drain_barrier()
+                    assert retried.completed
+                assert tier.dirty_segments() == []
+                epoch, state = ckpt.load_latest()
+                manager.close()
+                return epoch, state, report
+
+            proc = engine.spawn(main)
+            engine.run()
+        epoch, state, report = proc.result
+        assert epoch == 1
+        assert_state_equal(state, epoch_state(1))
+        # the outage must actually have exercised the drain fault path
+        assert report.degraded
+        assert not report.completed

@@ -1,0 +1,174 @@
+"""The simulated NVMe device: capacity, bandwidth, failure, torn crash."""
+
+import pytest
+
+from repro import sim
+from repro.bb import BurstBufferConfig, BurstBufferDevice
+from repro.errors import (
+    InvalidArgumentError,
+    NotFoundError,
+    StorageIOError,
+)
+
+
+def make_device(**overrides):
+    config = BurstBufferConfig(**overrides)
+    return BurstBufferDevice(sim.Engine(), config)
+
+
+class TestConfig:
+    def test_sizes_accept_humanized_strings(self):
+        config = BurstBufferConfig(
+            capacity="2M", write_bandwidth="1G", drain_chunk="64K"
+        )
+        assert config.capacity == 2 << 20
+        assert config.write_bandwidth == 1 << 30
+        assert config.drain_chunk == 64 << 10
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"capacity": 0},
+            {"write_bandwidth": -1},
+            {"drain_chunk": 0},
+            {"drain_retries": -1},
+            {"drain_backoff": -0.1},
+            {"overflow_timeout": -1.0},
+            {"drain_bandwidth": -5},
+        ],
+    )
+    def test_invalid_shapes_are_rejected(self, kwargs):
+        with pytest.raises(InvalidArgumentError):
+            BurstBufferConfig(**kwargs)
+
+
+class TestBlobNamespace:
+    def test_append_read_roundtrip_and_capacity_accounting(self):
+        dev = make_device(capacity="1M")
+        dev.create("a")
+        dev.append("a", b"hello ")
+        dev.append("a", b"world")
+        assert dev.read("a", 0, 64) == b"hello world"
+        assert dev.read("a", 6, 5) == b"world"
+        assert dev.size("a") == 11
+        assert dev.used_bytes == 11
+        assert dev.free_bytes == (1 << 20) - 11
+        dev.delete("a")
+        assert dev.used_bytes == 0
+        assert not dev.exists("a")
+
+    def test_create_truncates_and_releases_bytes(self):
+        dev = make_device()
+        dev.create("a")
+        dev.append("a", b"x" * 100)
+        dev.create("a")
+        assert dev.size("a") == 0
+        assert dev.used_bytes == 0
+
+    def test_rename_moves_bytes_and_replaces_target(self):
+        dev = make_device()
+        dev.create("a")
+        dev.append("a", b"new")
+        dev.create("b")
+        dev.append("b", b"old-old")
+        dev.rename("a", "b")
+        assert not dev.exists("a")
+        assert dev.read("b", 0, 10) == b"new"
+        assert dev.used_bytes == 3
+
+    def test_missing_blob_raises_not_found(self):
+        dev = make_device()
+        with pytest.raises(NotFoundError):
+            dev.append("ghost", b"x")
+        with pytest.raises(NotFoundError):
+            dev.read("ghost", 0, 1)
+        with pytest.raises(NotFoundError):
+            dev.delete("ghost")
+
+
+class TestBandwidth:
+    def test_appends_charge_simulated_transfer_time(self):
+        engine = sim.Engine()
+        config = BurstBufferConfig(write_bandwidth=1 << 20, read_bandwidth=0)
+        dev = BurstBufferDevice(engine, config)
+
+        def main():
+            dev.create("a")
+            dev.append("a", b"x" * (1 << 20))  # 1 MiB at 1 MiB/s
+            return sim.now()
+
+        with engine:
+            proc = engine.spawn(main)
+            engine.run()
+        assert proc.result == pytest.approx(1.0)
+
+    def test_zero_bandwidth_means_free_transfers(self):
+        engine = sim.Engine()
+        dev = BurstBufferDevice(engine, BurstBufferConfig(write_bandwidth=0))
+
+        def main():
+            dev.create("a")
+            dev.append("a", b"x" * (1 << 20))
+            return sim.now()
+
+        with engine:
+            proc = engine.spawn(main)
+            engine.run()
+        assert proc.result == 0.0
+
+
+class TestFailure:
+    def test_failed_device_raises_until_recover(self):
+        dev = make_device()
+        dev.create("a")
+        dev.fail()
+        with pytest.raises(StorageIOError):
+            dev.append("a", b"x")
+        with pytest.raises(StorageIOError):
+            dev.create("b")
+        dev.recover()
+        dev.append("a", b"x")
+        assert dev.size("a") == 1
+
+
+class TestCrash:
+    def test_synced_prefix_survives_unsynced_tail_may_tear(self):
+        dev = make_device(seed=7)
+        dev.create("a")
+        dev.append("a", b"d" * 100)
+        dev.sync("a")
+        dev.append("a", b"t" * 100)  # dirty tail
+        dev.crash()
+        kept = dev.size("a")
+        assert 100 <= kept <= 200
+        assert dev.read("a", 0, 100) == b"d" * 100
+        assert dev.synced_size("a") == kept
+        assert dev.used_bytes == kept
+
+    def test_crash_cut_is_seeded_deterministic(self):
+        def run(seed):
+            dev = make_device(seed=seed)
+            dev.create("a")
+            dev.append("a", b"x" * 1000)  # never synced
+            dev.crash()
+            return dev.size("a")
+
+        assert run(3) == run(3)
+
+    def test_fully_synced_blob_is_untouched(self):
+        dev = make_device()
+        dev.create("a")
+        dev.append("a", b"x" * 50)
+        dev.sync("a")
+        dev.crash()
+        assert dev.read("a", 0, 50) == b"x" * 50
+
+    def test_dram_tier_loses_everything(self):
+        dev = make_device(persistent=False)
+        dev.create("a")
+        dev.append("a", b"x" * 50)
+        dev.sync("a")  # even synced bytes: DRAM has no crash durability
+        dev.crash()
+        assert not dev.exists("a")
+        assert dev.used_bytes == 0
+        assert dev.crashes == 1

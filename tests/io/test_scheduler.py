@@ -5,6 +5,7 @@ import pytest
 from repro import sim
 from repro.io import (
     BARRIER_CLASSES,
+    NON_BARRIER_CLASSES,
     DeficitRoundRobinPolicy,
     IoRequest,
     IoScheduler,
@@ -14,6 +15,7 @@ from repro.io import (
     current_priority,
     io_priority,
     make_policy,
+    validate_barrier_partition,
 )
 
 
@@ -27,11 +29,31 @@ class TestPriorityModel:
             Priority.FOREGROUND,
             Priority.METADATA,
             Priority.FLUSH,
+            Priority.DRAIN,
             Priority.COMPACTION,
         ]
 
     def test_barrier_classes_exclude_compaction_and_metadata(self):
         assert BARRIER_CLASSES == {Priority.FOREGROUND, Priority.FLUSH}
+
+    def test_drain_outranks_compaction(self):
+        assert Priority.DRAIN < Priority.COMPACTION
+        assert Priority.FLUSH < Priority.DRAIN
+
+    def test_every_class_is_barrier_or_non_barrier(self):
+        # the partition must cover the whole enum with no overlap
+        assert BARRIER_CLASSES | NON_BARRIER_CLASSES == set(Priority)
+        assert not BARRIER_CLASSES & NON_BARRIER_CLASSES
+        validate_barrier_partition()  # must not raise for the real enum
+
+    def test_unclassified_priority_member_fails_partition_check(self):
+        """A Priority member in no drain set is a latent data-loss bug:
+        write_barrier would skip its queued jobs.  The import-time check
+        must reject such a member."""
+        class Rogue:
+            name = "ROGUE"
+        with pytest.raises(AssertionError, match="ROGUE"):
+            validate_barrier_partition(list(Priority) + [Rogue()])
 
     def test_ambient_priority_defaults_to_foreground(self):
         assert current_priority() is Priority.FOREGROUND
@@ -258,17 +280,65 @@ class TestScheduler:
         with sim.Engine() as engine:
             sched = IoScheduler(engine, policy="strict")
             sched.set_compaction_bandwidth("8M")
-            assert sched._limiter is not None
-            assert sched._limiter.rate == float(8 << 20)
+            limiter = sched._limiters[Priority.COMPACTION]
+            assert limiter.rate == float(8 << 20)
             sched.set_policy("fifo", compaction_bandwidth="0")
-            assert sched._limiter is None  # "0" disables, like 0
+            # "0" disables, like 0
+            assert Priority.COMPACTION not in sched._limiters
+
+    def test_drain_rate_limit_paces_submissions(self):
+        with sim.Engine() as engine:
+            sched = IoScheduler(engine, policy="fifo")
+            sched.set_drain_bandwidth(float(1 << 20))
+
+            def main():
+                with io_priority(Priority.DRAIN):
+                    for _ in range(6):
+                        sched.submit("write", 1 << 20, lambda: None)
+                return sim.now()
+
+            proc = engine.spawn(main)
+            engine.run()
+            # default 4 MiB burst covers four; the last two wait 1 s each
+            assert proc.result == pytest.approx(2.0)
+            assert sched.stats.throttle_time == pytest.approx(2.0)
+
+    def test_drain_and_compaction_buckets_are_independent(self):
+        with sim.Engine() as engine:
+            sched = IoScheduler(engine, policy="fifo")
+            sched.set_drain_bandwidth(float(1 << 20))
+            sched.set_compaction_bandwidth(float(1 << 20))
+
+            def main():
+                # each class gets its own 4 MiB burst: neither throttles
+                with io_priority(Priority.DRAIN):
+                    for _ in range(4):
+                        sched.submit("write", 1 << 20, lambda: None)
+                with io_priority(Priority.COMPACTION):
+                    for _ in range(4):
+                        sched.submit("write", 1 << 20, lambda: None)
+                return sim.now()
+
+            proc = engine.spawn(main)
+            engine.run()
+            assert proc.result == 0.0
+            assert sched.stats.throttle_time == 0.0
+
+    def test_only_background_classes_are_rate_limitable(self):
+        with sim.Engine() as engine:
+            sched = IoScheduler(engine, policy="fifo")
+            for cls in (Priority.FOREGROUND, Priority.METADATA,
+                        Priority.FLUSH):
+                with pytest.raises(ValueError):
+                    sched.set_class_bandwidth(cls, float(1 << 20))
 
     def test_snapshot_schema_is_stable(self):
         with sim.Engine() as engine:
             sched = IoScheduler(engine, policy="fifo")
             expected = {"inline_issues", "queued_issues", "max_queue_depth",
                         "throttle_time", "throttled_bytes"}
-            for cls in ("foreground", "metadata", "flush", "compaction"):
+            for cls in ("foreground", "metadata", "flush", "drain",
+                        "compaction"):
                 expected |= {
                     f"submitted_{cls}", f"issued_{cls}",
                     f"bytes_{cls}", f"stall_time_{cls}",

@@ -34,7 +34,30 @@ SCHED_KEYS = {
 } | {
     f"{stem}_{cls}"
     for stem in ("submitted", "issued", "bytes", "stall_time")
-    for cls in ("foreground", "metadata", "flush", "compaction")
+    for cls in ("foreground", "metadata", "flush", "drain", "compaction")
+}
+
+#: Flat keys exported by a BurstBufferTier under ``bb.tier{id}`` — the
+#: burst-buffer namespace is schema-locked just like the scheduler's.
+BB_KEYS = {
+    "bytes_absorbed",
+    "bytes_written_through",
+    "bytes_drained",
+    "segments_sealed",
+    "segments_committed",
+    "segments_recovered",
+    "segments_discarded",
+    "drain_retries",
+    "drain_failures",
+    "drain_time",
+    "evictions",
+    "overflow_waits",
+    "overflow_wait_time",
+    "degraded_writes",
+    "resident_bytes",
+    "dirty_bytes",
+    "max_resident_bytes",
+    "max_dirty_bytes",
 }
 
 
@@ -71,6 +94,47 @@ def test_client_and_scheduler_snapshot_schema():
         # the default FIFO policy issues everything inline
         assert sched_snap["io.sched.client0.queued_issues"] == 0
         assert sched_snap["io.sched.client0.inline_issues"] > 0
+    finally:
+        trace.uninstall()
+
+
+def test_burst_buffer_snapshot_schema():
+    """The tier registers ``bb.{name}`` while alive and unregisters on
+    close; its flat snapshot keys are schema-locked to BB_KEYS."""
+    from repro.bb import BurstBufferConfig, BurstBufferTier
+    from repro.lsm.env import MemEnv
+
+    trace.install()
+    try:
+        with sim.Engine() as engine:
+
+            def main():
+                tier = BurstBufferTier(
+                    MemEnv(), config=BurstBufferConfig(), name="tier0"
+                )
+                out = tier.env.new_writable_file("seg")
+                out.append(b"x" * 4096)
+                out.close()
+                tier.drain_barrier()
+                return tier
+
+            proc = engine.spawn(main)
+            engine.run()
+        tier = proc.result
+
+        registry = trace.current_metrics()
+        assert "bb.tier0" in registry.namespaces()
+        snap = registry.snapshot(prefix="bb.tier0")
+        assert set(snap) == {f"bb.tier0.{k}" for k in BB_KEYS}
+        assert snap["bb.tier0.bytes_absorbed"] == 4096
+        assert snap["bb.tier0.bytes_drained"] == 4096
+        assert snap["bb.tier0.segments_committed"] == 1
+        # healthy tier: the fault-path counters exist but stay zero
+        assert snap["bb.tier0.drain_retries"] == 0
+        assert snap["bb.tier0.degraded_writes"] == 0
+
+        tier.close()
+        assert "bb.tier0" not in trace.current_metrics().namespaces()
     finally:
         trace.uninstall()
 
