@@ -68,6 +68,26 @@ def main(argv=None) -> int:
              "0 disables throttling",
     )
     parser.add_argument(
+        "--subcompactions", type=int, default=None, metavar="N",
+        help="max key-range partitions per compaction (LSMIO engines; "
+             "partition boundaries are fan-out independent, so outputs "
+             "stay byte-identical)",
+    )
+    parser.add_argument(
+        "--l0-slowdown", type=int, default=None, metavar="FILES",
+        help="L0 file count where foreground writes start slowing down "
+             "(LSMIO engines with compaction enabled)",
+    )
+    parser.add_argument(
+        "--l0-stop", type=int, default=None, metavar="FILES",
+        help="L0 file count where foreground writes park outright",
+    )
+    parser.add_argument(
+        "--pacing", action="store_true",
+        help="enable stall-aware compaction pacing (smooth write delay "
+             "+ rate-limiter boost instead of trigger cliffs)",
+    )
+    parser.add_argument(
         "--burst-buffer", metavar="CAPACITY", default=None,
         help="node-local burst-buffer capacity for the tiering campaign "
              "(e.g. 16M); only meaningful with the `tiering` target",
@@ -100,6 +120,16 @@ def main(argv=None) -> int:
         cluster_overrides["io_policy"] = args.io_policy
     if args.compaction_bw is not None:
         cluster_overrides["io_compaction_bandwidth"] = args.compaction_bw
+
+    lsmio_params: dict = {}
+    if args.subcompactions is not None:
+        lsmio_params["max_subcompactions"] = args.subcompactions
+    if args.l0_slowdown is not None:
+        lsmio_params["level0_slowdown_writes_trigger"] = args.l0_slowdown
+    if args.l0_stop is not None:
+        lsmio_params["level0_stop_writes_trigger"] = args.l0_stop
+    if args.pacing:
+        lsmio_params["compaction_pacing"] = True
 
     payload: dict = {}
     if args.target == "fig1":
@@ -150,6 +180,7 @@ def main(argv=None) -> int:
                 ),
                 bytes_per_task=bytes_per_task,
                 repetitions=args.reps,
+                lsmio_params=lsmio_params or None,
             )
             print(figure.table())
             print()

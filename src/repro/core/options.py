@@ -70,6 +70,20 @@ class LsmioOptions:
     #: None keeps the cluster default, 0 disables throttling
     compaction_bandwidth: Optional[float | str] = None
 
+    #: L0 file counts where foreground writes slow down / park outright
+    #: (only meaningful with ``enable_compaction``); None keeps the
+    #: engine defaults (8 / 12)
+    level0_slowdown_writes_trigger: Optional[int] = None
+    level0_stop_writes_trigger: Optional[int] = None
+    #: key-range partitions one compaction may run concurrently; the
+    #: partition boundaries are fan-out independent so any value yields
+    #: byte-identical tables — this only sets the concurrency cap
+    max_subcompactions: int = 1
+    #: stall-aware pacing: smooth foreground write delay + compaction
+    #: rate-limiter boost driven by L0/debt pressure (needs
+    #: ``enable_compaction``)
+    compaction_pacing: bool = False
+
     #: node-local burst-buffer tier configuration
     #: (:class:`~repro.bb.device.BurstBufferConfig` or a kwargs dict);
     #: None — the default — writes straight to the base env, bit-identical
@@ -102,6 +116,15 @@ class LsmioOptions:
                 raise InvalidArgumentError(
                     "compaction_bandwidth must be >= 0"
                 )
+        if self.max_subcompactions < 1:
+            raise InvalidArgumentError("max_subcompactions must be >= 1")
+        for name in (
+            "level0_slowdown_writes_trigger",
+            "level0_stop_writes_trigger",
+        ):
+            value = getattr(self, name)
+            if value is not None and int(value) < 1:
+                raise InvalidArgumentError(f"{name} must be >= 1")
         if isinstance(self.burst_buffer, dict):
             from repro.bb.device import BurstBufferConfig
 
@@ -109,7 +132,18 @@ class LsmioOptions:
 
     def to_engine_options(self) -> Options:
         """Render onto the LSM engine's option set."""
+        extra: dict = {}
+        if self.level0_slowdown_writes_trigger is not None:
+            extra["level0_slowdown_writes_trigger"] = int(
+                self.level0_slowdown_writes_trigger
+            )
+        if self.level0_stop_writes_trigger is not None:
+            extra["level0_stop_writes_trigger"] = int(
+                self.level0_stop_writes_trigger
+            )
         return Options(
+            max_subcompactions=self.max_subcompactions,
+            compaction_pacing=self.compaction_pacing,
             enable_wal=self.enable_wal,
             compression=(
                 CompressionType.ZLIB
@@ -124,4 +158,5 @@ class LsmioOptions:
             checksum=self.checksum,
             bloom_bits_per_key=self.bloom_bits_per_key,
             cpu_charge=self.cpu_charge,
+            **extra,
         )

@@ -298,6 +298,24 @@ class RateLimiter:
         self._tokens = self.burst
         self._stamp: Optional[float] = None
 
+    def set_rate(self, rate: float) -> None:
+        """Adjust bytes/s in place, settling accrued tokens first.
+
+        The stall-aware pacer calls this to boost or relax compaction
+        bandwidth smoothly; tokens earned at the old rate are credited
+        before the switch so an adjustment never grants or revokes
+        already-earned budget.
+        """
+        if rate <= 0:
+            raise ValueError("rate limiter needs a positive bytes/s rate")
+        if self._stamp is not None:
+            now = sim.now()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._stamp) * self.rate
+            )
+            self._stamp = now
+        self.rate = float(rate)
+
     def throttle(self, nbytes: int) -> float:
         """Charge ``nbytes``; sleep on the sim clock if over rate.
 
@@ -420,6 +438,10 @@ class IoScheduler:
             self._limiters[priority] = RateLimiter(rate)
         else:
             self._limiters.pop(priority, None)
+
+    def class_limiter(self, priority: Priority) -> Optional[RateLimiter]:
+        """The installed token bucket for ``priority`` (None = unthrottled)."""
+        return self._limiters.get(priority)
 
     # ------------------------------------------------------------------
 

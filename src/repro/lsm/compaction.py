@@ -1,4 +1,4 @@
-"""Leveled compaction: picking and executing the rolling merge (§2.2).
+"""Leveled compaction: picking, planning, and executing the rolling merge.
 
 The paper's description — "leaf nodes in C1 are never edited in-place but
 instead new ones are added as part of an asynchronous rolling-merge process
@@ -10,14 +10,24 @@ LSMIO *disables* compaction (checkpoints are write-once-read-rarely, so
 paying merge bandwidth buys nothing); the implementation is complete here
 because the engine is general and ``bench_ablations.py`` measures the cost
 of leaving it on.
+
+Subcompactions (Pome-style parallel compaction): one chosen compaction is
+split into key-range partitions at *fan-out independent* boundaries —
+user-key separators taken from the input tables' index blocks, segmented
+by estimated bytes and capped by grandparent overlap.  Both the serial
+merge and any parallel execution roll their output files at exactly these
+boundaries, and installation assigns file numbers in key order, so the
+partitioned result is byte-identical to the serial one: parallelism moves
+*when* bytes are produced, never *what* bytes.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Iterable, NamedTuple, Optional
 
-from repro.lsm.dbformat import encode_internal_key
+from repro.lsm.dbformat import MAX_SEQUENCE, encode_internal_key, seek_key
 from repro.lsm.iterator import MergingIterator, collapse_internal_entries
 from repro.lsm.manifest import FileMetaData, Version, VersionEdit
 from repro.lsm.options import Options
@@ -96,6 +106,341 @@ def is_bottommost(version: Version, task: CompactionTask) -> bool:
     return True
 
 
+# ---------------------------------------------------------------------------
+# Subcompaction planning
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SubcompactionRange:
+    """One key-range partition: user keys in [lo, hi) (None = open end)."""
+
+    index: int
+    lo: Optional[bytes]
+    hi: Optional[bytes]
+
+
+@dataclass
+class CompactionPlan:
+    """A task plus its hard output boundaries (fan-out independent).
+
+    ``boundaries`` are user keys: every output file rolls immediately
+    before the first entry whose user key reaches the next boundary, in
+    the serial merge and in every partition alike — that shared rolling
+    rule is what makes the parallel result byte-identical.
+    """
+
+    task: CompactionTask
+    drop_tombstones: bool
+    boundaries: tuple[bytes, ...] = ()
+    grandparent_seals: int = 0
+
+    @property
+    def ranges(self) -> list[SubcompactionRange]:
+        bounds: list[Optional[bytes]] = [None, *self.boundaries, None]
+        return [
+            SubcompactionRange(i, bounds[i], bounds[i + 1])
+            for i in range(len(bounds) - 1)
+        ]
+
+
+def compaction_boundaries(
+    version: Version,
+    task: CompactionTask,
+    options: Options,
+    index_user_keys: Optional[Callable[[FileMetaData], Optional[list]]] = None,
+) -> tuple[tuple[bytes, ...], int]:
+    """Hard output-boundary user keys for ``task`` (+ grandparent seals).
+
+    Deterministic and independent of execution fan-out: candidates are
+    the input tables' index-block separators (falling back to file
+    boundaries when an index is unavailable), weighted by estimated
+    bytes; a boundary is emitted whenever the accumulated estimate
+    reaches ``target_file_size_base``, or earlier when the segment's
+    grandparent overlap passes ``max_grandparent_overlap_bytes`` (the
+    LevelDB ``ShouldStopBefore`` cap, applied at plan time).
+    """
+    inputs = task.all_inputs()
+    if not inputs:
+        return (), 0
+    target = options.target_file_size_base
+    if task.total_bytes() <= target:
+        return (), 0
+
+    lo = min(f.smallest_user_key for f in inputs)
+    hi = max(f.largest_user_key for f in inputs)
+    candidates: list[tuple[bytes, int]] = []
+    for meta in inputs:
+        keys = index_user_keys(meta) if index_user_keys is not None else None
+        if keys:
+            weight = max(1, meta.file_size // len(keys))
+            candidates.extend((key, weight) for key in keys)
+        else:
+            candidates.append((meta.largest_user_key, meta.file_size))
+    candidates.sort(key=lambda item: item[0])
+
+    gp_level = task.target_level + 1
+    grandparents = (
+        version.overlapping_files(gp_level, lo, hi)
+        if gp_level < version.num_levels
+        else []
+    )
+    max_overlap = options.max_grandparent_overlap_bytes or 10 * target
+
+    boundaries: list[bytes] = []
+    seals = 0
+    acc = 0          # estimated output bytes since the last boundary
+    gp_bytes = 0     # grandparent bytes wholly passed since the last boundary
+    gp_index = 0
+    for key, weight in candidates:
+        if key >= hi:
+            break  # the final segment must keep at least one key
+        acc += weight
+        while (
+            gp_index < len(grandparents)
+            and grandparents[gp_index].largest_user_key < key
+        ):
+            gp_bytes += grandparents[gp_index].file_size
+            gp_index += 1
+        if key <= lo or (boundaries and key <= boundaries[-1]):
+            continue
+        if acc >= target or gp_bytes > max_overlap:
+            if gp_bytes > max_overlap and acc < target:
+                seals += 1
+            boundaries.append(key)
+            acc = 0
+            gp_bytes = 0
+    return tuple(boundaries), seals
+
+
+def plan_compaction(
+    version: Version,
+    task: CompactionTask,
+    options: Options,
+    drop_tombstones: bool,
+    index_user_keys: Optional[Callable[[FileMetaData], Optional[list]]] = None,
+) -> CompactionPlan:
+    """Partition ``task`` into key ranges; see :func:`compaction_boundaries`."""
+    boundaries, seals = compaction_boundaries(
+        version, task, options, index_user_keys
+    )
+    return CompactionPlan(
+        task=task,
+        drop_tombstones=drop_tombstones,
+        boundaries=boundaries,
+        grandparent_seals=seals,
+    )
+
+
+def group_ranges(
+    ranges: list[SubcompactionRange], fanout: int
+) -> list[list[SubcompactionRange]]:
+    """Contiguous near-even grouping into at most ``fanout`` jobs.
+
+    Grouping affects only which sim process executes a range, never the
+    ranges themselves, so any fan-out yields the same outputs.
+    """
+    jobs = max(1, min(int(fanout), len(ranges)))
+    groups: list[list[SubcompactionRange]] = []
+    start = 0
+    for slot in range(jobs):
+        size = (len(ranges) - start + (jobs - slot) - 1) // (jobs - slot)
+        groups.append(ranges[start:start + size])
+        start += size
+    return [group for group in groups if group]
+
+
+class SubcompactionOutput(NamedTuple):
+    """One finalized (but not yet installed) output table of a partition."""
+
+    range_index: int
+    seq: int
+    temp_name: str
+    file_size: int
+    smallest: bytes
+    largest: bytes
+
+
+class CompactionStats:
+    """Counters exported under ``lsm.compaction.{db}`` in the registry."""
+
+    def __init__(self) -> None:
+        self.subcompactions = 0       #: key-range partitions executed
+        self.parallel_compactions = 0  #: compactions via the partitioned path
+        self.planned_boundaries = 0
+        self.grandparent_seals = 0    #: boundaries forced by the overlap cap
+        self.sub_input_bytes = 0
+        self.sub_output_bytes = 0
+        self.pipelined_chunks = 0
+        self.pipelined_bytes = 0
+        self.pipeline_stall_time = 0.0  #: producer blocked on backpressure
+        self.slowdown_writes = 0      #: foreground writes delayed
+        self.stop_writes = 0          #: foreground writes parked at the cliff
+        self.stall_time = 0.0
+        self.pacer_adjustments = 0
+        self.pacer_delay_time = 0.0
+        self.pacer_rate = 0.0         #: current compaction limiter bytes/s
+        self.pacer_fanout = 1
+
+    def snapshot(self) -> dict:
+        return dict(self.__dict__)
+
+
+class PipelinedTableFile:
+    """Write-behind wrapper overlapping merge CPU with simulated I/O.
+
+    The merge loop (block building, checksumming, modeled CPU charges)
+    runs on the producer process; appends are handed to a companion sim
+    process that performs the actual writes, bounded by ``limit``
+    buffered bytes of backpressure.  Single producer; order-preserving —
+    the byte stream reaching the underlying file is exactly the append
+    sequence, so pipelining moves *when* bytes land, never *what* bytes.
+    ``sync``/``close`` quiesce the queue first, keeping durability points
+    unchanged.  With no engine (or ``limit`` 0) every call passes through
+    inline.  A writer-side failure is re-raised on the producer at its
+    next call, like any inline append failure.
+    """
+
+    def __init__(
+        self,
+        dest,
+        engine=None,
+        limit: int = 1 << 20,
+        cpu_charge: Optional[Callable[[int, str], None]] = None,
+        stats: Optional[CompactionStats] = None,
+    ) -> None:
+        self._dest = dest
+        self._engine = engine if (engine is not None and limit > 0) else None
+        self._limit = int(limit)
+        self._cpu_charge = cpu_charge
+        self._stats = stats
+        self._chunks: deque = deque()
+        self._buffered = 0        # queued + in-flight bytes
+        self._writer = None
+        self._data_gate = None    # writer parked waiting for data
+        self._space_gate = None   # producer parked on backpressure
+        self._idle_gate = None    # producer parked in quiesce
+        self._closing = False
+        self._error: Optional[BaseException] = None
+
+    # -- producer side ---------------------------------------------------
+
+    def append(self, data) -> None:
+        self._push(data, owned=False)
+
+    def append_owned(self, data) -> None:
+        self._push(data, owned=True)
+
+    def _push(self, data, owned: bool) -> None:
+        self._check_error()
+        if self._cpu_charge is not None:
+            # Block build + CRC cost, charged on the producer so it
+            # overlaps the writer process's in-flight I/O.
+            self._cpu_charge(len(data), "compaction-block")
+        if self._engine is None:
+            if owned:
+                self._dest.append_owned(data)
+            else:
+                self._dest.append(data)
+            return
+        self._chunks.append((data, owned))
+        self._buffered += len(data)
+        if self._stats is not None:
+            self._stats.pipelined_chunks += 1
+            self._stats.pipelined_bytes += len(data)
+        if self._writer is None:
+            self._writer = self._engine.spawn(
+                self._drain, name="compaction-pipe", daemon=True
+            )
+        elif self._data_gate is not None:
+            gate, self._data_gate = self._data_gate, None
+            gate.succeed()
+        from repro import sim
+
+        while self._buffered > self._limit and self._error is None:
+            self._space_gate = sim.Event(self._engine, name="pipe-space")
+            start = sim.now()
+            sim.wait(self._space_gate)
+            if self._stats is not None:
+                self._stats.pipeline_stall_time += sim.now() - start
+        self._check_error()
+
+    def flush(self) -> None:
+        self._quiesce()
+        self._dest.flush()
+
+    def sync(self) -> None:
+        self._quiesce()
+        self._dest.sync()
+
+    def close(self) -> None:
+        self._closing = True
+        self._quiesce()
+        if self._data_gate is not None:
+            # Release the parked writer so it observes _closing and exits.
+            gate, self._data_gate = self._data_gate, None
+            gate.succeed()
+        self._dest.close()
+
+    def _quiesce(self) -> None:
+        if self._engine is None:
+            return
+        from repro import sim
+
+        while self._buffered > 0 and self._error is None:
+            self._idle_gate = sim.Event(self._engine, name="pipe-idle")
+            sim.wait(self._idle_gate)
+        self._check_error()
+
+    def _check_error(self) -> None:
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise error
+
+    # -- companion writer process ----------------------------------------
+
+    def _drain(self) -> None:
+        from repro import sim
+
+        while True:
+            while self._chunks:
+                data, owned = self._chunks.popleft()
+                try:
+                    if owned:
+                        self._dest.append_owned(data)
+                    else:
+                        self._dest.append(data)
+                except BaseException as exc:
+                    self._error = exc
+                    self._chunks.clear()
+                    self._buffered = 0
+                    self._wake_producer()
+                    return
+                self._buffered -= len(data)
+                if self._space_gate is not None and self._buffered <= self._limit:
+                    gate, self._space_gate = self._space_gate, None
+                    gate.succeed()
+            if self._buffered == 0 and self._idle_gate is not None:
+                gate, self._idle_gate = self._idle_gate, None
+                gate.succeed()
+            if self._closing:
+                return
+            self._data_gate = sim.Event(self._engine, name="pipe-data")
+            sim.wait(self._data_gate)
+
+    def _wake_producer(self) -> None:
+        for attr in ("_space_gate", "_idle_gate"):
+            gate = getattr(self, attr)
+            if gate is not None:
+                setattr(self, attr, None)
+                gate.succeed()
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
 class CompactionExecutor:
     """Runs a :class:`CompactionTask`: merge inputs → new tables → edit.
 
@@ -104,7 +449,14 @@ class CompactionExecutor:
 
     - ``open_table_iter(meta)`` → iterator of (internal key, value);
     - ``new_table_writer()`` → (file_number, TableBuilder-like, finalize)
-      where ``finalize(builder)`` closes the file and returns its size.
+      where ``finalize(builder)`` closes the file and returns its size;
+    - ``open_table_seek(meta, lo_ikey)`` (optional) → iterator starting
+      at ``lo_ikey`` — lets a key-range partition read only the blocks
+      it covers instead of scanning each input from the top;
+    - ``new_range_writer(range_index, output_seq)`` (optional) →
+      (temp_name, builder, finalize): a *deferred-number* output used by
+      subcompactions, renamed into place at install time so file numbers
+      are assigned in key order regardless of execution order.
     """
 
     def __init__(
@@ -112,59 +464,135 @@ class CompactionExecutor:
         options: Options,
         open_table_iter: Callable,
         new_table_writer: Callable,
+        open_table_seek: Optional[Callable] = None,
+        new_range_writer: Optional[Callable] = None,
+        stats: Optional[CompactionStats] = None,
     ):
         self._options = options
         self._open_table_iter = open_table_iter
         self._new_table_writer = new_table_writer
+        self._open_table_seek = open_table_seek
+        self._new_range_writer = new_range_writer
+        self._stats = stats
 
-    def run(self, task: CompactionTask, drop_tombstones: bool) -> VersionEdit:
-        """Execute the merge; returns the edit to apply (files in/out)."""
-        # Input streams ordered newest-to-oldest: L0 files by descending
-        # file number, then the target level files (older than any L0).
-        streams = []
-        level0_sorted = sorted(
+    def _input_streams(
+        self,
+        task: CompactionTask,
+        lo: Optional[bytes] = None,
+        hi: Optional[bytes] = None,
+    ) -> list:
+        """Input streams newest-to-oldest, restricted to [lo, hi).
+
+        L0 files by descending file number, then the target level files
+        (older than any L0).  Files wholly outside the range are skipped;
+        partially-overlapping files seek to ``lo`` when the collaborator
+        supports it (falling back to a full scan plus filtering).
+        """
+        metas = sorted(
             task.inputs[0], key=lambda f: f.number, reverse=(task.level == 0)
-        )
-        for meta in level0_sorted:
-            streams.append(self._open_table_iter(meta))
-        for meta in task.inputs[1]:
-            streams.append(self._open_table_iter(meta))
+        ) + list(task.inputs[1])
+        streams = []
+        for meta in metas:
+            if lo is not None and meta.largest_user_key < lo:
+                continue
+            if hi is not None and meta.smallest_user_key >= hi:
+                continue
+            if (
+                lo is not None
+                and self._open_table_seek is not None
+                and meta.smallest_user_key < lo
+            ):
+                streams.append(
+                    self._open_table_seek(meta, seek_key(lo, MAX_SEQUENCE))
+                )
+            else:
+                streams.append(self._open_table_iter(meta))
+        return streams
 
+    def _merge_outputs(
+        self,
+        streams: list,
+        drop_tombstones: bool,
+        boundaries: Iterable[bytes],
+        lo: Optional[bytes],
+        hi: Optional[bytes],
+        make_writer: Callable,
+        emit: Callable,
+    ) -> None:
+        """The merge loop shared by the serial and partitioned paths.
+
+        Rolls the output at every user key in ``boundaries`` (hard,
+        fan-out independent) and additionally at ``target_file_size_base``
+        (which both paths reach at identical points because they see
+        identical entry sequences per segment).
+        """
         merged = MergingIterator(streams)
-        edit = VersionEdit()
+        pending = deque(boundaries)
         builder = None
         finalize = None
-        file_number = None
-        first_key = None
+        token = None
 
         def roll_output() -> None:
-            nonlocal builder, finalize, file_number, first_key
+            nonlocal builder, finalize, token
             if builder is None or builder.num_entries == 0:
                 return
             size = finalize(builder)
-            edit.add_file(
-                task.target_level,
-                FileMetaData(
-                    number=file_number,
-                    file_size=size,
-                    smallest=builder.first_key,
-                    largest=builder.last_key,
-                ),
-            )
+            emit(token, size, builder.first_key, builder.last_key)
             builder = None
             finalize = None
-            first_key = None
+            token = None
 
         for user_key, seq, value, vtype in collapse_internal_entries(
             merged, drop_tombstones=drop_tombstones
         ):
+            if lo is not None and user_key < lo:
+                continue
+            if hi is not None and user_key >= hi:
+                break
+            while pending and user_key >= pending[0]:
+                pending.popleft()
+                roll_output()
             if builder is None:
-                file_number, builder, finalize = self._new_table_writer()
-            ikey = encode_internal_key(user_key, seq, vtype)
-            builder.add(ikey, value)
+                token, builder, finalize = make_writer()
+            builder.add(encode_internal_key(user_key, seq, vtype), value)
             if builder.file_size >= self._options.target_file_size_base:
                 roll_output()
         roll_output()
+
+    def run(
+        self,
+        task: CompactionTask,
+        drop_tombstones: bool,
+        boundaries: Iterable[bytes] = (),
+    ) -> VersionEdit:
+        """Execute the serial merge; returns the edit to apply.
+
+        ``boundaries`` (optional) forces output rolls at those user keys
+        — passing a plan's boundaries makes this the serial reference
+        for the partitioned execution.
+        """
+        edit = VersionEdit()
+
+        def emit(number, size, first_key, last_key) -> None:
+            edit.add_file(
+                task.target_level,
+                FileMetaData(
+                    number=number,
+                    file_size=size,
+                    smallest=first_key,
+                    largest=last_key,
+                ),
+            )
+
+        self._merge_outputs(
+            self._input_streams(task),
+            drop_tombstones,
+            boundaries,
+            lo=None,
+            hi=None,
+            make_writer=self._new_table_writer,
+            emit=emit,
+        )
 
         for meta in task.inputs[0]:
             edit.delete_file(task.level, meta.number)
@@ -172,11 +600,62 @@ class CompactionExecutor:
             edit.delete_file(task.target_level, meta.number)
         return edit
 
+    def run_range(
+        self,
+        task: CompactionTask,
+        rng: SubcompactionRange,
+        drop_tombstones: bool,
+    ) -> list[SubcompactionOutput]:
+        """Execute one key-range partition; outputs stay as temp files.
+
+        The caller installs all partitions atomically (numbering + rename
+        in key order) once every range has finished.
+        """
+        if self._new_range_writer is None:
+            raise RuntimeError("executor lacks a new_range_writer collaborator")
+        outputs: list[SubcompactionOutput] = []
+
+        def make_writer():
+            return self._new_range_writer(rng.index, len(outputs))
+
+        def emit(temp_name, size, first_key, last_key) -> None:
+            outputs.append(
+                SubcompactionOutput(
+                    range_index=rng.index,
+                    seq=len(outputs),
+                    temp_name=temp_name,
+                    file_size=size,
+                    smallest=first_key,
+                    largest=last_key,
+                )
+            )
+
+        self._merge_outputs(
+            self._input_streams(task, rng.lo, rng.hi),
+            drop_tombstones,
+            boundaries=(),
+            lo=rng.lo,
+            hi=rng.hi,
+            make_writer=make_writer,
+            emit=emit,
+        )
+        if self._stats is not None:
+            self._stats.subcompactions += 1
+        return outputs
+
 
 __all__ = [
     "CompactionExecutor",
+    "CompactionPlan",
+    "CompactionStats",
     "CompactionTask",
+    "PipelinedTableFile",
+    "SubcompactionOutput",
+    "SubcompactionRange",
+    "compaction_boundaries",
+    "group_ranges",
     "is_bottommost",
     "level_score",
     "pick_compaction",
+    "plan_compaction",
 ]

@@ -30,8 +30,13 @@ from repro.lsm.batch import WriteBatch
 from repro.lsm.cache import LRUCache
 from repro.lsm.compaction import (
     CompactionExecutor,
+    CompactionPlan,
+    CompactionStats,
+    PipelinedTableFile,
+    group_ranges,
     is_bottommost,
     pick_compaction,
+    plan_compaction,
 )
 from repro.lsm.dbformat import (
     MAX_SEQUENCE,
@@ -46,15 +51,25 @@ from repro.lsm.iterator import MergingIterator, resolve_user_entries
 from repro.lsm.manifest import FileMetaData, VersionEdit, VersionSet
 from repro.lsm.memtable import MemTable
 from repro.lsm.options import Options, ReadOptions, WriteOptions
+from repro.lsm.pacing import CompactionPacer
 from repro.lsm.sstable import Table, TableBuilder
 from repro.lsm.wal import LogReader, LogWriter
 from repro.trace import runtime as _trace
 
 _FILE_RE = re.compile(r"^(\d{6})\.(log|sst)$")
 
+#: subcompaction outputs are written under temp names (never matching
+#: _FILE_RE, so obsolete-file sweeps ignore them) and renamed to their
+#: final file number only at atomic install time
+_SUB_TMP_SUFFIX = ".sst.tmp"
+
 
 def table_file_name(number: int) -> str:
     return f"{number:06d}.sst"
+
+
+def subcompaction_temp_name(compaction_seq: int, range_index: int, output_seq: int) -> str:
+    return f"sub-{compaction_seq:04d}-{range_index:03d}-{output_seq:03d}{_SUB_TMP_SUFFIX}"
 
 
 def log_file_name(number: int) -> str:
@@ -140,6 +155,11 @@ _SMALL_LEADER_BYTES = 128 << 10
 class DB:
     """An embedded LSM-tree key/value database."""
 
+    #: quiet polls a *running* compaction is granted at the stop trigger
+    #: before the parked write is admitted anyway (a hung compaction
+    #: must degrade to slow writes, not an unbounded park)
+    _STALL_MAX_STALE_POLLS = 256
+
     def __init__(self) -> None:
         raise TypeError("use DB.open()")
 
@@ -185,6 +205,24 @@ class DB:
         self._mem_seed = 1
         self._snapshots: list[Snapshot] = []
         self._compacting = False
+        self.compaction_stats = CompactionStats()
+        if metrics is not None:
+            metrics.register(f"lsm.compaction.{dbname}", self.compaction_stats)
+        self._compaction_seq = 0
+        # The stop-park progress guard also watches the I/O scheduler's
+        # COMPACTION-class counters (when the env exposes one): a long
+        # merge only bumps DB counters at install time, but its RPCs
+        # move the scheduler's continuously.
+        self._io_sched = getattr(
+            getattr(self._env, "client", None), "scheduler", None
+        )
+        self._pacer: Optional[CompactionPacer] = None
+        if self._options.compaction_pacing and self._options.enable_compaction:
+            self._pacer = CompactionPacer(
+                self._options,
+                stats=self.compaction_stats,
+                scheduler=self._io_sched,
+            )
 
         self._env.create_dir(dbname)
         # Exclusive advisory lock: two live DB handles on one directory
@@ -200,6 +238,13 @@ class DB:
             if self._options.error_if_exists:
                 raise InvalidArgumentError(f"database exists: {dbname}")
             self._versions.recover()
+            # Leftover subcompaction partials from a crashed run are
+            # never referenced by the manifest; drop them before replay.
+            # (A freshly created DB can't have any — skipping the scan
+            # there keeps the clean-open timing unchanged.)
+            for name in self._env.get_children(dbname):
+                if name.endswith(_SUB_TMP_SUFFIX):
+                    self._env.delete_file(self._env.join(dbname, name))
             self._replay_wals()
         else:
             if not self._options.create_if_missing:
@@ -298,6 +343,7 @@ class DB:
         write_options = write_options or _DEFAULT_WRITE_OPTIONS
         if len(batch) == 0:
             return
+        self._maybe_stall_write()
         writer = _Writer(batch, write_options)
         with self._queue_lock:
             queue = self._writer_queue
@@ -427,6 +473,172 @@ class DB:
             self._mem.add(sequence + offset, vtype, key, value)
 
     # ------------------------------------------------------------------
+    # Write stalls (slowdown/stop triggers + stall-aware pacing)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _stall_clock() -> float:
+        from repro.sim.locks import _current_sim_process
+
+        if _current_sim_process() is not None:
+            from repro import sim
+
+            return sim.now()
+        import time
+
+        return time.monotonic()
+
+    @staticmethod
+    def _stall_sleep(seconds: float) -> None:
+        from repro.sim.locks import _current_sim_process
+
+        if _current_sim_process() is not None:
+            from repro import sim
+
+            sim.sleep(seconds)
+        else:
+            import time
+
+            # Real-clock worlds cap the park so a stuck trigger degrades
+            # to polling rather than a long uninterruptible sleep.
+            time.sleep(min(seconds, 0.05))
+
+    def _pending_l0(self) -> int:
+        """L0 files plus frozen memtables awaiting flush.
+
+        Each frozen memtable becomes an L0 file the moment its FLUSH job
+        runs, so the stall triggers must count it already — otherwise a
+        long compaction ahead of the flush queue hides the backpressure
+        and the frozen queue grows without bound (RocksDB counts pending
+        flushes in its write-stall decision for the same reason).
+        """
+        return self._versions.current.num_files(0) + len(self._imm)
+
+    def _maybe_stall_write(self) -> None:
+        """Foreground admission control before a write enters the queue.
+
+        Runs before any lock is taken: parking here must never block the
+        background compaction that resolves the pressure (it needs
+        ``self._lock`` to install its result).  Three regimes, mirroring
+        RocksDB: the pacer's smooth quadratic delay below the triggers,
+        a ramping delay in the slowdown band, and a bounded park at the
+        stop trigger.
+        """
+        options = self._options
+        if not options.enable_compaction or self._closed:
+            return
+        l0 = self._pending_l0()
+        slowdown = options.level0_slowdown_writes_trigger
+        stop = options.level0_stop_writes_trigger
+        pacer = self._pacer
+        if pacer is not None:
+            # Re-derive pressure on every admission, not just at version
+            # installs: backlog accumulates *during* a long merge (frozen
+            # memtables pile up behind it), and a controller that only
+            # samples at install boundaries oscillates into the slowdown
+            # band once per compaction cycle.  observe() is a pure
+            # function of the version shape, so this stays deterministic.
+            pacer.observe(self._versions.current, len(self._imm))
+        delay = pacer.write_delay() if pacer is not None else 0.0
+        if l0 < slowdown and delay <= 0.0:
+            return
+        stats = self.compaction_stats
+        tracer = _trace.TRACER
+        if l0 >= stop:
+            stats.stop_writes += 1
+            span = (
+                tracer.span("lsm", "write_stop", l0=l0)
+                if tracer is not None
+                else None
+            )
+            start = self._stall_clock()
+            try:
+                self._wait_for_compaction_progress(stop)
+            finally:
+                stats.stall_time += self._stall_clock() - start
+                if span is not None:
+                    span.finish()
+            l0 = self._pending_l0()
+            if pacer is not None:
+                pacer.observe(self._versions.current, len(self._imm))
+            delay = pacer.write_delay() if pacer is not None else 0.0
+        in_band = l0 >= slowdown
+        if in_band:
+            # Hard slowdown band: ramp from the configured delay toward
+            # the stop trigger regardless of the pacer's smooth curve.
+            ramp = (l0 - slowdown + 1) / max(1, stop - slowdown)
+            delay = max(delay, options.slowdown_delay * min(1.0, ramp))
+        if delay > 0.0:
+            # Below the band the delay is the pacer's deliberate smooth
+            # spreading, not a stall — traced under its own name so
+            # stall-window accounting only counts involuntary waits.
+            if in_band:
+                stats.slowdown_writes += 1
+            span = (
+                tracer.span(
+                    "lsm",
+                    "write_slowdown" if in_band else "pacer_delay",
+                    l0=l0,
+                )
+                if tracer is not None
+                else None
+            )
+            try:
+                self._stall_sleep(delay)
+            finally:
+                if span is not None:
+                    span.finish()
+            if in_band:
+                stats.stall_time += delay
+            if pacer is not None:
+                stats.pacer_delay_time += delay
+
+    def _wait_for_compaction_progress(self, stop: int) -> None:
+        """Park until L0 drops below the stop trigger or progress ceases.
+
+        The progress guard prevents a deadlock when nothing can advance:
+        under a synchronous executor the compaction already ran inline
+        before this write, and a failed background job surfaces at the
+        next barrier — in both cases parking forever would hang, so the
+        write is admitted once polling observes no forward progress (a
+        running compaction is granted a bounded number of quiet polls).
+        DB counters only move at install time, so when the env exposes
+        an I/O scheduler its COMPACTION-class counters join the marker —
+        a long bandwidth-capped merge keeps the park alive as long as
+        its RPCs keep flowing.
+        """
+        poll = self._options.stall_poll_interval
+        sched = getattr(self._io_sched, "stats", None)
+
+        def marker():
+            state = (
+                self.stats.compactions,
+                self.stats.memtable_flushes,
+                self._versions.current.num_files(0),
+            )
+            if sched is not None:
+                state += (
+                    sched.class_bytes["compaction"],
+                    sched.class_issued["compaction"],
+                )
+            return state
+
+        stale = 0
+        while True:
+            if self._pending_l0() < stop:
+                return
+            before = marker()
+            self._stall_sleep(poll)
+            if self._pending_l0() < stop:
+                return
+            if marker() != before:
+                stale = 0
+                continue
+            stale += 1
+            if stale >= self._STALL_MAX_STALE_POLLS or not self._compacting:
+                return
+
+    # ------------------------------------------------------------------
     # Flush
     # ------------------------------------------------------------------
 
@@ -514,6 +726,8 @@ class DB:
                     if number in self._obsolete_wals:
                         self._obsolete_wals.remove(number)
                     self._delete_if_exists(log_file_name(number))
+                if self._pacer is not None:
+                    self._pacer.observe(self._versions.current, len(self._imm))
         finally:
             if span is not None:
                 span.finish()
@@ -574,11 +788,32 @@ class DB:
         with io_priority(Priority.COMPACTION):
             self._run_compaction_inner(task, drop_tombstones)
 
-    def _run_compaction_inner(self, task, drop_tombstones: bool) -> None:
+    @staticmethod
+    def _sim_engine():
+        """The ambient sim engine, or None outside the simulation."""
+        try:
+            from repro import sim
+
+            return sim.current_engine()
+        except Exception:
+            return None
+
+    def _index_user_keys(self, meta: FileMetaData) -> Optional[list]:
+        """Index-block separator keys for the planner (None on failure)."""
+        try:
+            return self._table(meta.number).index_user_keys()
+        except Exception:
+            return None  # planner falls back to file-boundary candidates
+
+    def _make_compaction_executor(self, compaction_seq: int = 0) -> CompactionExecutor:
         def open_table_iter(meta: FileMetaData):
             return iter(self._table(meta.number))
 
+        def open_table_seek(meta: FileMetaData, lo_ikey: bytes):
+            return self._table(meta.number).seek(lo_ikey)
+
         def new_table_writer():
+            # Serial path: the output takes its final number immediately.
             with self._lock:
                 number = self._versions.new_file_number()
             path = self._env.join(self._dbname, table_file_name(number))
@@ -593,9 +828,51 @@ class DB:
 
             return number, builder, finalize
 
-        executor = CompactionExecutor(
-            self._options, open_table_iter, new_table_writer
+        def new_range_writer(range_index: int, output_seq: int):
+            # Partitioned path: write under a temp name (numbered and
+            # renamed in key order at install — execution order must not
+            # influence file numbering) behind the CPU/I-O pipeline.
+            temp = subcompaction_temp_name(
+                compaction_seq, range_index, output_seq
+            )
+            path = self._env.join(self._dbname, temp)
+            dest = PipelinedTableFile(
+                self._env.new_writable_file(path),
+                engine=self._sim_engine(),
+                limit=self._options.compaction_pipeline_bytes,
+                cpu_charge=self._options.cpu_charge,
+                stats=self.compaction_stats,
+            )
+            builder = TableBuilder(self._options, dest)
+
+            def finalize(b: TableBuilder) -> int:
+                size = b.finish()
+                dest.sync()
+                dest.close()
+                return size
+
+            return temp, builder, finalize
+
+        return CompactionExecutor(
+            self._options,
+            open_table_iter,
+            new_table_writer,
+            open_table_seek=open_table_seek,
+            new_range_writer=new_range_writer,
+            stats=self.compaction_stats,
         )
+
+    def _run_compaction_inner(self, task, drop_tombstones: bool) -> None:
+        plan = plan_compaction(
+            self._versions.current,
+            task,
+            self._options,
+            drop_tombstones,
+            index_user_keys=self._index_user_keys,
+        )
+        cstats = self.compaction_stats
+        cstats.planned_boundaries += len(plan.boundaries)
+        cstats.grandparent_seals += plan.grandparent_seals
         tracer = _trace.TRACER
         span = None
         if tracer is not None:
@@ -604,15 +881,102 @@ class DB:
                 nbytes=task.total_bytes(),
             )
         try:
-            edit = executor.run(task, drop_tombstones)
-            with self._lock:
-                self._versions.log_and_apply(edit)
-                self.stats.compactions += 1
-                self.stats.compacted_bytes += task.total_bytes()
-                self._remove_obsolete_files()
+            if plan.boundaries:
+                self._run_partitioned(plan, span)
+            else:
+                executor = self._make_compaction_executor()
+                edit = executor.run(task, drop_tombstones)
+                with self._lock:
+                    self._versions.log_and_apply(edit)
+                    self.stats.compactions += 1
+                    self.stats.compacted_bytes += task.total_bytes()
+                    self._remove_obsolete_files()
+                    if self._pacer is not None:
+                        self._pacer.observe(self._versions.current, len(self._imm))
         finally:
             if span is not None:
                 span.finish()
+
+    def _run_partitioned(self, plan: CompactionPlan, span) -> None:
+        """Execute a planned compaction as parallel key-range partitions.
+
+        Ranges are grouped contiguously onto ``fanout`` jobs, each run
+        via the executor's ``run_jobs`` fan-out (concurrent sim
+        processes under :class:`~repro.sim.executor.SimExecutor`,
+        sequential elsewhere).  Outputs land as temp files; install then
+        assigns file numbers in (range, output) key order, renames, and
+        applies one merged :class:`VersionEdit` — making the result
+        byte-identical to the serial merge for every fan-out.
+        """
+        task = plan.task
+        self._compaction_seq += 1
+        executor = self._make_compaction_executor(self._compaction_seq)
+        ranges = plan.ranges
+        fanout = self._options.max_subcompactions
+        if self._pacer is not None:
+            # Re-derive pressure from the version as of *now*: the last
+            # observation happened at the previous install, and pressure
+            # is typically low right after one — while a compaction only
+            # starts because pressure built back up since.
+            self._pacer.observe(self._versions.current, len(self._imm))
+            fanout = max(1, min(fanout, self._pacer.fanout))
+        if span is not None:
+            span.set(ranges=len(ranges), fanout=fanout)
+        outputs_by_range: dict[int, list] = {}
+
+        def make_job(group):
+            def job() -> None:
+                for rng in group:
+                    outputs_by_range[rng.index] = executor.run_range(
+                        task, rng, plan.drop_tombstones
+                    )
+
+            return job
+
+        self._executor.run_jobs(
+            [make_job(group) for group in group_ranges(ranges, fanout)],
+            priority=Priority.COMPACTION,
+        )
+
+        with self._lock:
+            range_edits = []
+            output_bytes = 0
+            for index in sorted(outputs_by_range):
+                edit = VersionEdit()
+                for out in outputs_by_range[index]:
+                    number = self._versions.new_file_number()
+                    self._env.rename_file(
+                        self._env.join(self._dbname, out.temp_name),
+                        self._env.join(self._dbname, table_file_name(number)),
+                    )
+                    edit.add_file(
+                        task.target_level,
+                        FileMetaData(
+                            number=number,
+                            file_size=out.file_size,
+                            smallest=out.smallest,
+                            largest=out.largest,
+                        ),
+                    )
+                    output_bytes += out.file_size
+                range_edits.append(edit)
+            delete_edit = VersionEdit()
+            for meta in task.inputs[0]:
+                delete_edit.delete_file(task.level, meta.number)
+            for meta in task.inputs[1]:
+                delete_edit.delete_file(task.target_level, meta.number)
+            self._versions.log_and_apply(
+                VersionEdit.merged(range_edits + [delete_edit])
+            )
+            self.stats.compactions += 1
+            self.stats.compacted_bytes += task.total_bytes()
+            cstats = self.compaction_stats
+            cstats.parallel_compactions += 1
+            cstats.sub_input_bytes += task.total_bytes()
+            cstats.sub_output_bytes += output_bytes
+            self._remove_obsolete_files()
+            if self._pacer is not None:
+                self._pacer.observe(self._versions.current, len(self._imm))
 
     # ------------------------------------------------------------------
     # Reads

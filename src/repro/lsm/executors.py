@@ -57,6 +57,26 @@ class Executor:
     def close(self) -> None:
         raise NotImplementedError
 
+    def run_jobs(
+        self,
+        jobs: Iterable[Callable[[], None]],
+        priority: Priority = Priority.COMPACTION,
+    ) -> None:
+        """Run ``jobs`` to completion before returning (subcompaction fan-out).
+
+        Unlike :meth:`submit`, this is a *synchronous* fan-out used from
+        inside an already-running background job (a compaction running
+        its key-range partitions).  The base implementation is
+        sequential — correct on any executor because partition
+        boundaries, not concurrency, define the outputs.  Parallel
+        executors override this to overlap the jobs in simulated time.
+        Contract either way: when this returns, every job has completed,
+        or the first failure (by job index) has been raised.
+        """
+        for job in jobs:
+            with io_priority(priority):
+                job()
+
 
 class SyncExecutor(Executor):
     """Runs each job immediately on the calling thread."""

@@ -17,7 +17,7 @@ from __future__ import annotations
 import base64
 import json
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.errors import CorruptionError
 from repro.lsm.dbformat import internal_key_user_key
@@ -99,6 +99,46 @@ class VersionEdit:
                 {"level": lvl, "number": num} for lvl, num in self.deleted_files
             ]
         return json.dumps(obj, sort_keys=True)
+
+    @classmethod
+    def merged(cls, edits: Iterable["VersionEdit"]) -> "VersionEdit":
+        """Combine per-subcompaction edits into one atomic edit.
+
+        A partitioned compaction produces one edit per key-range
+        partition; applying them one at a time would expose intermediate
+        versions (and write intermediate manifest lines) that no serial
+        compaction ever creates.  Merging preserves new-file order —
+        partitions are emitted in key order, so the merged add-list
+        matches the serial merge's — de-duplicates deletes, and refuses
+        conflicting scalar fields.
+        """
+        out = cls()
+        seen_deletes: set[tuple[int, int]] = set()
+        for edit in edits:
+            for name in (
+                "comparator",
+                "log_number",
+                "next_file_number",
+                "last_sequence",
+            ):
+                value = getattr(edit, name)
+                if value is None:
+                    continue
+                current = getattr(out, name)
+                if current is None:
+                    setattr(out, name, value)
+                elif current != value:
+                    raise ValueError(
+                        f"conflicting {name} in merged edits: "
+                        f"{current!r} != {value!r}"
+                    )
+            for level, meta in edit.new_files:
+                out.add_file(level, meta)
+            for level, number in edit.deleted_files:
+                if (level, number) not in seen_deletes:
+                    seen_deletes.add((level, number))
+                    out.delete_file(level, number)
+        return out
 
     @classmethod
     def from_json(cls, line: str) -> "VersionEdit":

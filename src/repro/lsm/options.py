@@ -99,6 +99,31 @@ class Options:
     max_bytes_for_level_multiplier: int = 10
     target_file_size_base: int = 64 << 20
 
+    # --- subcompaction / stall control ---------------------------------
+    #: maximum key-range partitions one compaction may run concurrently
+    #: (RocksDB's ``max_subcompactions``); 1 = the serial merge.  The
+    #: partition *boundaries* are fan-out independent, so any value
+    #: produces byte-identical outputs — this only caps concurrency.
+    max_subcompactions: int = 1
+    #: seal a subcompaction output early once it overlaps more than this
+    #: many grandparent bytes (0 = 10 x ``target_file_size_base``, the
+    #: LevelDB ``ShouldStopBefore`` ratio) — bounds any future merge of
+    #: that output into the grandparent level.
+    max_grandparent_overlap_bytes: int = 0
+    #: buffered output bytes per subcompaction before the merge loop
+    #: blocks on the companion writer process (0 disables the CPU/I-O
+    #: pipeline: appends happen inline on the merge process).
+    compaction_pipeline_bytes: int = 1 << 20
+    #: smooth stall-aware pacing: ramp a foreground write delay and boost
+    #: the compaction rate limiter with L0/debt pressure instead of
+    #: slamming into the slowdown/stop triggers.
+    compaction_pacing: bool = False
+    #: foreground delay (seconds) applied per write at full slowdown
+    #: pressure; the pacer ramps quadratically up to this from zero.
+    slowdown_delay: float = 1e-3
+    #: recheck interval while parked at the stop trigger.
+    stall_poll_interval: float = 1e-3
+
     # Hook charged with (nbytes, kind) for modeled CPU cost when running
     # under the discrete-event simulation; None outside the sim.
     cpu_charge: Optional[Callable[[int, str], None]] = field(
@@ -123,6 +148,28 @@ class Options:
             raise InvalidArgumentError("block_restart_interval must be >= 1")
         if self.num_levels < 2:
             raise InvalidArgumentError("num_levels must be >= 2")
+        self.max_grandparent_overlap_bytes = parse_size(
+            self.max_grandparent_overlap_bytes
+        )
+        self.compaction_pipeline_bytes = parse_size(
+            self.compaction_pipeline_bytes
+        )
+        if self.max_subcompactions < 1:
+            raise InvalidArgumentError("max_subcompactions must be >= 1")
+        if not (
+            0
+            < self.level0_file_num_compaction_trigger
+            <= self.level0_slowdown_writes_trigger
+            <= self.level0_stop_writes_trigger
+        ):
+            raise InvalidArgumentError(
+                "level0 triggers must satisfy "
+                "0 < compaction <= slowdown <= stop"
+            )
+        if self.slowdown_delay < 0 or self.stall_poll_interval <= 0:
+            raise InvalidArgumentError(
+                "slowdown_delay must be >= 0 and stall_poll_interval > 0"
+            )
 
     def max_bytes_for_level(self, level: int) -> float:
         """Size budget for ``level`` (L1 = base, ×multiplier per level)."""

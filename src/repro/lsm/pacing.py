@@ -1,0 +1,132 @@
+"""Stall-aware compaction pacing (Luo & Carey's stability argument).
+
+LSM write stalls are a cliff, not a slope: foreground writes run at full
+speed until L0 hits ``level0_slowdown_writes_trigger``, then fall off a
+p99.9 cliff when the stop trigger parks them outright.  Luo & Carey ("On
+Performance Stability in LSM-based Storage Systems") show the fix is
+*pacing*: spread a small, smoothly-ramping delay across many writes and
+spend the reclaimed slack on faster compaction, so the system never
+reaches the triggers at all.
+
+:class:`CompactionPacer` is that controller.  After every flush or
+compaction installs a new version it re-derives a *pressure* in [0, 1]
+from two signals — L0 file count between the compaction and slowdown
+triggers, and pending compaction debt (bytes of merge work outstanding)
+— and applies three effects:
+
+- foreground writes are delayed by ``slowdown_delay * pressure**2``
+  (quadratic: negligible at low pressure, approaching the configured
+  slowdown delay as the cliff nears);
+- the scheduler's COMPACTION :class:`~repro.io.scheduler.RateLimiter`
+  rate is boosted from its base up to ``PACER_MAX_BOOST`` x linearly
+  with pressure (spend background bandwidth when, and only when, it
+  buys foreground stability);
+- the recommended subcompaction fan-out scales from 1 up to
+  ``max_subcompactions`` so parallel merge capacity follows debt.
+
+Everything is a pure function of the observed version shape, so paced
+runs stay deterministic under the simulated clock.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lsm.manifest import Version
+from repro.lsm.options import Options
+
+#: rate-limiter multiplier at full pressure (1.0 at zero pressure)
+PACER_MAX_BOOST = 4.0
+
+#: compaction debt that counts as "full pressure", in multiples of the
+#: write buffer (each flush adds roughly one buffer of L0 debt)
+PACER_DEBT_BUFFERS = 8
+
+
+class CompactionPacer:
+    """Derives stall pressure from a version and applies pacing effects."""
+
+    def __init__(
+        self,
+        options: Options,
+        stats=None,
+        scheduler=None,
+    ) -> None:
+        self._options = options
+        self._stats = stats
+        self._limiter = None
+        self._base_rate = 0.0
+        if scheduler is not None:
+            from repro.io import Priority
+
+            limiter = scheduler.class_limiter(Priority.COMPACTION)
+            if limiter is not None:
+                self._limiter = limiter
+                self._base_rate = limiter.rate
+        self.pressure = 0.0
+        self.fanout = 1
+
+    def observe(self, version: Version, pending_flushes: int = 0) -> None:
+        """Re-derive pressure from the just-installed version; apply it.
+
+        ``pending_flushes`` counts frozen memtables not yet flushed —
+        imminent L0 files, so they weigh on the L0 signal exactly like
+        installed ones (mirroring the write-stall accounting in
+        :meth:`~repro.lsm.db.DB._pending_l0`).
+        """
+        options = self._options
+        trigger = options.level0_file_num_compaction_trigger
+        slowdown = options.level0_slowdown_writes_trigger
+        span = max(1, slowdown - trigger)
+        p_l0 = (version.num_files(0) + pending_flushes - trigger) / span
+        debt = self.compaction_debt(version)
+        debt_scale = max(1, PACER_DEBT_BUFFERS * options.write_buffer_size)
+        p_debt = debt / debt_scale
+        pressure = max(0.0, min(1.0, max(p_l0, p_debt)))
+        adjusted = abs(pressure - self.pressure) > 1e-9
+        self.pressure = pressure
+
+        top = max(1, options.max_subcompactions)
+        self.fanout = 1 + round(pressure * (top - 1))
+
+        if self._limiter is not None:
+            rate = self._base_rate * (
+                1.0 + (PACER_MAX_BOOST - 1.0) * pressure
+            )
+            if rate != self._limiter.rate:
+                self._limiter.set_rate(rate)
+                adjusted = True
+
+        if self._stats is not None:
+            if adjusted:
+                self._stats.pacer_adjustments += 1
+            self._stats.pacer_rate = (
+                self._limiter.rate if self._limiter is not None else 0.0
+            )
+            self._stats.pacer_fanout = self.fanout
+
+    def compaction_debt(self, version: Version) -> int:
+        """Bytes of merge work outstanding in ``version``.
+
+        All of L0 once it passes the compaction trigger (every L0 file
+        must be merged down in one pass), plus however far each deeper
+        level sits over its byte budget.
+        """
+        options = self._options
+        debt = 0
+        if version.num_files(0) > options.level0_file_num_compaction_trigger:
+            debt += version.level_bytes(0)
+        for level in range(1, version.num_levels - 1):
+            over = version.level_bytes(level) - options.max_bytes_for_level(
+                level
+            )
+            if over > 0:
+                debt += int(over)
+        return debt
+
+    def write_delay(self) -> float:
+        """Per-write foreground delay (seconds) at the current pressure."""
+        return self._options.slowdown_delay * self.pressure * self.pressure
+
+
+__all__ = ["CompactionPacer", "PACER_MAX_BOOST", "PACER_DEBT_BUFFERS"]

@@ -353,6 +353,16 @@ class Table:
             handle, _ = BlockHandle.decode(handle_bytes, 0)
             yield from self._data_block(handle, read_options)
 
+    def index_user_keys(self) -> list[bytes]:
+        """User-key separators from the index block (last key per block).
+
+        The index block is resident from open, so this costs no I/O; the
+        compaction planner uses these as candidate subcompaction
+        boundaries — every candidate falls on a data-block edge, so a
+        range-restricted merge never splits a block between partitions.
+        """
+        return [internal_key_user_key(ikey) for ikey, _ in self._index]
+
     @property
     def properties(self) -> dict:
         """The JSON properties block (entry counts, sizes, codec info)."""

@@ -128,6 +128,50 @@ class SimExecutor(Executor):
         if first is not None:
             raise first
 
+    def run_jobs(
+        self,
+        jobs: Iterable[Callable[[], None]],
+        priority: Priority = Priority.COMPACTION,
+    ) -> None:
+        """Run ``jobs`` as *concurrent* sim processes; wait for them all.
+
+        Unlike :meth:`submit`, these do not join the serialized
+        background chain: the caller is typically itself a chained
+        background job (a compaction) fanning out its key-range
+        partitions and waiting here, so chaining them behind itself
+        would deadlock.  Failures: every job runs; the first error by
+        job index re-raises after all have finished.
+        """
+        jobs = list(jobs)
+        if len(jobs) == 1:
+            with io_priority(priority):
+                jobs[0]()
+            return
+        procs: list[sim.Process] = []
+        for index, job in enumerate(jobs):
+
+            def run(job: Callable[[], None] = job) -> None:
+                with io_priority(priority):
+                    job()
+
+            procs.append(
+                self._engine.spawn(
+                    run, name=f"{self._name}-sub{index}", daemon=True
+                )
+            )
+        first: Optional[BaseException] = None
+        for proc in procs:
+            if proc.alive:
+                try:
+                    sim.wait(proc.done)
+                except BaseException as exc:
+                    if exc is not proc.error:
+                        raise
+            if proc.error is not None and first is None:
+                first = proc.error
+        if first is not None:
+            raise first
+
     def close(self) -> None:
         if self._closed:
             return

@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.trace summarize  TRACE.json
     python -m repro.trace top-spans  TRACE.json [-n 15]
+    python -m repro.trace stalls     TRACE.json [--json]
     python -m repro.trace export     TRACE.json -o OUT.chrome.json
     python -m repro.trace validate   OUT.chrome.json
 
@@ -24,7 +25,12 @@ from repro.trace.export import (
     to_chrome_trace,
     validate_chrome_trace,
 )
-from repro.trace.summary import summarize, top_spans
+from repro.trace.summary import (
+    format_stalls,
+    stalls_report,
+    summarize,
+    top_spans,
+)
 
 
 def main(argv=None) -> int:
@@ -40,6 +46,16 @@ def main(argv=None) -> int:
     p_top = sub.add_parser("top-spans", help="longest spans")
     p_top.add_argument("trace")
     p_top.add_argument("-n", type=int, default=15, help="how many (15)")
+
+    p_stall = sub.add_parser(
+        "stalls",
+        help="write-stall windows (commit_stall/slowdown/stop spans)",
+    )
+    p_stall.add_argument("trace")
+    p_stall.add_argument(
+        "--json", action="store_true",
+        help="emit the report as JSON (for the stability benchmark/CI)",
+    )
 
     p_exp = sub.add_parser(
         "export", help="convert a raw dump to Chrome trace JSON"
@@ -75,6 +91,11 @@ def main(argv=None) -> int:
         print(summarize(payload))
     elif args.command == "top-spans":
         print(top_spans(payload, args.n))
+    elif args.command == "stalls":
+        if args.json:
+            print(json.dumps(stalls_report(payload), sort_keys=True))
+        else:
+            print(format_stalls(payload))
     elif args.command == "export":
         obj = to_chrome_trace(payload)
         validate_chrome_trace(obj)

@@ -98,6 +98,78 @@ def phase_breakdown(payload: dict) -> str:
     return "\n".join(lines)
 
 
+#: span names that count as a foreground write stall: group-commit
+#: followers parked behind a leader, pacer/slowdown delays, and writes
+#: parked outright at the L0 stop trigger
+STALL_SPAN_NAMES = frozenset(
+    {"commit_stall", "write_slowdown", "write_stop"}
+)
+
+
+def stall_windows(
+    payload: dict, names: frozenset[str] = STALL_SPAN_NAMES
+) -> list[tuple[float, float]]:
+    """Merged (start, end) intervals where any write was stalled.
+
+    Overlapping/adjacent stall spans (concurrent parked writers) merge
+    into one window, so the count reflects distinct stall *episodes* —
+    the stability metric Luo & Carey argue for — rather than the number
+    of affected writes.
+    """
+    intervals = sorted(
+        (span["ts"], span["ts"] + span["dur"])
+        for span in payload.get("spans", [])
+        if span["cat"] == "lsm" and span["name"] in names and span["dur"] > 0
+    )
+    windows: list[tuple[float, float]] = []
+    for start, end in intervals:
+        if windows and start <= windows[-1][1]:
+            windows[-1] = (windows[-1][0], max(windows[-1][1], end))
+        else:
+            windows.append((start, end))
+    return windows
+
+
+def stalls_report(payload: dict) -> dict:
+    """Stall-window statistics as a JSON-ready dict."""
+    windows = stall_windows(payload)
+    durations = [end - start for start, end in windows]
+    by_name: dict[str, dict] = {}
+    for span in payload.get("spans", []):
+        if span["cat"] == "lsm" and span["name"] in STALL_SPAN_NAMES:
+            entry = by_name.setdefault(
+                span["name"], {"count": 0, "total_duration": 0.0}
+            )
+            entry["count"] += 1
+            entry["total_duration"] += span["dur"]
+    return {
+        "windows": len(windows),
+        "total_duration": sum(durations),
+        "longest_window": max(durations, default=0.0),
+        "spans": {name: by_name[name] for name in sorted(by_name)},
+    }
+
+
+def format_stalls(payload: dict) -> str:
+    """Human-readable rendering of :func:`stalls_report`."""
+    report = stalls_report(payload)
+    lines = [
+        f"stall windows: {report['windows']}",
+        f"total stalled: {_fmt_seconds(report['total_duration']).strip()}",
+        f"longest window: {_fmt_seconds(report['longest_window']).strip()}",
+    ]
+    if report["spans"]:
+        lines.append("by span:")
+        for name, entry in report["spans"].items():
+            lines.append(
+                f"  {name:16s} {entry['count']:7d} spans  "
+                f"Σdur {_fmt_seconds(entry['total_duration'])}"
+            )
+    else:
+        lines.append("no stall spans recorded")
+    return "\n".join(lines)
+
+
 def top_spans(payload: dict, count: int = 15) -> str:
     """The ``count`` longest spans, one per line."""
     spans = sorted(

@@ -1,0 +1,150 @@
+"""pick_compaction edge cases: empty overlap, rotation, bottommost gaps."""
+
+from repro.lsm.compaction import (
+    CompactionExecutor,
+    CompactionTask,
+    is_bottommost,
+    pick_compaction,
+    plan_compaction,
+)
+from repro.lsm.dbformat import ValueType, encode_internal_key
+from repro.lsm.manifest import FileMetaData, Version
+from repro.lsm.options import Options
+
+
+def ikey(user_key: bytes, seq: int = 1) -> bytes:
+    return encode_internal_key(user_key, seq, ValueType.VALUE)
+
+
+def meta(number: int, lo: bytes, hi: bytes, size: int = 1 << 20) -> FileMetaData:
+    return FileMetaData(
+        number=number, file_size=size, smallest=ikey(lo), largest=ikey(hi)
+    )
+
+
+def test_below_trigger_picks_nothing():
+    version = Version(num_levels=7)
+    options = Options(level0_file_num_compaction_trigger=4)
+    for number in range(3):
+        version.files[0].append(meta(number, b"a", b"z"))
+    assert pick_compaction(version, options) is None
+
+
+def test_l0_pick_takes_every_run():
+    version = Version(num_levels=7)
+    options = Options(level0_file_num_compaction_trigger=2)
+    for number in range(3):
+        version.files[0].append(meta(number, b"a", b"m"))
+    version.files[1].append(meta(10, b"c", b"f"))
+    version.files[1].append(meta(11, b"x", b"z"))  # outside [a, m]
+    task = pick_compaction(version, options)
+    assert task is not None and task.level == 0
+    assert len(task.inputs[0]) == 3
+    assert [f.number for f in task.inputs[1]] == [10]
+
+
+def test_deep_pick_with_empty_next_level_overlap():
+    """An over-budget L1 whose key range touches nothing in L2: the task
+    is a pure move-style merge with ``inputs[1] == []``."""
+    version = Version(num_levels=7)
+    options = Options(level0_file_num_compaction_trigger=4)
+    big = 2 * options.max_bytes_for_level(1)
+    version.files[1].append(meta(20, b"a", b"c", size=big))
+    version.files[2].append(meta(30, b"p", b"z"))
+    task = pick_compaction(version, options)
+    assert task is not None and task.level == 1
+    assert [f.number for f in task.inputs[0]] == [20]
+    assert task.inputs[1] == []
+
+
+def test_deep_pick_rotates_by_min_file_number():
+    version = Version(num_levels=7)
+    options = Options(level0_file_num_compaction_trigger=4)
+    budget = options.max_bytes_for_level(1)
+    version.files[1].append(meta(42, b"a", b"c", size=budget))
+    version.files[1].append(meta(17, b"d", b"f", size=budget))
+    task = pick_compaction(version, options)
+    assert task is not None and task.level == 1
+    assert [f.number for f in task.inputs[0]] == [17]
+
+
+def test_bottommost_sees_past_empty_intermediate_levels():
+    """A file far below the target level still blocks tombstone drops,
+    even with every level in between empty."""
+    version = Version(num_levels=7)
+    task = CompactionTask(level=1, inputs=[[meta(1, b"d", b"g")], []])
+    assert is_bottommost(version, task)
+    version.files[5].append(meta(9, b"a", b"e"))  # overlaps via L3/L4 gap
+    assert not is_bottommost(version, task)
+    version.files[5][:] = [meta(9, b"x", b"z")]   # disjoint again
+    assert is_bottommost(version, task)
+
+
+def test_grandparent_overlap_rolls_small_outputs():
+    """With a tight grandparent cap the executor emits several outputs
+    even though each is far below the size target."""
+    # 40 entries x 44 bytes = 1760 input bytes: above the 1500-byte
+    # target (so planning engages) but no single sealed segment gets
+    # close to it — every roll below is the overlap cap's.
+    options = Options(
+        target_file_size_base=1500,
+        max_grandparent_overlap_bytes=100,
+    )
+    entries = [
+        (ikey(f"k{i:03d}".encode(), 50 + i), b"v" * 32) for i in range(40)
+    ]
+    inputs0 = [
+        FileMetaData(
+            number=1,
+            file_size=sum(len(k) + len(v) for k, v in entries),
+            smallest=entries[0][0],
+            largest=entries[-1][0],
+        )
+    ]
+    task = CompactionTask(level=1, inputs=[inputs0, []])
+    version = Version(num_levels=7)
+    version.files[1].extend(inputs0)
+    for number, (lo, hi) in enumerate(
+        [(b"k005", b"k012"), (b"k018", b"k024"), (b"k030", b"k036")],
+        start=60,
+    ):
+        version.files[3].append(meta(number, lo, hi, size=5_000))
+
+    plan = plan_compaction(
+        version, task, options, drop_tombstones=True,
+        index_user_keys=lambda m: [k[:-8] for k, _ in entries],
+    )
+    assert plan.grandparent_seals > 0
+
+    outputs = []
+
+    def new_writer():
+        builder = _Builder()
+        return len(outputs), builder, lambda b: b.file_size
+
+    executor = CompactionExecutor(
+        options,
+        open_table_iter=lambda m: iter(entries),
+        new_table_writer=new_writer,
+    )
+    edit = executor.run(task, True, boundaries=plan.boundaries)
+    assert len(edit.new_files) == len(plan.boundaries) + 1
+    assert all(
+        m.file_size < options.target_file_size_base
+        for _, m in edit.new_files
+    )
+
+
+class _Builder:
+    def __init__(self):
+        self.first_key = None
+        self.last_key = None
+        self.file_size = 0
+        self.num_entries = 0
+
+    def add(self, key: bytes, value: bytes) -> None:
+        if self.first_key is None:
+            self.first_key = key
+        self.last_key = key
+        self.num_entries += 1
+        self.file_size += len(key) + len(value)

@@ -61,6 +61,29 @@ BB_KEYS = {
 }
 
 
+#: Flat keys exported per DB under ``lsm.compaction.{name}`` — the
+#: subcompaction/pacing observability surface the stability bench and
+#: its CI gate read.
+COMPACTION_KEYS = {
+    "subcompactions",
+    "parallel_compactions",
+    "planned_boundaries",
+    "grandparent_seals",
+    "sub_input_bytes",
+    "sub_output_bytes",
+    "pipelined_chunks",
+    "pipelined_bytes",
+    "pipeline_stall_time",
+    "slowdown_writes",
+    "stop_writes",
+    "stall_time",
+    "pacer_adjustments",
+    "pacer_delay_time",
+    "pacer_rate",
+    "pacer_fanout",
+}
+
+
 def test_client_and_scheduler_snapshot_schema():
     trace.install()
     try:
@@ -135,6 +158,45 @@ def test_burst_buffer_snapshot_schema():
 
         tier.close()
         assert "bb.tier0" not in trace.current_metrics().namespaces()
+    finally:
+        trace.uninstall()
+
+
+def test_compaction_snapshot_schema():
+    """Each DB exports ``lsm.compaction.{name}`` with exactly the
+    COMPACTION_KEYS counters."""
+    from repro.lsm import DB, Options
+    from repro.lsm.env import MemEnv
+
+    trace.install()
+    try:
+        db = DB.open(
+            "schemadb",
+            options=Options(
+                write_buffer_size=4 << 10,
+                target_file_size_base=2 << 10,
+                level0_file_num_compaction_trigger=2,
+                enable_compaction=True,
+                max_subcompactions=2,
+            ),
+            env=MemEnv(),
+        )
+        try:
+            for i in range(96):
+                db.put(f"key{i:04d}".encode(), b"v" * 128)
+            db.compact_range()
+        finally:
+            db.close()
+
+        registry = trace.current_metrics()
+        assert "lsm.compaction.schemadb" in registry.namespaces()
+        snap = registry.snapshot(prefix="lsm.compaction.schemadb")
+        assert set(snap) == {
+            f"lsm.compaction.schemadb.{k}" for k in COMPACTION_KEYS
+        }
+        # the workload is large enough to take the partitioned path
+        assert snap["lsm.compaction.schemadb.subcompactions"] > 0
+        assert snap["lsm.compaction.schemadb.planned_boundaries"] > 0
     finally:
         trace.uninstall()
 

@@ -39,6 +39,67 @@ def test_export_then_validate(dump, tmp_path, capsys):
     assert "valid Chrome trace" in capsys.readouterr().out
 
 
+STALL_PAYLOAD = {
+    "format": "repro-trace",
+    "version": 1,
+    "meta": {},
+    "spans": [
+        # two overlapping slowdowns + one adjacent stop merge into ONE
+        # window; the late stop is a second, separate window
+        {"cat": "lsm", "name": "write_slowdown", "ts": 1.0, "dur": 0.5,
+         "track": "rank0", "depth": 0, "args": {"l0": 8}},
+        {"cat": "lsm", "name": "write_slowdown", "ts": 1.25, "dur": 0.75,
+         "track": "rank0", "depth": 0, "args": {"l0": 9}},
+        {"cat": "lsm", "name": "write_stop", "ts": 2.0, "dur": 0.5,
+         "track": "rank0", "depth": 0, "args": {"l0": 12}},
+        {"cat": "lsm", "name": "write_stop", "ts": 5.0, "dur": 1.0,
+         "track": "rank0", "depth": 0, "args": {"l0": 12}},
+        # not a stall span; must not count
+        {"cat": "lsm", "name": "commit", "ts": 2.0, "dur": 0.1,
+         "track": "rank0", "depth": 0, "args": {}},
+        # stall-named span in another category; must not count
+        {"cat": "pfs", "name": "write_stop", "ts": 9.0, "dur": 1.0,
+         "track": "rank0", "depth": 0, "args": {}},
+    ],
+    "instants": [],
+    "gauges": [],
+    "dropped": 0,
+    "metrics": {},
+}
+
+
+@pytest.fixture
+def stall_dump(tmp_path):
+    path = str(tmp_path / "stalls.trace.json")
+    write_payload(STALL_PAYLOAD, path)
+    return path
+
+
+def test_stalls_text(stall_dump, capsys):
+    assert main(["stalls", stall_dump]) == 0
+    out = capsys.readouterr().out
+    assert "stall windows: 2" in out
+    assert "write_slowdown" in out and "write_stop" in out
+
+
+def test_stalls_json(stall_dump, capsys):
+    assert main(["stalls", stall_dump, "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["windows"] == 2
+    assert abs(report["total_duration"] - (1.5 + 1.0)) < 1e-9
+    assert abs(report["longest_window"] - 1.5) < 1e-9
+    assert report["spans"]["write_slowdown"]["count"] == 2
+    assert report["spans"]["write_stop"]["count"] == 2
+    assert "commit" not in report["spans"]
+
+
+def test_stalls_on_stall_free_trace(dump, capsys):
+    assert main(["stalls", dump, "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["windows"] == 0
+    assert report["total_duration"] == 0.0
+
+
 def test_validate_rejects_broken_file(tmp_path, capsys):
     path = tmp_path / "broken.json"
     path.write_text(json.dumps({"traceEvents": [{"ph": "Z"}]}))
