@@ -42,9 +42,10 @@ from repro._version import __version__  # noqa: E402
 from repro.core import Checkpointer, LsmioManager, LsmioOptions  # noqa: E402
 from repro.pfs import LustreClient, LustreCluster, SimLustreEnv  # noqa: E402
 from repro.pfs.configs import small_test_cluster  # noqa: E402
+from repro.util.stats import quantile  # noqa: E402
 
 DEFAULT_JSON = os.path.join(
-    os.path.dirname(__file__), "..", "..", "BENCH_bb.json"
+    os.path.dirname(__file__), "BENCH_bb.json"
 )
 
 EPOCHS = 6
@@ -64,13 +65,13 @@ def _state(epoch: int, nbytes: int) -> dict:
 
 
 def _percentiles(samples: list[float]) -> dict:
+    # one repo-wide quantile definition (repro.util.stats)
     ordered = sorted(samples)
-
-    def pct(p: float) -> float:
-        idx = min(len(ordered) - 1, int(round(p * (len(ordered) - 1))))
-        return ordered[idx]
-
-    return {"p50": pct(0.50), "p99": pct(0.99), "max": ordered[-1]}
+    return {
+        "p50": quantile(ordered, 0.50),
+        "p99": quantile(ordered, 0.99),
+        "max": ordered[-1],
+    }
 
 
 def _run_epochs(burst_buffer, epochs, nbytes, think):
@@ -190,11 +191,13 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    from check_baselines import build_doc, check
+
     bursty = run_bursty()
     overflow = run_overflow()
-    doc = {
-        "schema": 1,
-        "config": {
+    doc = build_doc(
+        name="bb",
+        env={
             "epochs": EPOCHS,
             "state_bytes": STATE_BYTES,
             "think_time_s": THINK_TIME,
@@ -203,9 +206,26 @@ def main(argv=None) -> int:
             "cluster": "small_test_cluster",
             "version": __version__,
         },
-        "bursty": bursty,
-        "overflow": overflow,
-    }
+        metrics={
+            "tier_speedup": bursty["speedup"],
+            "direct_bandwidth_mib_s":
+                bursty["direct"]["effective_bandwidth_mib_s"],
+            "tiered_bandwidth_mib_s":
+                bursty["tiered"]["effective_bandwidth_mib_s"],
+            "direct_restore_ok": bursty["direct"]["restore_byte_identical"],
+            "tiered_restore_ok": bursty["tiered"]["restore_byte_identical"],
+            "overflow_restore_ok": overflow["restore_byte_identical"],
+            "overflow_backlog_p99_bytes": overflow["backlog_p99_bytes"],
+            "overflow_degraded_writes": overflow["degraded_writes"],
+        },
+        tolerances={
+            "tier_speedup": {"rule": "min", "value": 2.0},
+            "direct_restore_ok": {"rule": "truthy"},
+            "tiered_restore_ok": {"rule": "truthy"},
+            "overflow_restore_ok": {"rule": "truthy"},
+        },
+        detail={"bursty": bursty, "overflow": overflow},
+    )
 
     print("Effective checkpoint bandwidth (simulated), "
           f"{EPOCHS} epochs x {STATE_BYTES >> 20} MiB")
@@ -233,21 +253,7 @@ def main(argv=None) -> int:
         print(f"wrote {os.path.relpath(json_path)}")
 
     if args.check:
-        failures = []
-        if bursty["speedup"] < 2.0:
-            failures.append(
-                f"tier speedup {bursty['speedup']}x < 2x over direct-to-OST"
-            )
-        for label in ("direct", "tiered"):
-            if not bursty[label]["restore_byte_identical"]:
-                failures.append(f"bursty/{label} restore was not identical")
-        if not overflow["restore_byte_identical"]:
-            failures.append("overflow restore was not identical")
-        if failures:
-            for failure in failures:
-                print(f"FAIL: {failure}")
-            return 1
-        print("ok: tier >= 2x effective bandwidth, all restores intact")
+        return check(doc, label="bb")
     return 0
 
 

@@ -61,9 +61,10 @@ from repro.lsm.memtable import MemTable  # noqa: E402
 from repro.lsm.options import Options  # noqa: E402
 from repro.lsm.sstable import TableBuilder  # noqa: E402
 from repro.lsm.wal import LogWriter  # noqa: E402
+from repro.util.stats import quantile  # noqa: E402
 
 DEFAULT_JSON = os.path.join(
-    os.path.dirname(__file__), "..", "..", "BENCH_lsm_write.json"
+    os.path.dirname(__file__), "BENCH_lsm_write.json"
 )
 
 SEED = 20260806
@@ -83,13 +84,11 @@ def _mbps(nbytes: int, seconds: float) -> float:
 
 
 def _percentiles(samples_us: list[float]) -> dict:
+    # one repo-wide quantile definition (repro.util.stats)
     samples = sorted(samples_us)
 
     def pct(p: float) -> float:
-        if not samples:
-            return 0.0
-        idx = min(len(samples) - 1, int(round(p * (len(samples) - 1))))
-        return samples[idx]
+        return quantile(samples, p) if samples else 0.0
 
     return {
         "p50_us": round(pct(0.50), 1),
@@ -293,62 +292,64 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    json_path = args.out or DEFAULT_JSON
-    doc: dict = {}
-    if os.path.exists(json_path):
-        with open(json_path) as fh:
-            doc = json.load(fh)
+    from check_baselines import SCHEMA_VERSION, build_doc, check
+
+    # The regression reference is always the committed baseline (this
+    # file is wall-clock, so the committed numbers carry the machine
+    # they were measured on in env; the gate tolerance absorbs that).
+    baseline_doc = None
+    if os.path.exists(DEFAULT_JSON):
+        with open(DEFAULT_JSON) as fh:
+            candidate = json.load(fh)
+        if candidate.get("schema") == SCHEMA_VERSION:
+            baseline_doc = candidate
 
     current = run_all(n=args.n, repeats=args.repeats)
-    doc.setdefault("schema", 1)
-    doc["config"] = {
-        "n": args.n,
-        "repeats": args.repeats,
-        "value_size": VALUE_SIZE,
-        "seed": SEED,
-        "python": sys.version.split()[0],
-        "version": __version__,
-    }
-    if args.rebaseline or "baseline" not in doc:
-        doc["baseline"] = current
-    doc["current"] = current
-    doc["speedup_vs_baseline"] = {
-        name: round(
-            current[name]["mbps"] / doc["baseline"][name]["mbps"], 2
-        )
-        for name in current
-        if name in doc["baseline"] and doc["baseline"][name]["mbps"] > 0
-    }
+    doc = build_doc(
+        name="lsm_write",
+        env={
+            "n": args.n,
+            "repeats": args.repeats,
+            "value_size": VALUE_SIZE,
+            "seed": SEED,
+            "python": sys.version.split()[0],
+            "version": __version__,
+        },
+        metrics={
+            f"{name}_mbps": round(result["mbps"], 1)
+            for name, result in current.items()
+        },
+        tolerances={
+            f"{name}_mbps": {
+                "rule": "max_regression", "value": args.max_regression,
+            }
+            for name in current
+        },
+        detail={"scenarios": current},
+    )
+    if args.rebaseline or baseline_doc is None:
+        baseline_doc = doc
 
+    base_metrics = baseline_doc["metrics"]
     width = max(len(name) for name in current)
     print(f"{'scenario':<{width}}  {'baseline':>10}  {'current':>10}  {'x':>6}")
     for name, result in current.items():
-        base = doc["baseline"].get(name, {}).get("mbps", 0.0)
-        ratio = doc["speedup_vs_baseline"].get(name, float("nan"))
+        base = base_metrics.get(f"{name}_mbps", 0.0)
+        ratio = round(result["mbps"] / base, 2) if base > 0 else float("nan")
         print(
             f"{name:<{width}}  {base:>10.1f}  {result['mbps']:>10.1f}  {ratio:>6}"
         )
 
+    json_path = args.out or DEFAULT_JSON
     if args.out or args.rebaseline:
+        out_doc = baseline_doc if args.rebaseline else doc
         with open(json_path, "w") as fh:
-            json.dump(doc, fh, indent=1, sort_keys=True)
+            json.dump(out_doc, fh, indent=1, sort_keys=True)
             fh.write("\n")
         print(f"wrote {os.path.relpath(json_path)}")
 
     if args.check:
-        failures = []
-        for name, ratio in doc["speedup_vs_baseline"].items():
-            if ratio > 0 and 1.0 / ratio > args.max_regression:
-                failures.append(
-                    f"{name}: {1.0 / ratio:.1f}x slower than baseline"
-                )
-        if failures:
-            print("PERF REGRESSION:\n  " + "\n  ".join(failures))
-            return 1
-        print(
-            f"perf-smoke ok (no scenario > {args.max_regression:.0f}x "
-            "slower than baseline)"
-        )
+        return check(doc, baseline=baseline_doc, label="lsm_write")
     return 0
 
 

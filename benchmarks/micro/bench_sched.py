@@ -35,9 +35,10 @@ from repro._version import __version__  # noqa: E402
 from repro.io import Priority, io_priority  # noqa: E402
 from repro.pfs import LustreClient, LustreCluster  # noqa: E402
 from repro.pfs.configs import small_test_cluster  # noqa: E402
+from repro.util.stats import quantile  # noqa: E402
 
 DEFAULT_JSON = os.path.join(
-    os.path.dirname(__file__), "..", "..", "BENCH_sched.json"
+    os.path.dirname(__file__), "BENCH_sched.json"
 )
 
 POLICIES = ("fifo", "strict", "drr")
@@ -48,11 +49,10 @@ FOREGROUND_THINK = 0.01  # seconds of simulated compute between appends
 
 
 def _percentiles(samples_ms: list[float]) -> dict:
+    # one repo-wide quantile definition (repro.util.stats): linear
+    # interpolation over the sorted samples, not nearest-rank
     ordered = sorted(samples_ms)
-
-    def pct(p: float) -> float:
-        idx = min(len(ordered) - 1, int(round(p * (len(ordered) - 1))))
-        return ordered[idx]
+    pct = lambda p: quantile(ordered, p)  # noqa: E731
 
     return {
         "p50_ms": round(pct(0.50), 3),
@@ -125,10 +125,17 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    from check_baselines import build_doc, check
+
     results = run_all(args.samples)
-    doc = {
-        "schema": 1,
-        "config": {
+    speedup = (
+        round(results["fifo"]["p99_ms"] / results["strict"]["p99_ms"], 2)
+        if results["strict"]["p99_ms"] > 0
+        else None
+    )
+    doc = build_doc(
+        name="sched",
+        env={
             "samples": args.samples,
             "compactors": COMPACTORS,
             "compaction_write": COMPACTION_WRITE,
@@ -136,13 +143,18 @@ def main(argv=None) -> int:
             "cluster": "small_test_cluster",
             "version": __version__,
         },
-        "policies": results,
-        "strict_vs_fifo_p99_speedup": round(
-            results["fifo"]["p99_ms"] / results["strict"]["p99_ms"], 2
-        )
-        if results["strict"]["p99_ms"] > 0
-        else None,
-    }
+        metrics={
+            "strict_vs_fifo_p99_speedup": speedup,
+            **{
+                f"{policy}_p99_ms": results[policy]["p99_ms"]
+                for policy in POLICIES
+            },
+        },
+        tolerances={
+            "strict_vs_fifo_p99_speedup": {"rule": "gt", "value": 1.0},
+        },
+        detail={"policies": results},
+    )
 
     header = f"{'policy':<8}  {'p50':>9}  {'p95':>9}  {'p99':>9}  {'max':>9}"
     print("Foreground write latency (ms, simulated) under "
@@ -153,7 +165,7 @@ def main(argv=None) -> int:
             f"{policy:<8}  {stats['p50_ms']:>9.3f}  {stats['p95_ms']:>9.3f}"
             f"  {stats['p99_ms']:>9.3f}  {stats['max_ms']:>9.3f}"
         )
-    print(f"strict vs fifo p99: {doc['strict_vs_fifo_p99_speedup']}x")
+    print(f"strict vs fifo p99: {speedup}x")
 
     json_path = args.out or DEFAULT_JSON
     if args.out:
@@ -163,14 +175,7 @@ def main(argv=None) -> int:
         print(f"wrote {os.path.relpath(json_path)}")
 
     if args.check:
-        if results["strict"]["p99_ms"] >= results["fifo"]["p99_ms"]:
-            print(
-                "FAIL: strict priority did not improve foreground p99 "
-                f"(strict {results['strict']['p99_ms']} ms >= "
-                f"fifo {results['fifo']['p99_ms']} ms)"
-            )
-            return 1
-        print("ok: strict priority improves foreground p99 over FIFO")
+        return check(doc, label="sched")
     return 0
 
 

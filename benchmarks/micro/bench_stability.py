@@ -44,6 +44,7 @@ from repro.pfs import LustreClient, LustreCluster, SimLustreEnv  # noqa: E402
 from repro.pfs.configs import small_test_cluster  # noqa: E402
 from repro.sim.executor import SimExecutor  # noqa: E402
 from repro.trace.summary import stalls_report  # noqa: E402
+from repro.util.stats import quantile  # noqa: E402
 
 DEFAULT_JSON = os.path.join(
     os.path.dirname(__file__), "BENCH_stability.json"
@@ -66,8 +67,8 @@ MODES = {
 
 
 def _pct(ordered: list[float], p: float) -> float:
-    idx = min(len(ordered) - 1, int(round(p * (len(ordered) - 1))))
-    return ordered[idx]
+    # one repo-wide quantile definition (repro.util.stats)
+    return quantile(ordered, p)
 
 
 def _latency_stats(samples_ms: list[float]) -> dict:
@@ -197,11 +198,30 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    from check_baselines import build_doc, check
+
     results = run_all(args.samples)
     serial, paced = results["serial"], results["paced"]
-    doc = {
-        "schema": 1,
-        "config": {
+    window_improvement = _ratio(
+        serial["stalls"]["windows"], paced["stalls"]["windows"]
+    )
+    duration_improvement = _ratio(
+        serial["stalls"]["total_duration_s"],
+        paced["stalls"]["total_duration_s"],
+    )
+    p999_improvement = _ratio(
+        serial["latency"]["p999_ms"], paced["latency"]["p999_ms"]
+    )
+    # the original gate is an OR (>= 2x fewer windows OR >= 2x less
+    # stalled time); rules are per-metric, so gate their max
+    stall_improvement_best = max(
+        improvement
+        for improvement in (window_improvement, duration_improvement, 0.0)
+        if improvement is not None
+    )
+    doc = build_doc(
+        name="stability",
+        env={
             "samples": args.samples,
             "keyspace": KEYSPACE,
             "value_size": VALUE_SIZE,
@@ -210,18 +230,24 @@ def main(argv=None) -> int:
             "cluster": "small_test_cluster",
             "version": __version__,
         },
-        "modes": results,
-        "stall_window_improvement": _ratio(
-            serial["stalls"]["windows"], paced["stalls"]["windows"]
-        ),
-        "stall_duration_improvement": _ratio(
-            serial["stalls"]["total_duration_s"],
-            paced["stalls"]["total_duration_s"],
-        ),
-        "p999_improvement": _ratio(
-            serial["latency"]["p999_ms"], paced["latency"]["p999_ms"]
-        ),
-    }
+        metrics={
+            "stall_window_improvement": window_improvement,
+            "stall_duration_improvement": duration_improvement,
+            "stall_improvement_best": stall_improvement_best,
+            "p999_improvement": p999_improvement,
+            "serial_stall_windows": serial["stalls"]["windows"],
+            "paced_parallel_compactions": paced["parallel_compactions"],
+            "paced_p999_ms": paced["latency"]["p999_ms"],
+            "serial_p999_ms": serial["latency"]["p999_ms"],
+        },
+        tolerances={
+            "stall_improvement_best": {"rule": "min", "value": 2.0},
+            "p999_improvement": {"rule": "gt", "value": 1.0},
+            "serial_stall_windows": {"rule": "gt", "value": 0},
+            "paced_parallel_compactions": {"rule": "gt", "value": 0},
+        },
+        detail={"modes": results},
+    )
 
     print(f"Sustained put latency over {args.samples} samples "
           f"(ms, simulated), COMPACTION class capped at "
@@ -237,9 +263,9 @@ def main(argv=None) -> int:
             f"  {st['windows']:>7d}  {st['total_duration_s']:>7.3f}s"
         )
     print(
-        f"paced vs serial: {doc['stall_window_improvement']}x fewer "
-        f"windows, {doc['stall_duration_improvement']}x less stalled "
-        f"time, {doc['p999_improvement']}x on p99.9"
+        f"paced vs serial: {window_improvement}x fewer "
+        f"windows, {duration_improvement}x less stalled "
+        f"time, {p999_improvement}x on p99.9"
     )
 
     json_path = args.out or DEFAULT_JSON
@@ -250,40 +276,7 @@ def main(argv=None) -> int:
         print(f"wrote {os.path.relpath(json_path)}")
 
     if args.check:
-        failures = []
-        windows_ok = (
-            doc["stall_window_improvement"] is None
-            or doc["stall_window_improvement"] >= 2.0
-        )
-        duration_ok = (
-            doc["stall_duration_improvement"] is None
-            or doc["stall_duration_improvement"] >= 2.0
-        )
-        if not (windows_ok or duration_ok):
-            failures.append(
-                "stall windows not >=2x fewer/shorter "
-                f"(windows {doc['stall_window_improvement']}x, "
-                f"duration {doc['stall_duration_improvement']}x)"
-            )
-        if paced["latency"]["p999_ms"] >= serial["latency"]["p999_ms"]:
-            failures.append(
-                "p99.9 did not improve "
-                f"(paced {paced['latency']['p999_ms']} ms >= "
-                f"serial {serial['latency']['p999_ms']} ms)"
-            )
-        if serial["stalls"]["windows"] == 0:
-            failures.append(
-                "serial baseline produced no stall windows — the "
-                "workload no longer manufactures pressure"
-            )
-        if paced["parallel_compactions"] == 0:
-            failures.append("paced mode never took the partitioned path")
-        if failures:
-            for failure in failures:
-                print(f"FAIL: {failure}")
-            return 1
-        print("ok: pacing+parallelism cuts stall windows >=2x and "
-              "improves p99.9")
+        return check(doc, label="stability")
     return 0
 
 

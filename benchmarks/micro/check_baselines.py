@@ -1,0 +1,184 @@
+"""The one comparator for every committed ``BENCH_*.json`` baseline.
+
+Before this existed each microbenchmark carried its own schema (and its
+own pass/fail arithmetic inline in ``main``), so "the gate" meant four
+slightly different things.  Every baseline now shares one shape::
+
+    {
+      "schema": 2,
+      "name": "sched",            # which microbenchmark produced it
+      "env": {...},               # knobs + versions, informational
+      "metrics": {...},           # flat scalar KPIs, the gated surface
+      "tolerances": {             # metric -> rule, evaluated here
+        "strict_vs_fifo_p99_speedup": {"rule": "gt", "value": 1.0}
+      },
+      "detail": {...}             # the bench's full nested payload
+    }
+
+Rules
+-----
+- ``min`` / ``max`` / ``gt``: compare the metric against ``value``.
+- ``truthy``: the metric must be truthy (restore-intact style gates).
+- ``max_regression``: higher-is-better metric; fail when
+  ``baseline_value / current_value > value``.  Needs a baseline doc
+  (the committed file) next to the current run — self-validation of a
+  single file reports such rules as skipped, never silently drops them.
+
+Every benchmark's ``--check`` path routes through :func:`evaluate`, and
+CI validates the committed files directly::
+
+    python benchmarks/micro/check_baselines.py benchmarks/micro/BENCH_*.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 2
+REQUIRED_KEYS = ("schema", "name", "env", "metrics", "tolerances")
+
+#: rules that compare the current metric against the committed baseline
+#: value (rather than an absolute threshold)
+BASELINE_RULES = ("max_regression",)
+
+
+def build_doc(
+    name: str, env: dict, metrics: dict, tolerances: dict, detail=None
+) -> dict:
+    """Assemble a schema-2 baseline document."""
+    doc = {
+        "schema": SCHEMA_VERSION,
+        "name": name,
+        "env": env,
+        "metrics": metrics,
+        "tolerances": tolerances,
+    }
+    if detail is not None:
+        doc["detail"] = detail
+    return doc
+
+
+def validate_doc(doc: dict) -> list:
+    """Structural problems with one baseline document."""
+    problems = []
+    for key in REQUIRED_KEYS:
+        if key not in doc:
+            problems.append(f"missing key {key!r}")
+    if problems:
+        return problems
+    if doc["schema"] != SCHEMA_VERSION:
+        problems.append(
+            f"schema {doc['schema']!r} != {SCHEMA_VERSION} "
+            f"(regenerate with the bench's --out)"
+        )
+    for key, value in doc["metrics"].items():
+        # None is legal for un-gated ratios whose denominator was zero;
+        # evaluate() still fails if a *gated* metric is None
+        if value is not None and not isinstance(value, (int, float, bool)):
+            problems.append(f"metrics.{key} is not scalar: {value!r}")
+    for key, rule in doc["tolerances"].items():
+        if key not in doc["metrics"]:
+            problems.append(f"tolerances.{key} has no matching metric")
+        if not isinstance(rule, dict) or "rule" not in rule:
+            problems.append(f"tolerances.{key} is not a rule dict")
+        elif rule["rule"] not in (
+            "min", "max", "gt", "truthy", *BASELINE_RULES
+        ):
+            problems.append(
+                f"tolerances.{key}: unknown rule {rule['rule']!r}"
+            )
+    return problems
+
+
+def evaluate(doc: dict, baseline: dict = None) -> tuple:
+    """Apply a doc's tolerance rules to its own metrics.
+
+    Returns ``(failures, skipped)``: human-readable failure strings,
+    plus the names of baseline-relative rules that could not run
+    because no ``baseline`` doc was supplied.
+    """
+    failures = list(validate_doc(doc))
+    if failures:
+        return failures, []
+    skipped = []
+    metrics = doc["metrics"]
+    for key, rule in doc["tolerances"].items():
+        kind = rule["rule"]
+        current = metrics.get(key)
+        if current is None:
+            # metric can be None when a ratio's denominator was zero
+            failures.append(f"{key}: metric is null, cannot gate")
+            continue
+        if kind == "min" and current < rule["value"]:
+            failures.append(f"{key}: {current} < required min {rule['value']}")
+        elif kind == "gt" and current <= rule["value"]:
+            failures.append(f"{key}: {current} <= required {rule['value']}")
+        elif kind == "max" and current > rule["value"]:
+            failures.append(f"{key}: {current} > allowed max {rule['value']}")
+        elif kind == "truthy" and not current:
+            failures.append(f"{key}: expected truthy, got {current!r}")
+        elif kind in BASELINE_RULES:
+            if baseline is None:
+                skipped.append(key)
+                continue
+            reference = baseline.get("metrics", {}).get(key)
+            if reference is None:
+                failures.append(f"{key}: baseline has no such metric")
+            elif current <= 0:
+                failures.append(f"{key}: current value {current} <= 0")
+            elif reference / current > rule["value"]:
+                failures.append(
+                    f"{key}: {current} is {reference / current:.1f}x below "
+                    f"baseline {reference} (allowed {rule['value']}x)"
+                )
+    return failures, skipped
+
+
+def check(doc: dict, baseline: dict = None, label: str = "") -> int:
+    """Print-and-return-rc wrapper used by every bench's ``--check``."""
+    failures, skipped = evaluate(doc, baseline)
+    prefix = f"{label}: " if label else ""
+    for failure in failures:
+        print(f"FAIL: {prefix}{failure}")
+    if failures:
+        return 1
+    gates = len(doc.get("tolerances", {})) - len(skipped)
+    note = f" ({len(skipped)} baseline-relative skipped)" if skipped else ""
+    print(f"ok: {prefix}{gates} gates satisfied{note}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Validate committed BENCH_*.json baselines (schema 2).",
+    )
+    parser.add_argument("files", nargs="+", help="baseline JSON files")
+    parser.add_argument(
+        "--against", metavar="JSON", default=None,
+        help="treat FILES as current runs and apply baseline-relative "
+             "rules against this committed doc",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.against:
+        with open(args.against) as fh:
+            baseline = json.load(fh)
+
+    rc = 0
+    for path in args.files:
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"FAIL: {path}: unreadable ({exc})")
+            rc = 1
+            continue
+        rc |= check(doc, baseline, label=path)
+    return rc
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

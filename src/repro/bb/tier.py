@@ -238,6 +238,16 @@ class BurstBufferTier:
         metrics = _trace.METRICS
         if metrics is not None:
             metrics.register(f"bb.{name}", self.stats)
+        sampler = _trace.SAMPLER
+        if sampler is not None:
+            sampler.register(
+                f"bb.{name}.resident_bytes",
+                lambda s=self.stats: s.resident_bytes,
+            )
+            sampler.register(
+                f"bb.{name}.dirty_bytes",
+                lambda s=self.stats: s.dirty_bytes,
+            )
         self._recover()
         self._worker = self.engine.spawn(
             self._drain_worker, name=f"{name}.drain", daemon=True
@@ -394,7 +404,22 @@ class BurstBufferTier:
         return True
 
     def _absorb(self, path: str, chunk: bytes) -> bool:
-        """Append ``chunk`` on the device; False → degrade the writer."""
+        """Append ``chunk`` on the device; False → degrade the writer.
+
+        The absorb latency histogram covers the whole admission — room
+        making (evict + backpressure wait) included — because that wait
+        is exactly what the tier's effective-bandwidth claim hides.
+        """
+        tele = _trace.TELEMETRY
+        if tele is None:
+            return self._absorb_impl(path, chunk)
+        start = sim.now()
+        try:
+            return self._absorb_impl(path, chunk)
+        finally:
+            tele.observe("bb.absorb", sim.now() - start)
+
+    def _absorb_impl(self, path: str, chunk: bytes) -> bool:
         self._check_alive()
         self._advance(sim.now())
         if not self.device.up:
@@ -572,6 +597,9 @@ class BurstBufferTier:
             self.last_degraded_report = self._report
             return
         finally:
+            tele = _trace.TELEMETRY
+            if tele is not None:
+                tele.observe("bb.drain", sim.now() - start)
             if span is not None:
                 span.finish()
         if self._segments.get(path) is not seg:
@@ -679,6 +707,10 @@ class BurstBufferTier:
         metrics = _trace.METRICS
         if metrics is not None:
             metrics.unregister(f"bb.{self.name}")
+        sampler = _trace.SAMPLER
+        if sampler is not None:
+            sampler.unregister(f"bb.{self.name}.resident_bytes")
+            sampler.unregister(f"bb.{self.name}.dirty_bytes")
 
     # -- introspection -----------------------------------------------------
 

@@ -7,6 +7,7 @@ Usage::
     python -m repro.bench fig1            # the introduction's growth plot
     python -m repro.bench ablations       # §3.1.1 design-choice ablations
     python -m repro.bench fig6 --nodes 4 16 48 --quick --json out.json
+    python -m repro.bench report  # self-contained HTML perf dashboard
 """
 
 from __future__ import annotations
@@ -29,6 +30,15 @@ from repro.bench.figures import (
 
 
 def main(argv=None) -> int:
+    # `report` has its own flag set and is not a figure target — dispatch
+    # before the parser so `--telemetry` keeps its recording meaning here.
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "report":
+        from repro.bench.report import main as report_main
+
+        return report_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's tables/figures (simulated Viking).",
@@ -98,6 +108,16 @@ def main(argv=None) -> int:
              "(raw dump; export with `python -m repro.trace export`) and "
              "print the per-phase breakdown",
     )
+    parser.add_argument(
+        "--telemetry", metavar="PATH",
+        help="record always-on histograms + sampled gauge time-series to "
+             "PATH (render with `python -m repro.bench report`)",
+    )
+    parser.add_argument(
+        "--sample-interval", type=float, default=0.01, metavar="SECONDS",
+        help="sim-clock gauge sampling interval for --telemetry "
+             "(default 0.01)",
+    )
     args = parser.parse_args(argv)
 
     tracer = None
@@ -105,6 +125,14 @@ def main(argv=None) -> int:
         from repro import trace
 
         tracer = trace.install()
+
+    tele = None
+    if args.telemetry:
+        from repro import telemetry
+
+        tele = telemetry.install(
+            sampler=telemetry.GaugeSampler(interval=args.sample_interval)
+        )
 
     node_counts = tuple(args.nodes) if args.nodes else DEFAULT_NODE_COUNTS
     bytes_per_task = args.bytes_per_task or "8M"
@@ -210,6 +238,20 @@ def main(argv=None) -> int:
         breakdown = trace.phase_breakdown(dump)
         if breakdown:
             print(breakdown)
+
+    if tele is not None:
+        from repro import telemetry
+
+        tele_dump = tele.to_payload(
+            meta={"target": args.target, "nodes": list(node_counts)}
+        )
+        telemetry.uninstall()
+        with open(args.telemetry, "w") as fh:
+            json.dump(tele_dump, fh, indent=2, sort_keys=True)
+        print(f"telemetry written to {args.telemetry} "
+              f"({len(tele_dump['histograms'])} histograms, "
+              f"{len(tele_dump['series'])} gauge series); render with "
+              f"`python -m repro.bench report --telemetry {args.telemetry}`")
     return 0
 
 

@@ -212,7 +212,11 @@ class LsmioManager:
         finally:
             if span is not None:
                 span.finish()
-        self.counters.record("put", nbytes, ambient_clock() - start)
+        elapsed = ambient_clock() - start
+        self.counters.record("put", nbytes, elapsed)
+        tele = _trace.TELEMETRY
+        if tele is not None:
+            tele.observe("core.put", elapsed)
 
     def append(self, key: bytes | str, value: bytes | str, sync: Optional[bool] = None) -> None:
         """Append to the existing value, locally or remotely."""
@@ -322,7 +326,11 @@ class LsmioManager:
                 degraded=True,
                 failed=True,
             )
-            self.counters.record("barrier", elapsed=ambient_clock() - start)
+            elapsed = ambient_clock() - start
+            self.counters.record("barrier", elapsed=elapsed)
+            tele = _trace.TELEMETRY
+            if tele is not None:
+                tele.observe("core.barrier", elapsed)
             raise DegradedWriteError(report.summary(), report=report) from exc
         self._sync_group_commit_counters()
         report = self._barrier_report(before, completed=True)
@@ -334,7 +342,11 @@ class LsmioManager:
                 report.backoff_time,
                 degraded=True,
             )
-        self.counters.record("barrier", elapsed=ambient_clock() - start)
+        elapsed = ambient_clock() - start
+        self.counters.record("barrier", elapsed=elapsed)
+        tele = _trace.TELEMETRY
+        if tele is not None:
+            tele.observe("core.barrier", elapsed)
 
     def drain_barrier(self):
         """Wait for the burst-buffer drain backlog to reach the PFS.

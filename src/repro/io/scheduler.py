@@ -43,6 +43,17 @@ from repro.trace import runtime as _trace
 from repro.util.humanize import parse_size
 
 
+#: precomputed per-class histogram keys — the submit fast path must not
+#: build strings (telemetry.* namespace, one wait + one service series
+#: per priority class)
+_WAIT_KEYS = {
+    p.name.lower(): f"io.sched.wait.{p.name.lower()}" for p in Priority
+}
+_SERVICE_KEYS = {
+    p.name.lower(): f"io.sched.service.{p.name.lower()}" for p in Priority
+}
+
+
 def _owner_name() -> str:
     """The submitting sim process's name (empty outside a process)."""
     try:
@@ -469,12 +480,22 @@ class IoScheduler:
             if waited > 0.0:
                 stats.throttle_time += waited
                 stats.throttled_bytes += nbytes
+        tele = _trace.TELEMETRY
         if self._policy.inline:
             # FIFO fast path: no request object, no events — the exact
             # pre-scheduler call sequence (bit-identity contract).
             stats.inline_issues += 1
             stats.class_issued[cls] += 1
-            return run()
+            if tele is None:
+                return run()
+            tele.observe(_WAIT_KEYS[cls], 0.0)
+            start = _trace.ambient_clock()
+            try:
+                return run()
+            finally:
+                tele.observe(
+                    _SERVICE_KEYS[cls], _trace.ambient_clock() - start
+                )
         request = IoRequest(
             kind=kind,
             priority=priority,
@@ -486,6 +507,8 @@ class IoScheduler:
         )
         if self._active is None and not len(self._policy):
             self._active = request
+            if tele is not None:
+                tele.observe(_WAIT_KEYS[cls], 0.0)
         else:
             request._gate = sim.Event(
                 self._engine, name=f"{self.name}.grant{request.seq}"
@@ -508,11 +531,21 @@ class IoScheduler:
                 if span is not None:
                     span.finish()
             stats.queued_issues += 1
-            stats.class_stall_time[cls] += sim.now() - request.submit_time
+            waited_q = sim.now() - request.submit_time
+            stats.class_stall_time[cls] += waited_q
+            if tele is not None:
+                tele.observe(_WAIT_KEYS[cls], waited_q)
         stats.class_issued[cls] += 1
+        if tele is None:
+            try:
+                return run()
+            finally:
+                self._finish()
+        start = _trace.ambient_clock()
         try:
             return run()
         finally:
+            tele.observe(_SERVICE_KEYS[cls], _trace.ambient_clock() - start)
             self._finish()
 
     def _finish(self) -> None:

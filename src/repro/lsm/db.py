@@ -256,6 +256,23 @@ class DB:
             # empty; advance the manifest's log boundary past them.
             self._versions.log_and_apply(VersionEdit(log_number=self._wal_number))
             self._remove_obsolete_files()
+        sampler = _trace.SAMPLER
+        if sampler is not None:
+            sampler.register(
+                f"lsm.{dbname}.memtable_bytes",
+                lambda db=self: db._mem.approximate_memory_usage(),
+            )
+            sampler.register(
+                f"lsm.{dbname}.pending_l0",
+                lambda db=self: db._pending_l0(),
+            )
+            if self._pacer is not None:
+                sampler.register(
+                    f"lsm.{dbname}.compaction_debt",
+                    lambda db=self: db._pacer.compaction_debt(
+                        db._versions.current
+                    ),
+                )
         return self
 
     # ------------------------------------------------------------------
@@ -354,12 +371,18 @@ class DB:
             leads = queue[0] is writer
         if not leads:
             tracer = _trace.TRACER
+            tele = _trace.TELEMETRY
+            start = self._stall_clock() if tele is not None else 0.0
             stall = None
             if tracer is not None:
                 stall = tracer.span("lsm", "commit_stall", depth=depth)
             try:
                 writer.gate.wait()
             finally:
+                if tele is not None:
+                    tele.observe(
+                        "lsm.commit_stall", self._stall_clock() - start
+                    )
                 if stall is not None:
                     stall.finish()
             if writer.done:
@@ -420,14 +443,20 @@ class DB:
     def _commit_group(self, group: list[_Writer]) -> None:
         """One WAL append + one memtable apply for the whole group."""
         tracer = _trace.TRACER
-        if tracer is not None:
-            span = tracer.span("lsm", "commit", group=len(group))
-            try:
-                self._commit_group_inner(group, span)
-            finally:
-                span.finish()
-            return
-        self._commit_group_inner(group, None)
+        tele = _trace.TELEMETRY
+        start = _trace.ambient_clock() if tele is not None else 0.0
+        try:
+            if tracer is not None:
+                span = tracer.span("lsm", "commit", group=len(group))
+                try:
+                    self._commit_group_inner(group, span)
+                finally:
+                    span.finish()
+            else:
+                self._commit_group_inner(group, None)
+        finally:
+            if tele is not None:
+                tele.observe("lsm.commit", _trace.ambient_clock() - start)
 
     def _commit_group_inner(self, group: list[_Writer], span) -> None:
         leader = group[0]
@@ -555,7 +584,11 @@ class DB:
             try:
                 self._wait_for_compaction_progress(stop)
             finally:
-                stats.stall_time += self._stall_clock() - start
+                waited = self._stall_clock() - start
+                stats.stall_time += waited
+                tele = _trace.TELEMETRY
+                if tele is not None:
+                    tele.observe("lsm.stall", waited)
                 if span is not None:
                     span.finish()
             l0 = self._pending_l0()
@@ -592,6 +625,11 @@ class DB:
                 stats.stall_time += delay
             if pacer is not None:
                 stats.pacer_delay_time += delay
+            tele = _trace.TELEMETRY
+            if tele is not None:
+                tele.observe(
+                    "lsm.stall" if in_band else "lsm.pacer_delay", delay
+                )
 
     def _wait_for_compaction_progress(self, stop: int) -> None:
         """Park until L0 drops below the stop trigger or progress ceases.
@@ -694,6 +732,8 @@ class DB:
     ) -> None:
         """Write one frozen memtable as an L0 SSTable and install it."""
         tracer = _trace.TRACER
+        tele = _trace.TELEMETRY
+        start = _trace.ambient_clock() if tele is not None else 0.0
         span = None
         if tracer is not None:
             span = tracer.span("lsm", "memtable_flush", file=file_number)
@@ -729,6 +769,8 @@ class DB:
                 if self._pacer is not None:
                     self._pacer.observe(self._versions.current, len(self._imm))
         finally:
+            if tele is not None:
+                tele.observe("lsm.flush", _trace.ambient_clock() - start)
             if span is not None:
                 span.finish()
         if self._options.enable_compaction:
@@ -874,6 +916,8 @@ class DB:
         cstats.planned_boundaries += len(plan.boundaries)
         cstats.grandparent_seals += plan.grandparent_seals
         tracer = _trace.TRACER
+        tele = _trace.TELEMETRY
+        start = _trace.ambient_clock() if tele is not None else 0.0
         span = None
         if tracer is not None:
             span = tracer.span(
@@ -894,6 +938,10 @@ class DB:
                     if self._pacer is not None:
                         self._pacer.observe(self._versions.current, len(self._imm))
         finally:
+            if tele is not None:
+                tele.observe(
+                    "lsm.compaction", _trace.ambient_clock() - start
+                )
             if span is not None:
                 span.finish()
 
@@ -1243,6 +1291,10 @@ class DB:
             if table is not None:
                 table.close()
         self._table_cache.clear()
+        sampler = _trace.SAMPLER
+        if sampler is not None:
+            for gauge in ("memtable_bytes", "pending_l0", "compaction_debt"):
+                sampler.unregister(f"lsm.{self._dbname}.{gauge}")
 
     def __enter__(self) -> "DB":
         return self

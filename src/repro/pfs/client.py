@@ -109,6 +109,22 @@ class LustreClient:
         if metrics is not None:
             metrics.register(f"pfs.client{client_id}", self.stats)
             metrics.register(f"io.sched.client{client_id}", self.scheduler.stats)
+        sampler = _trace.SAMPLER
+        if sampler is not None:
+            sched = self.scheduler
+            sampler.register(
+                f"io.client{client_id}.queue_depth",
+                lambda s=sched: s.queue_depth,
+            )
+            sampler.register(
+                f"io.client{client_id}.compaction_tokens",
+                lambda s=sched: (
+                    lim._tokens
+                    if (lim := s.class_limiter(Priority.COMPACTION))
+                    is not None
+                    else 0.0
+                ),
+            )
 
     def set_io_policy(
         self,
@@ -321,6 +337,8 @@ class LustreClient:
 
     def _write_behind(self, rpc: Rpc) -> None:
         tracer = _trace.TRACER
+        tele = _trace.TELEMETRY
+        start = sim.now() if tele is not None else 0.0
         span = None
         if tracer is not None:
             span = tracer.span(
@@ -348,6 +366,8 @@ class LustreClient:
                 if span is not None:
                     span.set(failed=True)
         finally:
+            if tele is not None:
+                tele.observe("pfs.rpc.write", sim.now() - start)
             if span is not None:
                 span.finish()
 
@@ -423,6 +443,9 @@ class LustreClient:
         if self._backoff_jitter > 0.0:
             delay *= 1.0 + self._backoff_jitter * float(self._retry_rng.random())
         self.stats.backoff_time += delay
+        tele = _trace.TELEMETRY
+        if tele is not None:
+            tele.observe("pfs.rpc.backoff", delay)
         tracer = _trace.TRACER
         span = None
         if tracer is not None:
@@ -446,6 +469,8 @@ class LustreClient:
 
     def _fsync_impl(self) -> None:
         tracer = _trace.TRACER
+        tele = _trace.TELEMETRY
+        start = sim.now() if tele is not None else 0.0
         span = None
         if tracer is not None:
             span = tracer.span(
@@ -461,6 +486,8 @@ class LustreClient:
                 errors, self._write_errors = self._write_errors, []
                 raise errors[0]
         finally:
+            if tele is not None:
+                tele.observe("pfs.fsync", sim.now() - start)
             if span is not None:
                 span.finish()
 
@@ -502,6 +529,8 @@ class LustreClient:
 
     def _read_remote(self, rpc: Rpc) -> None:
         tracer = _trace.TRACER
+        tele = _trace.TELEMETRY
+        start = sim.now() if tele is not None else 0.0
         span = None
         if tracer is not None:
             span = tracer.span(
@@ -526,6 +555,8 @@ class LustreClient:
                 if span is not None:
                     span.set(failed=True)
         finally:
+            if tele is not None:
+                tele.observe("pfs.rpc.read", sim.now() - start)
             if span is not None:
                 span.finish()
 

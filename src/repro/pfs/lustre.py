@@ -188,6 +188,20 @@ class LustreCluster:
             for oss in self.osses:
                 metrics.register(f"pfs.oss{oss.index}", oss.stats)
             metrics.register("pfs.mds", self.mds.stats)
+        sampler = _trace.SAMPLER
+        if sampler is not None:
+            for ost in self.osts:
+                sampler.register(
+                    f"pfs.ost{ost.index}.queue_depth",
+                    lambda o=ost: o.queue_length,
+                )
+                # Cumulative seconds the array has been busy; the
+                # reporting layer differences consecutive points into a
+                # per-interval utilization fraction.
+                sampler.register(
+                    f"pfs.ost{ost.index}.busy_time",
+                    lambda o=ost: o.stats.busy_time,
+                )
         #: installed by repro.fault.FaultInjector.install(); None means
         #: every fault hook is a single is-None check (healthy fast path)
         self.fault_injector = None

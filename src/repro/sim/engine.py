@@ -21,9 +21,11 @@ from __future__ import annotations
 import heapq
 import itertools
 import threading
+from time import perf_counter_ns as _wall_ns
 from typing import Any, Callable, Optional
 
 from repro.errors import DeadlockError, SimulationError
+from repro.telemetry.profiler import site_name as _site_name
 from repro.trace import runtime as _trace
 
 
@@ -159,6 +161,7 @@ class Engine:
     def __init__(self) -> None:
         self._now = 0.0
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._heap_pushes = 0
         self._seq = itertools.count()
         self._engine_turnstile = threading.Event()
         self._running_process: Optional[Process] = None
@@ -175,6 +178,7 @@ class Engine:
     def _schedule(self, delay: float, action: Callable[[], None]) -> None:
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
+        self._heap_pushes += 1
         heapq.heappush(self._heap, (self._now + delay, next(self._seq), action))
 
     # -- processes ---------------------------------------------------------
@@ -243,6 +247,10 @@ class Engine:
         """
         if self._closed:
             raise SimulationError("engine is closed")
+        profiler = _trace.PROFILER
+        sampler = _trace.SAMPLER
+        if profiler is not None or sampler is not None:
+            return self._run_observed(until, profiler, sampler)
         while self._heap:
             time, _, action = self._heap[0]
             if until is not None and time > until:
@@ -251,6 +259,43 @@ class Engine:
             heapq.heappop(self._heap)
             self._now = time
             action()
+        return self._finish_run()
+
+    def _run_observed(self, until, profiler, sampler) -> float:
+        """The dispatch loop with profiling/sampling hooks.
+
+        ``run()`` branches here only when an instrument is installed;
+        the fast loop above is the unmodified original, so the disabled
+        path carries zero added per-event work.  Neither hook advances
+        the sim clock or consumes heap sequence numbers, so observed
+        runs stay bit-identical to unobserved ones.
+        """
+        if sampler is not None:
+            sampler.bind(self)
+        heap = self._heap
+        while heap:
+            when, _, action = heap[0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            heapq.heappop(heap)
+            self._now = when
+            if profiler is not None:
+                pushes = self._heap_pushes
+                start = _wall_ns()
+                action()
+                profiler.record(
+                    _site_name(action),
+                    self._heap_pushes - pushes,
+                    _wall_ns() - start,
+                )
+            else:
+                action()
+            if sampler is not None and self._now >= sampler.next_due:
+                sampler.sample(self._now)
+        return self._finish_run()
+
+    def _finish_run(self) -> float:
         blocked = [
             p.name for p in self._processes if p.alive and not p.daemon
         ]

@@ -1,0 +1,38 @@
+"""CLI: ``python -m repro.telemetry validate DUMP.json``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.telemetry import validate_payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Inspect repro-telemetry dumps.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    validate = sub.add_parser(
+        "validate", help="schema-check a telemetry dump"
+    )
+    validate.add_argument("path", help="telemetry JSON dump")
+    args = parser.parse_args(argv)
+
+    with open(args.path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    problems = validate_payload(doc)
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        return 1
+    n_hist = len(doc.get("histograms", {}))
+    n_series = len(doc.get("series", {}))
+    print(f"OK: {n_hist} histograms, {n_series} series")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,158 @@
+"""Log-bucketed latency histograms (HDR-style, fixed boundaries).
+
+A :class:`LogHistogram` buckets positive samples geometrically: the
+binary exponent from :func:`math.frexp` selects a power-of-two band and
+the mantissa selects one of :data:`SUB_BUCKETS` linear sub-buckets
+within it, bounding relative quantile error at ``1 / (2*SUB_BUCKETS)``
+(~6% at the default 8).  Bucket boundaries are a pure function of the
+index — no per-histogram state, no rescaling — so two histograms (or a
+snapshot taken at any moment) merge deterministically: merging is just
+adding counts for equal indices.
+
+Recording is allocation-light: one :func:`math.frexp`, two int ops, and
+a dict bucket increment — cheap enough to leave on for every commit,
+RPC, and scheduler admission in a run (the PR 3 tracer, by contrast,
+stores an object per event).  Recording reads no clock and no RNG, so
+an instrumented run is bit-identical to an uninstrumented one.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+#: linear sub-buckets per power-of-two band (relative error ~1/16)
+SUB_BUCKETS = 8
+
+#: the quantiles every snapshot extracts, keyed by their snapshot name
+QUANTILES = (("p50", 0.50), ("p90", 0.90), ("p99", 0.99), ("p999", 0.999))
+
+
+def bucket_index(value: float) -> int:
+    """The bucket holding ``value`` (> 0).  Pure function, total order."""
+    mantissa, exponent = math.frexp(value)  # value = m * 2**e, m in [0.5, 1)
+    sub = int((mantissa - 0.5) * (2 * SUB_BUCKETS))
+    if sub >= SUB_BUCKETS:  # mantissa rounding at the band edge
+        sub = SUB_BUCKETS - 1
+    return exponent * SUB_BUCKETS + sub
+
+
+def bucket_upper_bound(index: int) -> float:
+    """Exclusive upper edge of bucket ``index`` (its reported value)."""
+    exponent, sub = divmod(index, SUB_BUCKETS)
+    return math.ldexp(0.5 + (sub + 1) / (2 * SUB_BUCKETS), exponent)
+
+
+class LogHistogram:
+    """Sparse fixed-boundary histogram with deterministic merge."""
+
+    __slots__ = ("buckets", "zeros", "count", "sum", "min", "max")
+
+    def __init__(self) -> None:
+        self.buckets: dict[int, int] = {}
+        self.zeros = 0        #: samples <= 0 (zero-duration waits)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def record(self, value: float) -> None:
+        """Record one sample (seconds, bytes, anything non-negative)."""
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if value <= 0.0:
+            self.zeros += 1
+            return
+        index = bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    def merge(self, other: "LogHistogram") -> "LogHistogram":
+        """Fold ``other`` into this histogram (fixed boundaries: exact)."""
+        for index, n in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + n
+        self.zeros += other.zeros
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        return self
+
+    def quantile(self, q: float) -> float:
+        """Value at quantile ``q`` in [0, 1]: the covering bucket's upper
+        edge, clamped to the exact observed min/max."""
+        if self.count == 0:
+            return 0.0
+        if q <= 0.0:
+            return self.min or 0.0
+        rank = q * (self.count - 1)
+        seen = self.zeros
+        if rank < seen or not self.buckets:
+            return 0.0 if self.zeros else (self.min or 0.0)
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if rank < seen:
+                value = bucket_upper_bound(index)
+                if self.max is not None and value > self.max:
+                    value = self.max
+                if self.min is not None and value < self.min:
+                    value = self.min
+                return value
+        return self.max if self.max is not None else 0.0
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        """Flat stats dict (the MetricsRegistry / export form)."""
+        out = {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+        }
+        for name, q in QUANTILES:
+            out[name] = self.quantile(q)
+        return out
+
+    def to_dict(self) -> dict:
+        """Full serialized form (buckets keyed by stringified index)."""
+        out = self.snapshot()
+        out["zeros"] = self.zeros
+        out["buckets"] = {str(i): self.buckets[i] for i in sorted(self.buckets)}
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LogHistogram":
+        hist = cls()
+        hist.zeros = int(data.get("zeros", 0))
+        hist.count = int(data.get("count", 0))
+        hist.sum = float(data.get("sum", 0.0))
+        hist.min = data.get("min") if data.get("count") else None
+        hist.max = data.get("max") if data.get("count") else None
+        hist.buckets = {
+            int(i): int(n) for i, n in data.get("buckets", {}).items()
+        }
+        return hist
+
+    @classmethod
+    def of(cls, samples: Iterable[float]) -> "LogHistogram":
+        hist = cls()
+        for sample in samples:
+            hist.record(sample)
+        return hist
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return (
+            f"LogHistogram(count={self.count}, p50={self.quantile(0.5):.3g}, "
+            f"p99={self.quantile(0.99):.3g}, max={self.max})"
+        )

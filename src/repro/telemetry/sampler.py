@@ -1,0 +1,139 @@
+"""Sim-clock time-series sampling of registered gauges.
+
+The PR 3 tracer records gauges only at the instants instrumented code
+happens to emit them; distribution-over-time questions ("what does
+compaction debt look like as the run progresses?") need a *regular*
+grid.  :class:`GaugeSampler` holds named zero-argument callables (pure
+reads of live simulator state) and samples them all every ``interval``
+simulated seconds, keeping the last ``retention`` points per gauge in a
+ring buffer.
+
+Sampling is driven by the engine's dispatch loop — **not** by heap
+events.  A heap-scheduled sampler process would consume sequence
+numbers (perturbing event order vs. an unsampled run) and keep
+``Engine.run()`` from ever draining the heap.  Instead the engine
+checks ``now >= sampler.next_due`` after each dispatched action and
+calls :meth:`sample`; the sim clock never advances and no RNG is
+touched, so a sampled run stays bit-identical to an unsampled one.
+Samples land on the grid point *at or before* the triggering event —
+the grid is aligned (``next_due`` is always a multiple of ``interval``)
+so reruns sample at identical times.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable, Optional
+
+from repro.trace import runtime as _trace
+
+#: default sampling interval, simulated seconds
+DEFAULT_INTERVAL = 0.01
+
+#: default ring-buffer retention, points per gauge
+DEFAULT_RETENTION = 4096
+
+
+class GaugeSampler:
+    """Ring-buffered time series over registered gauge callables."""
+
+    def __init__(
+        self,
+        interval: float = DEFAULT_INTERVAL,
+        retention: int = DEFAULT_RETENTION,
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive: {interval}")
+        if retention <= 0:
+            raise ValueError(f"retention must be positive: {retention}")
+        self.interval = interval
+        self.retention = retention
+        self._gauges: dict[str, Callable[[], float]] = {}
+        self._series: dict[str, deque] = {}
+        self.samples_taken = 0
+        self.next_due = 0.0
+        self._engine = None
+
+    # -- registry ---------------------------------------------------------
+
+    def register(self, name: str, read: Callable[[], float]) -> None:
+        """Register gauge ``name`` backed by zero-arg callable ``read``.
+
+        ``read`` must be a pure observation — it runs on the engine loop
+        thread between events and must not block, schedule, or mutate
+        simulator state.  Re-registering a name replaces its reader but
+        keeps the accumulated series (a component reconstructed mid-run
+        continues its line).
+        """
+        self._gauges[name] = read
+        if name not in self._series:
+            self._series[name] = deque(maxlen=self.retention)
+
+    def unregister(self, name: str) -> None:
+        """Stop sampling ``name``; its recorded series is retained."""
+        self._gauges.pop(name, None)
+
+    def gauges(self) -> list[str]:
+        return sorted(self._gauges)
+
+    # -- sampling (called from the engine dispatch loop) -------------------
+
+    def bind(self, engine) -> None:
+        """Reset the grid for a new engine (each figure point builds a
+        fresh one, restarting the sim clock at zero).
+
+        Rebinding rolls the series window over to the new run: retained
+        points from the previous engine would interleave out of order
+        with the restarted clock, so they are dropped.  Histograms (and
+        ``samples_taken``) keep accumulating across the whole sweep;
+        the exported series describe the most recent engine run.
+        """
+        if engine is not self._engine:
+            if self._engine is not None:
+                for series in self._series.values():
+                    series.clear()
+            self._engine = engine
+            self.next_due = 0.0
+
+    def sample(self, now: float) -> None:
+        """Record one grid point; advances ``next_due`` past ``now``."""
+        # The grid point this sample represents: the last multiple of
+        # `interval` at or before `now` (events are sparse, so `now` may
+        # have jumped several grid points past `next_due`).
+        ts = math.floor(now / self.interval) * self.interval
+        tracer = _trace.TRACER
+        for name in sorted(self._gauges):
+            try:
+                value = self._gauges[name]()
+            except Exception:
+                continue  # a torn-down component mid-close; skip the point
+            self._series[name].append((ts, value))
+            if tracer is not None:
+                tracer.gauge("telemetry", name, value, ts=ts)
+        self.samples_taken += 1
+        self.next_due = ts + self.interval
+
+    # -- export -----------------------------------------------------------
+
+    def series(self, name: str) -> list:
+        """The retained (ts, value) points for ``name`` (oldest first)."""
+        return list(self._series.get(name, ()))
+
+    def to_dict(self) -> dict:
+        """Columnar form: per-gauge parallel ``ts``/``value`` arrays."""
+        out = {}
+        for name in sorted(self._series):
+            points = self._series[name]
+            out[name] = {
+                "ts": [p[0] for p in points],
+                "value": [p[1] for p in points],
+            }
+        return out
+
+    def clear(self) -> None:
+        for series in self._series.values():
+            series.clear()
+        self.samples_taken = 0
+        self.next_due = 0.0
+        self._engine = None

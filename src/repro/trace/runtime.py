@@ -24,6 +24,20 @@ TRACER = None
 #: the installed :class:`~repro.trace.metrics.MetricsRegistry`, or None
 METRICS = None
 
+#: the installed :class:`~repro.telemetry.Telemetry` (always-on
+#: histograms + gauge sources), or None — hot paths gate on the same
+#: one-global-read-plus-identity-check pattern as TRACER
+TELEMETRY = None
+
+#: the installed :class:`~repro.telemetry.sampler.GaugeSampler`, or None;
+#: read by the sim engine's dispatch loop (hoisted once per ``run()``)
+SAMPLER = None
+
+#: the installed :class:`~repro.telemetry.profiler.EngineProfiler`, or
+#: None; read by the sim engine's dispatch loop (hoisted once per
+#: ``run()``), so the disabled path adds zero per-event work
+PROFILER = None
+
 #: thread-local of the discrete-event engine (set by repro.sim.engine)
 _SIM_TLS = None
 

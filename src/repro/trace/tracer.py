@@ -183,8 +183,19 @@ class Tracer:
         else:
             self.dropped += 1
 
-    def gauge(self, category: str, name: str, value: float) -> None:
-        """Record one sample of a named gauge (e.g. a queue depth)."""
+    def gauge(
+        self,
+        category: str,
+        name: str,
+        value: float,
+        ts: Optional[float] = None,
+    ) -> None:
+        """Record one sample of a named gauge (e.g. a queue depth).
+
+        ``ts`` overrides the ambient clock — the gauge sampler runs on
+        the engine loop thread (not inside a sim process) and stamps the
+        simulated grid time explicitly.
+        """
         if not self.enabled:
             return
         if self._room():
@@ -192,7 +203,7 @@ class Tracer:
                 {
                     "cat": category,
                     "name": name,
-                    "ts": runtime.ambient_clock(),
+                    "ts": runtime.ambient_clock() if ts is None else ts,
                     "value": value,
                 }
             )

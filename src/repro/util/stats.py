@@ -3,14 +3,65 @@
 The paper runs each configuration 10 times and reports the *maximum*
 bandwidth (§4).  :class:`SummaryStats` keeps every sample so harnesses can
 report max (the paper's protocol) alongside mean/min/stddev for honesty.
+
+:func:`quantile` is **the** repo-wide sample-quantile definition —
+sorted-sample linear interpolation (numpy's default / type-7).  The
+microbenchmarks, :class:`SummaryStats`, and the baseline comparator all
+route through it; before it existed each harness carried its own
+nearest-rank variant and "p99" meant three slightly different numbers.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
 from repro.errors import InvalidArgumentError
+
+#: the quantiles every latency table reports, in key order
+STANDARD_QUANTILES: tuple[tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p90", 0.90),
+    ("p99", 0.99),
+    ("p999", 0.999),
+)
+
+
+def quantile(samples: Iterable[float], q: float) -> float:
+    """Linear-interpolated sample quantile, ``q`` in [0, 1].
+
+    Accepts any iterable (sorts a copy).  Raises
+    :class:`InvalidArgumentError` on an empty sequence or out-of-range
+    ``q`` — callers that want a 0.0 fallback must opt in explicitly.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise InvalidArgumentError(f"quantile out of range: {q}")
+    ordered = sorted(samples)
+    if not ordered:
+        raise InvalidArgumentError("no samples recorded")
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (len(ordered) - 1) * q
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return ordered[lo]
+    frac = pos - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def percentiles(
+    samples: Sequence[float],
+    quantiles: tuple[tuple[str, float], ...] = STANDARD_QUANTILES,
+) -> dict:
+    """``{name: quantile, ..., "max": ...}`` over one sorted pass."""
+    ordered = sorted(samples)
+    if not ordered:
+        return {name: 0.0 for name, _ in quantiles} | {"max": 0.0}
+    out = {name: quantile(ordered, q) for name, q in quantiles}
+    out["max"] = ordered[-1]
+    return out
 
 
 @dataclass
@@ -61,13 +112,4 @@ class SummaryStats:
         self._require_samples()
         if not 0.0 <= q <= 100.0:
             raise InvalidArgumentError(f"percentile out of range: {q}")
-        ordered = sorted(self.samples)
-        if len(ordered) == 1:
-            return ordered[0]
-        pos = (len(ordered) - 1) * (q / 100.0)
-        lo = math.floor(pos)
-        hi = math.ceil(pos)
-        if lo == hi:
-            return ordered[lo]
-        frac = pos - lo
-        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+        return quantile(self.samples, q / 100.0)

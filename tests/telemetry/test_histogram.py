@@ -1,0 +1,108 @@
+"""Unit tests for the log-bucketed latency histogram.
+
+The bucket layout is the telemetry contract: fixed deterministic
+boundaries (frexp exponent x 8 sub-buckets, relative error <= 1/16), so
+histograms recorded on different nodes/runs merge without resampling.
+"""
+
+import random
+
+import pytest
+
+from repro.telemetry.histogram import (
+    QUANTILES,
+    SUB_BUCKETS,
+    LogHistogram,
+    bucket_index,
+    bucket_upper_bound,
+)
+
+
+def test_bucket_index_is_monotonic():
+    values = [1e-9, 1e-6, 0.001, 0.5, 0.9999, 1.0, 1.5, 2.0, 1000.0, 1e9]
+    indexes = [bucket_index(v) for v in values]
+    assert indexes == sorted(indexes)
+
+
+def test_bucket_upper_bound_bounds_the_value():
+    rng = random.Random(7)
+    for _ in range(2000):
+        value = rng.uniform(1e-8, 1e8)
+        upper = bucket_upper_bound(bucket_index(value))
+        assert upper >= value
+        # relative bucket width: one part in 2*SUB_BUCKETS
+        assert upper <= value * (1 + 1.0 / SUB_BUCKETS)
+
+
+def test_record_tracks_count_sum_min_max():
+    hist = LogHistogram()
+    for value in (0.5, 1.5, 3.0):
+        hist.record(value)
+    assert len(hist) == 3
+    assert hist.count == 3
+    assert hist.sum == pytest.approx(5.0)
+    assert hist.min == 0.5
+    assert hist.max == 3.0
+    assert hist.mean == pytest.approx(5.0 / 3)
+
+
+def test_zero_and_negative_count_as_zeros():
+    hist = LogHistogram()
+    hist.record(0.0)
+    hist.record(-1.0)
+    hist.record(2.0)
+    assert hist.count == 3
+    assert hist.zeros == 2
+    assert hist.quantile(0.5) == 0.0  # rank 1 of [-1, 0, 2.0]
+    assert hist.quantile(1.0) == pytest.approx(2.0)
+
+
+def test_quantiles_within_bucket_error():
+    """p50/p90/p99 of uniform 1..1000 ms land within one bucket width."""
+    hist = LogHistogram()
+    for ms in range(1, 1001):
+        hist.record(ms / 1000.0)
+    for _, q in QUANTILES:
+        exact = q  # uniform: quantile q of (0, 1] is ~q
+        got = hist.quantile(q)
+        assert got == pytest.approx(exact, rel=1.0 / SUB_BUCKETS + 0.01)
+    # extremes clamp to observed bounds, not bucket edges
+    assert hist.quantile(0.0) == pytest.approx(0.001)
+    assert hist.quantile(1.0) == pytest.approx(1.0)
+
+
+def test_merge_equals_single_histogram():
+    rng = random.Random(99)
+    samples = [rng.expovariate(10.0) for _ in range(500)]
+    combined = LogHistogram.of(samples)
+    left = LogHistogram.of(samples[:200])
+    right = LogHistogram.of(samples[200:])
+    left.merge(right)
+    assert left.count == combined.count
+    assert left.sum == pytest.approx(combined.sum)
+    assert left.buckets == combined.buckets
+    for _, q in QUANTILES:
+        assert left.quantile(q) == combined.quantile(q)
+
+
+def test_to_dict_roundtrip():
+    hist = LogHistogram.of([0.001, 0.5, 0.5, 12.0, 0.0])
+    clone = LogHistogram.from_dict(hist.to_dict())
+    assert clone.buckets == hist.buckets
+    assert clone.zeros == hist.zeros
+    assert clone.count == hist.count
+    assert clone.snapshot() == hist.snapshot()
+
+
+def test_snapshot_has_locked_stat_keys():
+    snap = LogHistogram.of([0.25]).snapshot()
+    assert set(snap) == {
+        "count", "sum", "min", "max", "p50", "p90", "p99", "p999",
+    }
+
+
+def test_empty_histogram_is_safe():
+    hist = LogHistogram()
+    assert hist.count == 0
+    assert hist.quantile(0.99) == 0.0
+    assert hist.mean == 0.0

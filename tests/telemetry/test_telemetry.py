@@ -1,0 +1,199 @@
+"""Telemetry invariants: zero sim impact, grid sampling, export schema.
+
+The layer's contract (DESIGN.md): disabled means the engine runs its
+original dispatch loop; enabled means histograms/sampler/profiler only
+*read* sim state — so simulated results stay bit-identical either way.
+"""
+
+from repro import sim, telemetry, trace
+from repro.ior.config import IorConfig
+from repro.ior.runner import run_ior
+from repro.trace.export import to_chrome_trace, validate_chrome_trace
+
+
+def _run():
+    config = IorConfig(
+        api="lsmio", num_tasks=2, block_size="256K", transfer_size="64K",
+        read_back=True,
+    )
+    result = run_ior(config)
+    return (result.max_write_bw, result.max_read_bw)
+
+
+def test_telemetry_enabled_run_is_bit_identical():
+    baseline = _run()
+    tele = telemetry.install(
+        sampler=telemetry.GaugeSampler(interval=0.01),
+        profiler=telemetry.EngineProfiler(),
+    )
+    try:
+        observed = _run()
+        snapshot = tele.snapshot()
+        samples_taken = tele.sampler.samples_taken
+        profiled_events = tele.profiler.events
+    finally:
+        telemetry.uninstall()
+    rerun = _run()
+    assert observed == baseline  # histograms/sampling read no sim state
+    assert rerun == baseline  # and uninstall leaves nothing behind
+    # ... while actually having observed the run
+    assert snapshot  # choke-point histograms populated
+    assert any(s["count"] > 0 for s in snapshot.values())
+    assert samples_taken > 0
+    assert profiled_events > 0
+
+
+def test_sampler_samples_on_the_interval_grid():
+    sampler = telemetry.GaugeSampler(interval=0.25)
+    telemetry.install(sampler=sampler)
+    try:
+        with sim.Engine() as engine:
+            ticks = []
+
+            def main():
+                for tick in range(10):
+                    sim.sleep(0.1)
+                    ticks.append(tick)
+
+            engine.spawn(main)
+            engine.run()
+        # no gauges registered here, but the grid still advanced —
+        # sampling happened at interval boundaries
+        assert sampler.samples_taken >= 3
+    finally:
+        telemetry.uninstall()
+
+    # with a registered gauge the series timestamps sit on the grid
+    sampler = telemetry.GaugeSampler(interval=0.25)
+    state = {"v": 0}
+    sampler.register("test.gauge", lambda: state["v"])
+    telemetry.install(sampler=sampler)
+    try:
+        with sim.Engine() as engine:
+
+            def main():
+                for tick in range(10):
+                    sim.sleep(0.1)
+                    state["v"] = tick
+
+            engine.spawn(main)
+            engine.run()
+        points = sampler.series("test.gauge")
+        assert len(points) >= 3
+        ts = [t for t, _ in points]
+        assert ts == sorted(ts)
+        for t in ts:
+            assert abs(t / 0.25 - round(t / 0.25)) < 1e-9  # grid-aligned
+    finally:
+        telemetry.uninstall()
+
+
+def test_sampler_series_roll_over_on_rebind():
+    # A multi-point sweep builds a fresh engine per point, restarting
+    # the sim clock at zero.  The series window must roll over on
+    # rebind or the new run's grid points would append out of order.
+    sampler = telemetry.GaugeSampler(interval=0.25)
+    state = {"v": 0}
+    telemetry.install(sampler=sampler)
+    try:
+        for run in range(2):
+            sampler.register("test.gauge", lambda: state["v"])
+            with sim.Engine() as engine:
+
+                def main():
+                    for tick in range(10):
+                        sim.sleep(0.1)
+                        state["v"] = tick
+
+                engine.spawn(main)
+                engine.run()
+        points = sampler.series("test.gauge")
+        ts = [t for t, _ in points]
+        assert ts == sorted(ts)  # only the latest run's window remains
+        assert ts[0] == 0.0
+        assert sampler.samples_taken >= 6  # ... but counters accumulate
+        payload = sampler.to_dict()
+        assert payload["test.gauge"]["ts"] == ts
+    finally:
+        telemetry.uninstall()
+
+
+def test_profiler_attributes_callback_sites():
+    profiler = telemetry.EngineProfiler()
+    telemetry.install(profiler=profiler)
+    try:
+        _run()
+    finally:
+        telemetry.uninstall()
+    snap = profiler.snapshot()
+    assert snap["events"] > 0
+    assert snap["wall_ns"] > 0
+    assert snap["sites"]
+    # rank digits are collapsed so 2 tasks fold into one site row
+    site_names = [row["site"] for row in snap["sites"]]
+    assert not any("rank0" in name or "rank1" in name for name in site_names)
+    # table renders without error and carries the TOTAL row
+    assert "TOTAL" in profiler.table(limit=5)
+
+
+def test_sampled_gauges_export_as_valid_counter_events():
+    tracer = trace.install()
+    telemetry.install(sampler=telemetry.GaugeSampler(interval=0.01))
+    try:
+        _run()
+        payload = tracer.to_payload()
+    finally:
+        telemetry.uninstall()
+        trace.uninstall()
+    counters = [g for g in payload["gauges"] if g["cat"] == "telemetry"]
+    assert counters, "sampler emitted no tracer gauges"
+    for gauge in counters:
+        assert isinstance(gauge["name"], str) and gauge["name"]
+        assert isinstance(gauge["ts"], float)
+        assert isinstance(gauge["value"], (int, float))
+    chrome = to_chrome_trace(payload)
+    validate_chrome_trace(chrome)  # raises on schema problems
+    events = [
+        e for e in chrome["traceEvents"]
+        if e["ph"] == "C" and e["cat"] == "telemetry"
+    ]
+    assert len(events) == len(counters)
+    for event in events:
+        assert set(event) == {"ph", "pid", "tid", "cat", "name", "ts", "args"}
+        assert isinstance(event["args"]["value"], (int, float))
+
+
+def test_validate_payload_accepts_real_and_flags_corrupt():
+    tele = telemetry.install(sampler=telemetry.GaugeSampler(interval=0.01))
+    try:
+        _run()
+        payload = tele.to_payload(meta={"test": True})
+    finally:
+        telemetry.uninstall()
+    assert telemetry.validate_payload(payload) == []
+
+    broken = dict(payload, format="not-telemetry")
+    assert telemetry.validate_payload(broken)
+
+    import copy
+
+    bad_counts = copy.deepcopy(payload)
+    name, hist = next(iter(bad_counts["histograms"].items()))
+    hist["count"] += 1  # bucket sum no longer matches
+    assert any(
+        name in problem for problem in telemetry.validate_payload(bad_counts)
+    )
+
+
+def test_histograms_federate_into_metrics_registry():
+    trace.install()
+    telemetry.install()
+    try:
+        _run()
+        snap = trace.current_metrics().snapshot(prefix="telemetry")
+    finally:
+        telemetry.uninstall()
+        trace.uninstall()
+    assert snap, "telemetry namespace missing from MetricsRegistry"
+    stems = {key.rsplit(".", 1)[-1] for key in snap}
+    assert {"count", "p50", "p90", "p99", "p999"} <= stems

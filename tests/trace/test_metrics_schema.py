@@ -201,6 +201,71 @@ def test_compaction_snapshot_schema():
         trace.uninstall()
 
 
+#: Stats every ``telemetry.<histogram>.*`` key group must carry — the
+#: bench report and CI telemetry job key on these names.
+TELEMETRY_STAT_KEYS = {
+    "count", "sum", "min", "max", "p50", "p90", "p99", "p999",
+}
+
+#: Histogram name prefixes the five instrumented layers may emit;
+#: adding a layer (or renaming a choke point) must show up here.
+TELEMETRY_HIST_PREFIXES = (
+    "core.", "io.sched.", "pfs.", "lsm.", "bb.",
+)
+
+
+def test_telemetry_snapshot_schema():
+    """Installed telemetry federates ``telemetry.*`` into the registry:
+    one flat key per histogram stat, names drawn from the five layers."""
+    from repro import telemetry
+
+    trace.install()
+    telemetry.install()
+    try:
+        with sim.Engine() as engine:
+            cluster = LustreCluster(engine, small_test_cluster())
+            client = LustreClient(cluster, 0)
+
+            def main():
+                file = client.create("f")
+                client.write(file, 0, b"x" * (1 << 20))
+                client.fsync(file)
+
+            engine.spawn(main)
+            engine.run()
+
+        registry = trace.current_metrics()
+        assert "telemetry" in registry.namespaces()
+        snap = registry.snapshot(prefix="telemetry")
+        assert snap, "no telemetry.* keys in the registry snapshot"
+        groups = {}
+        for key in snap:
+            hist, stat = key[len("telemetry."):].rsplit(".", 1)
+            groups.setdefault(hist, set()).add(stat)
+        for hist, stats in groups.items():
+            assert stats == TELEMETRY_STAT_KEYS, (hist, stats)
+            assert hist.startswith(TELEMETRY_HIST_PREFIXES), hist
+        # this workload crosses the scheduler and the RPC layer
+        assert "pfs.rpc.write" in groups
+        assert "io.sched.service.foreground" in groups
+    finally:
+        telemetry.uninstall()
+        trace.uninstall()
+
+
+def test_telemetry_namespace_unregisters_on_uninstall():
+    from repro import telemetry
+
+    trace.install()
+    try:
+        telemetry.install()
+        assert "telemetry" in trace.current_metrics().namespaces()
+        telemetry.uninstall()
+        assert "telemetry" not in trace.current_metrics().namespaces()
+    finally:
+        trace.uninstall()
+
+
 def test_cluster_totals_use_rpc_counter_names():
     """Cluster aggregates read the renamed counters 1:1."""
     with sim.Engine() as engine:

@@ -1,4 +1,5 @@
-"""Tests for SummaryStats (the paper's max-of-10-reps reporting)."""
+"""Tests for SummaryStats (the paper's max-of-10-reps reporting) and
+the repo-wide :func:`quantile` definition every harness routes through."""
 
 import math
 
@@ -7,7 +8,53 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import InvalidArgumentError
-from repro.util.stats import SummaryStats
+from repro.util.stats import SummaryStats, percentiles, quantile
+
+
+class TestQuantile:
+    def test_linear_interpolation(self):
+        assert quantile([0.0, 10.0], 0.5) == 5.0
+        assert quantile([1.0, 2.0, 3.0, 4.0], 0.0) == 1.0
+        assert quantile([1.0, 2.0, 3.0, 4.0], 1.0) == 4.0
+        # 99 evenly spaced samples: p99 interpolates, not nearest-rank
+        samples = [float(i) for i in range(1, 100)]
+        assert quantile(samples, 0.99) == pytest.approx(98.02)
+
+    def test_accepts_unsorted_input(self):
+        assert quantile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_single_sample(self):
+        assert quantile([7.0], 0.999) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(InvalidArgumentError):
+            quantile([], 0.5)
+
+    def test_range_check(self):
+        with pytest.raises(InvalidArgumentError):
+            quantile([1.0], 1.5)
+
+    def test_matches_summary_stats_definition(self):
+        samples = [0.3, 9.1, 4.4, 2.2, 8.8, 1.0, 7.5]
+        stats = SummaryStats(list(samples))
+        for q in (0.0, 0.5, 0.9, 0.99, 0.999, 1.0):
+            # == up to the q*100/100 float round trip in the old API
+            assert quantile(samples, q) == pytest.approx(
+                stats.percentile(q * 100), rel=1e-12
+            )
+
+    def test_percentiles_dict(self):
+        out = percentiles([float(i) for i in range(1, 1001)])
+        assert set(out) == {"p50", "p90", "p99", "p999", "max"}
+        assert out["p50"] == pytest.approx(500.5)
+        assert out["max"] == 1000.0
+        assert out["p99"] <= out["p999"] <= out["max"]
+
+    def test_percentiles_empty_is_zeroes(self):
+        out = percentiles([])
+        assert out == {
+            "p50": 0.0, "p90": 0.0, "p99": 0.0, "p999": 0.0, "max": 0.0,
+        }
 
 
 class TestSummaryStats:
