@@ -1,0 +1,179 @@
+"""Microbenchmark: engine throughput on the fleet-scale LLM campaign.
+
+The figure benchmarks run a few dozen simulated clients; the LLM
+checkpoint/restore campaign runs 1024.  At that fan-out the engine's
+process backend is the bottleneck: thread-backed processes pay two
+turnstile context switches per event, lightweight generator processes
+are dispatched inline by the event loop.  This harness runs the *same*
+1024-rank campaign under both backends with the ``EngineProfiler``
+installed and gates on the events-per-second ratio — the whole point of
+the lightweight backend is a ≥5× dispatch speedup, so the repo fails
+loudly if a refactor gives it back.
+
+Both backends must also replay the identical schedule: the doc gates on
+event-count and final-sim-time equality between modes, plus the
+workload-level invariants (restore p99 measured, amplification sane).
+
+Emits ``BENCH_llm.json``.  Wall-clock throughput numbers are
+machine-dependent, so only the *ratio* and the sim-deterministic
+workload metrics carry gates; absolute events/s land in ``detail``.
+
+Usage::
+
+    python benchmarks/micro/bench_llm.py                # run, print
+    python benchmarks/micro/bench_llm.py --out BENCH_llm.json
+    python benchmarks/micro/bench_llm.py --check        # light >= 5x threads?
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+from repro import telemetry  # noqa: E402
+from repro._version import __version__  # noqa: E402
+from repro.bench.llm import LlmConfig, run_llm_scenario  # noqa: E402
+from repro.telemetry.profiler import EngineProfiler  # noqa: E402
+
+DEFAULT_JSON = os.path.join(os.path.dirname(__file__), "BENCH_llm.json")
+
+RANKS = 1024
+MIN_SPEEDUP = 5.0
+REPS = 3
+
+
+def run_mode(cfg: LlmConfig, mode: str, reps: int) -> dict:
+    """Best-of-``reps`` campaign runs with the profiler measuring dispatch.
+
+    Wall-clock throughput on a shared machine is noisy downward only
+    (scheduler interference adds time, nothing removes it), so the
+    paper's max-over-repetitions protocol (§4) applies to events/s too:
+    the best rep is the closest estimate of the backend's true cost.
+    """
+    best = None
+    result = None
+    for _ in range(reps):
+        profiler = EngineProfiler()
+        telemetry.install(profiler=profiler)
+        try:
+            result = run_llm_scenario(dataclasses.replace(cfg, mode=mode))
+        finally:
+            telemetry.uninstall()
+        snap = profiler.snapshot()
+        if best is None or snap["wall_ns"] < best["wall_ns"]:
+            best = snap
+    events_per_sec = (
+        best["events"] / (best["wall_ns"] / 1e9) if best["wall_ns"] else 0.0
+    )
+    return {
+        "mode": mode,
+        "events": best["events"],
+        "wall_ns": best["wall_ns"],
+        "events_per_sec": round(events_per_sec, 1),
+        "result": result,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--ranks", type=int, default=RANKS,
+        help="fleet size for the campaign point",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=REPS,
+        help="repetitions per backend; best (fastest) is reported",
+    )
+    parser.add_argument("--out", default=None, help="write/refresh this JSON")
+    parser.add_argument(
+        "--check", action="store_true",
+        help=f"fail unless light mode is >= {MIN_SPEEDUP}x threads on "
+             "events/s and both modes replay one schedule",
+    )
+    args = parser.parse_args(argv)
+
+    from check_baselines import build_doc, check
+
+    cfg = LlmConfig(ranks=args.ranks).quick()
+    light = run_mode(cfg, "light", args.reps)
+    threads = run_mode(cfg, "threads", args.reps)
+
+    speedup = (
+        round(light["events_per_sec"] / threads["events_per_sec"], 2)
+        if threads["events_per_sec"] > 0
+        else None
+    )
+    # Determinism: both backends must dispatch the same events and land
+    # on the same simulated clock — the speedup is only meaningful if
+    # they replayed one schedule.
+    same_events = light["events"] == threads["events"]
+    same_sim = (
+        light["result"]["final_time_s"] == threads["result"]["final_time_s"]
+        and light["result"]["heap_pushes"] == threads["result"]["heap_pushes"]
+    )
+    campaign = light["result"]
+
+    doc = build_doc(
+        name="llm",
+        env={
+            "ranks": args.ranks,
+            "epochs": cfg.epochs,
+            "model_bytes": cfg.model_bytes,
+            "opt_splinters": cfg.opt_splinters,
+            "opt_bytes": cfg.opt_bytes,
+            "cluster": "fleet_config",
+            "version": __version__,
+        },
+        metrics={
+            "events_per_sec_speedup": speedup,
+            "modes_same_events": same_events,
+            "modes_same_sim": same_sim,
+            "write_gib_s": campaign["write_gib_s"],
+            "restore_gib_s": campaign["restore"]["restore_gib_s"],
+            "restore_p99_s": campaign["restore"]["rank_p99_s"],
+            "request_amplification": campaign["request_amplification"],
+        },
+        tolerances={
+            "events_per_sec_speedup": {"rule": "min", "value": MIN_SPEEDUP},
+            "modes_same_events": {"rule": "truthy"},
+            "modes_same_sim": {"rule": "truthy"},
+            "write_gib_s": {"rule": "gt", "value": 0.0},
+            "restore_gib_s": {"rule": "gt", "value": 0.0},
+            "restore_p99_s": {"rule": "gt", "value": 0.0},
+            "request_amplification": {"rule": "min", "value": 1.0},
+        },
+        detail={
+            "light": {k: light[k] for k in ("events", "events_per_sec")},
+            "threads": {k: threads[k] for k in ("events", "events_per_sec")},
+            "campaign": campaign,
+        },
+    )
+
+    print(f"LLM campaign, {args.ranks} ranks (quick shape), both backends")
+    for row in (light, threads):
+        print(
+            f"  {row['mode']:<8} {row['events']:>8} events  "
+            f"{row['events_per_sec']:>12,.0f} events/s"
+        )
+    print(f"  light vs threads: {speedup}x "
+          f"(schedule identical: {same_events and same_sim})")
+
+    json_path = args.out or DEFAULT_JSON
+    if args.out:
+        with open(json_path, "w") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {os.path.relpath(json_path)}")
+
+    if args.check:
+        return check(doc, label="llm")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

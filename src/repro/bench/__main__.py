@@ -46,7 +46,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "target",
         choices=sorted(FIGURES) + [
-            "fig1", "ablations", "media", "groups", "tiering", "all",
+            "fig1", "ablations", "media", "groups", "tiering", "llm", "all",
         ],
         help="which figure to regenerate",
     )
@@ -186,6 +186,21 @@ def main(argv=None) -> int:
         )
         print(format_tiering(result))
         payload["tiering"] = result
+    elif args.target == "llm":
+        from repro.bench.llm import (
+            DEFAULT_RANK_COUNTS,
+            format_llm,
+            run_llm_campaign,
+        )
+
+        # --nodes doubles as the fleet-size axis here: LLM ranks, not
+        # Viking nodes (the cluster scales with the fleet).
+        result = run_llm_campaign(
+            rank_counts=tuple(args.nodes) if args.nodes else DEFAULT_RANK_COUNTS,
+            quick=args.quick,
+        )
+        print(format_llm(result))
+        payload["llm"] = result
     elif args.target == "media":
         result = run_media_comparison()
         mib = 1 << 20

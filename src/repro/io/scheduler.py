@@ -327,26 +327,47 @@ class RateLimiter:
             self._stamp = now
         self.rate = float(rate)
 
+    def _charge(self, nbytes: int) -> float:
+        """Accrue to now, charge ``nbytes``; seconds the caller must sleep.
+
+        The bucket balance may go *negative* (debt): the full charge is
+        recorded before any sleeping happens, so a second throttler
+        arriving mid-sleep sees the deficit and queues its own charge
+        behind it.  The old zero-the-bucket-then-sleep scheme let that
+        second arrival accrue and spend the very tokens the sleeper was
+        sleeping to earn — up to ~2x the configured byte cap under
+        parallel subcompactions.
+        """
+        now = sim.now()
+        if self._stamp is None:
+            self._stamp = now
+        elapsed = now - self._stamp
+        if elapsed > 0:
+            self._tokens = min(
+                self.burst, self._tokens + elapsed * self.rate
+            )
+            self._stamp = now
+        self._tokens -= nbytes
+        if self._tokens >= 0:
+            return 0.0
+        return -self._tokens / self.rate
+
     def throttle(self, nbytes: int) -> float:
         """Charge ``nbytes``; sleep on the sim clock if over rate.
 
         Returns the seconds slept (0.0 when tokens covered the charge).
         """
-        now = sim.now()
-        if self._stamp is None:
-            self._stamp = now
-        self._tokens = min(
-            self.burst, self._tokens + (now - self._stamp) * self.rate
-        )
-        self._stamp = now
-        if nbytes <= self._tokens:
-            self._tokens -= nbytes
-            return 0.0
-        wait = (nbytes - self._tokens) / self.rate
-        self._tokens = 0.0
-        sim.sleep(wait)
-        self._stamp = sim.now()
-        return wait
+        waited = self._charge(nbytes)
+        if waited > 0.0:
+            sim.sleep(waited)
+        return waited
+
+    def throttle_lw(self, nbytes: int):
+        """Light-process twin of :meth:`throttle` (``yield from`` it)."""
+        waited = self._charge(nbytes)
+        if waited > 0.0:
+            yield waited
+        return waited
 
 
 class IoScheduler:
@@ -544,6 +565,100 @@ class IoScheduler:
         start = _trace.ambient_clock()
         try:
             return run()
+        finally:
+            tele.observe(_SERVICE_KEYS[cls], _trace.ambient_clock() - start)
+            self._finish()
+
+    def submit_lw(
+        self,
+        kind: str,
+        nbytes: int,
+        run: Callable[[], object],
+        ost: Optional[int] = None,
+        priority: Optional[Priority] = None,
+    ):
+        """Light-process twin of :meth:`submit` (``yield from`` it).
+
+        ``run()`` must return a generator speaking the light-process
+        protocol; it is driven inline once the request is granted.
+        Accounting, queue operations, and telemetry mirror
+        :meth:`submit` line for line, so either backend produces the
+        same admission schedule and the same stats.
+        """
+        if priority is None:
+            priority = current_priority()
+        cls = priority.name.lower()
+        stats = self.stats
+        stats.class_submitted[cls] += 1
+        stats.class_bytes[cls] += nbytes
+        limiter = self._limiters.get(priority)
+        if limiter is not None and nbytes > 0:
+            waited = yield from limiter.throttle_lw(nbytes)
+            if waited > 0.0:
+                stats.throttle_time += waited
+                stats.throttled_bytes += nbytes
+        tele = _trace.TELEMETRY
+        if self._policy.inline:
+            stats.inline_issues += 1
+            stats.class_issued[cls] += 1
+            if tele is None:
+                return (yield from run())
+            tele.observe(_WAIT_KEYS[cls], 0.0)
+            start = _trace.ambient_clock()
+            try:
+                return (yield from run())
+            finally:
+                tele.observe(
+                    _SERVICE_KEYS[cls], _trace.ambient_clock() - start
+                )
+        request = IoRequest(
+            kind=kind,
+            priority=priority,
+            nbytes=nbytes,
+            ost=ost,
+            deadline=current_deadline(),
+            owner=_owner_name(),
+            submit_time=sim.now(),
+        )
+        if self._active is None and not len(self._policy):
+            self._active = request
+            if tele is not None:
+                tele.observe(_WAIT_KEYS[cls], 0.0)
+        else:
+            request._gate = sim.Event(
+                self._engine, name=f"{self.name}.grant{request.seq}"
+            )
+            self._policy.push(request)
+            depth = len(self._policy)
+            if depth > stats.max_queue_depth:
+                stats.max_queue_depth = depth
+            tracer = _trace.TRACER
+            span = None
+            if tracer is not None:
+                tracer.gauge("io", f"{self.name}.depth", depth)
+                span = tracer.span(
+                    "io", "sched.wait", sched=self.name, kind=kind,
+                    cls=cls, nbytes=nbytes,
+                )
+            try:
+                yield request._gate
+            finally:
+                if span is not None:
+                    span.finish()
+            stats.queued_issues += 1
+            waited_q = sim.now() - request.submit_time
+            stats.class_stall_time[cls] += waited_q
+            if tele is not None:
+                tele.observe(_WAIT_KEYS[cls], waited_q)
+        stats.class_issued[cls] += 1
+        if tele is None:
+            try:
+                return (yield from run())
+            finally:
+                self._finish()
+        start = _trace.ambient_clock()
+        try:
+            return (yield from run())
         finally:
             tele.observe(_SERVICE_KEYS[cls], _trace.ambient_clock() - start)
             self._finish()

@@ -144,6 +144,60 @@ class Communicator:
             raise InvalidArgumentError(f"bad source rank {source}")
         return self.world.mailbox(self.rank, source, tag).get()
 
+    def send_lw(self, obj: Any, dest: int, tag: int = 0):
+        """Light-process twin of :meth:`send` (``yield from`` it)."""
+        if not 0 <= dest < self.size:
+            raise InvalidArgumentError(f"bad destination rank {dest}")
+        if dest == self.rank:
+            # Self-sends skip the NIC (rendezvous through local memory).
+            self.world.mailbox(dest, self.rank, tag).put(obj)
+            return
+        nbytes = message_size(obj)
+        tracer = _trace.TRACER
+        span = None
+        if tracer is not None:
+            span = tracer.span(
+                "mpi", "send", src=self.rank, dest=dest, tag=tag,
+                nbytes=nbytes,
+            )
+        try:
+            nic = self.world._nics[self.rank]
+            yield from nic.acquire_lw()
+            try:
+                yield self.world.network.transfer_time(nbytes)
+            finally:
+                nic.release()
+            self.world.mailbox(dest, self.rank, tag).put(obj)
+            self.world._any_source[dest].put((self.rank, tag))
+        finally:
+            if span is not None:
+                span.finish()
+
+    def recv_lw(self, source: int = ANY_SOURCE, tag: int = 0):
+        """Light-process twin of :meth:`recv` (``yield from`` it)."""
+        if source == ANY_SOURCE:
+            skipped: list[tuple[int, int]] = []
+            try:
+                while True:
+                    src, msg_tag = yield from (
+                        self.world._any_source[self.rank].get_lw()
+                    )
+                    if msg_tag == tag:
+                        return (
+                            yield from self.world.mailbox(
+                                self.rank, src, tag
+                            ).get_lw()
+                        )
+                    skipped.append((src, msg_tag))
+            finally:
+                for notice in skipped:
+                    self.world._any_source[self.rank].put(notice)
+        if not 0 <= source < self.size:
+            raise InvalidArgumentError(f"bad source rank {source}")
+        return (
+            yield from self.world.mailbox(self.rank, source, tag).get_lw()
+        )
+
     def sendrecv(
         self, obj: Any, dest: int, source: int = ANY_SOURCE, tag: int = 0
     ) -> Any:
@@ -190,6 +244,35 @@ class Communicator:
                 return self.world.channel(self.rank, key).get()
         return self.world.channel(self.rank, key).get()
 
+    def channel_send_lw(self, key: str, obj: Any, dest: int):
+        """Light-process twin of :meth:`channel_send` (``yield from`` it)."""
+        if not 0 <= dest < self.size:
+            raise InvalidArgumentError(f"bad destination rank {dest}")
+        if dest != self.rank:
+            nbytes = message_size(obj)
+            tracer = _trace.TRACER
+            span = None
+            if tracer is not None:
+                span = tracer.span(
+                    "mpi", "channel_send", src=self.rank, dest=dest,
+                    key=key, nbytes=nbytes,
+                )
+            try:
+                nic = self.world._nics[self.rank]
+                yield from nic.acquire_lw()
+                try:
+                    yield self.world.network.transfer_time(nbytes)
+                finally:
+                    nic.release()
+            finally:
+                if span is not None:
+                    span.finish()
+        self.world.channel(dest, key).put(obj)
+
+    def channel_recv_lw(self, key: str):
+        """Light-process twin of :meth:`channel_recv` (``yield from`` it)."""
+        return (yield from self.world.channel(self.rank, key).get_lw())
+
     # ------------------------------------------------------------------
     # Collectives
     # ------------------------------------------------------------------
@@ -221,6 +304,28 @@ class Communicator:
             gate.succeed()
         else:
             sim.wait(gate)
+
+    def barrier_lw(self):
+        """Light-process twin of :meth:`barrier` (``yield from`` it).
+
+        Interoperates with thread-backed ranks in :meth:`barrier`: both
+        forms share the world's count/generation state and gate event.
+        """
+        world = self.world
+        world._barrier_count += 1
+        gate = world._barrier_event
+        if world._barrier_count == world.size:
+            world._barrier_count = 0
+            world._barrier_generation += 1
+            world._barrier_event = sim.Event(
+                world.engine, name=f"barrier-{world._barrier_generation}"
+            )
+            # A real barrier costs ~latency * log2(p) on a tree network.
+            depth = max(1, (world.size - 1).bit_length())
+            yield world.network.latency * depth
+            gate.succeed()
+        else:
+            yield gate
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         """Binomial-tree broadcast; returns the object on every rank."""

@@ -81,7 +81,7 @@ class LustreClient:
         self._rng = np.random.default_rng(
             (config.jitter_seed * 1_000_003 + client_id) & 0xFFFFFFFF
         )
-        self._outstanding: list[sim.Process] = []
+        self._outstanding: list = []  # write-behind LightProcess handles
         self._last_arrival = 0.0
         self.stats = ClientStats()
         # Retry/timeout policy (only exercised when faults are injected).
@@ -158,6 +158,14 @@ class LustreClient:
         )
         self.stats.mds_ops += 1
 
+    def _mds_op_lw(self, op: str):
+        """Light-process twin of :meth:`_mds_op` (``yield from`` it)."""
+        yield from self.scheduler.submit_lw(
+            "meta", 0, lambda: self.cluster.mds.perform_lw(op),
+            priority=Priority.METADATA,
+        )
+        self.stats.mds_ops += 1
+
     def create(
         self,
         path: str,
@@ -193,6 +201,44 @@ class LustreClient:
     def metadata_op(self, op: str) -> None:
         """Charge an arbitrary MDS operation (used by format models)."""
         self._mds_op(op)
+
+    # -- light-process namespace API (``yield from`` inside a generator) --
+
+    def create_lw(
+        self,
+        path: str,
+        stripe_count: Optional[int] = None,
+        stripe_size: Optional[int | str] = None,
+        store_data: Optional[bool] = None,
+    ):
+        """Light-process twin of :meth:`create`."""
+        yield from self._mds_op_lw("create")
+        return self.cluster.create(
+            path,
+            stripe_count=stripe_count,
+            stripe_size=stripe_size,
+            store_data=store_data,
+        )
+
+    def open_lw(self, path: str):
+        """Light-process twin of :meth:`open`."""
+        yield from self._mds_op_lw("open")
+        return self.cluster.lookup(path)
+
+    def close_lw(self, file: LustreFile):
+        """Light-process twin of :meth:`close`."""
+        yield from self.fsync_lw(file)
+        yield from self._mds_op_lw("close")
+
+    def stat_lw(self, path: str):
+        """Light-process twin of :meth:`stat`."""
+        yield from self._mds_op_lw("stat")
+        return self.cluster.lookup(path)
+
+    def unlink_lw(self, path: str):
+        """Light-process twin of :meth:`unlink`."""
+        yield from self._mds_op_lw("unlink")
+        self.cluster.unlink(path)
 
     # ------------------------------------------------------------------
     # Data path
@@ -294,7 +340,35 @@ class LustreClient:
         )
         self.stats.bytes_written += total
 
+    def write_lw(self, file: LustreFile, offset: int, data: "bytes | int"):
+        """Light-process twin of :meth:`write` (``yield from`` it)."""
+        if isinstance(data, (bytes, bytearray, memoryview)):
+            length = len(data)
+            file.store(offset, bytes(data))
+        else:
+            length = int(data)
+            if length < 0:
+                raise InvalidArgumentError("negative write length")
+            file.extend_size(offset, length)
+        if length == 0:
+            return
+        rpcs = self._coalesce(file, offset, length)
+        yield from self.scheduler.submit_lw(
+            "write", length, lambda: self._issue_write_rpcs_lw(rpcs),
+            ost=rpcs[0].ost_index,
+        )
+        self.stats.bytes_written += length
+
     def _issue_write_rpcs(self, rpcs: list[Rpc]) -> None:
+        sim.run_blocking(self._issue_write_rpcs_lw(rpcs))
+
+    def _issue_write_rpcs_lw(self, rpcs: list[Rpc]):
+        """NIC admission + write-behind spawn, as a light process.
+
+        The single source of truth for the write issue path; the thread
+        form drives this generator via :func:`sim.run_blocking`, so both
+        backends produce the same RPC schedule.
+        """
         engine = self.cluster.engine
         tracer = _trace.TRACER
         span = None
@@ -309,17 +383,20 @@ class LustreClient:
                 # issuing another RPC (real clients bound dirty RPCs too).
                 self._outstanding = [p for p in self._outstanding if p.alive]
                 while len(self._outstanding) >= self._max_rpcs_in_flight:
-                    sim.wait(self._outstanding[0].done)
+                    yield self._outstanding[0].done
                     self._outstanding = [
                         p for p in self._outstanding if p.alive
                     ]
                 # NIC stage: serialize this node's outbound traffic, in order.
-                with self._nic.request():
-                    sim.sleep(
+                yield from self._nic.acquire_lw()
+                try:
+                    yield (
                         self._rpc_latency + rpc.length / self._nic_bandwidth
                     )
-                proc = engine.spawn(
-                    self._write_behind,
+                finally:
+                    self._nic.release()
+                proc = engine.spawn_light(
+                    self._write_behind_lw,
                     rpc,
                     name=f"client{self.client_id}.wb",
                 )
@@ -335,7 +412,8 @@ class LustreClient:
             if span is not None:
                 span.finish()
 
-    def _write_behind(self, rpc: Rpc) -> None:
+    def _write_behind_lw(self, rpc: Rpc):
+        """One background write RPC (OSS pipe → OST disk), light process."""
         tracer = _trace.TRACER
         tele = _trace.TELEMETRY
         start = sim.now() if tele is not None else 0.0
@@ -346,18 +424,20 @@ class LustreClient:
                 ost=rpc.ost_index, nbytes=rpc.length,
             )
         try:
-            self._jitter_delay()
+            yield from self._jitter_delay_lw()
             if self.cluster.fault_injector is None:
                 # Healthy fast path: identical to a cluster without the fault
                 # subsystem (one attribute check of overhead).
-                self.cluster.oss_for_ost(rpc.ost_index).transfer(rpc.length)
-                self.cluster.osts[rpc.ost_index].serve(
+                yield from self.cluster.oss_for_ost(
+                    rpc.ost_index
+                ).transfer_lw(rpc.length)
+                yield from self.cluster.osts[rpc.ost_index].serve_lw(
                     self.client_id, rpc.object_id, rpc.object_offset,
                     rpc.length, is_write=True,
                 )
                 return
             try:
-                self._faulty_transfer(rpc, is_write=True)
+                yield from self._faulty_transfer_lw(rpc, is_write=True)
             except StorageIOError as exc:
                 # Write-behind semantics: the failure surfaces at fsync/close
                 # (like EIO reported from the page cache), not here — raising
@@ -373,7 +453,7 @@ class LustreClient:
 
     # -- retry/timeout/backoff (the degraded path) ------------------------
 
-    def _faulty_transfer(self, rpc: Rpc, is_write: bool) -> None:
+    def _faulty_transfer_lw(self, rpc: Rpc, is_write: bool):
         """One RPC with retry, timeout, and exponential backoff + jitter.
 
         Transient faults (:class:`OstUnavailableError`,
@@ -385,7 +465,7 @@ class LustreClient:
         attempts = 0
         while True:
             try:
-                self._attempt_transfer(injector, rpc, is_write)
+                yield from self._attempt_transfer_lw(injector, rpc, is_write)
                 return
             except (OstUnavailableError, RpcTimeoutError) as exc:
                 attempts += 1
@@ -405,38 +485,39 @@ class LustreClient:
                         ost=rpc.ost_index, attempt=attempts,
                         error=type(exc).__name__,
                     )
-                self._backoff(attempts)
+                yield from self._backoff_lw(attempts)
 
-    def _attempt_transfer(self, injector, rpc: Rpc, is_write: bool) -> None:
+    def _attempt_transfer_lw(self, injector, rpc: Rpc, is_write: bool):
         drop, extra = injector.before_rpc(
             sim.now(), rpc.ost_index, self.client_id, is_write
         )
         if extra > 0.0:
-            sim.sleep(extra)
+            yield extra
         oss = self.cluster.oss_for_ost(rpc.ost_index)
         if drop or not oss.up:
             # The request (or its reply) vanished: wait out the timeout.
-            sim.sleep(self._rpc_timeout)
+            yield self._rpc_timeout
             self.stats.rpc_timeouts += 1
             raise RpcTimeoutError(
                 f"client{self.client_id}: rpc to ost{rpc.ost_index} "
                 f"timed out after {self._rpc_timeout}s",
                 ost_index=rpc.ost_index,
             )
+        ost = self.cluster.osts[rpc.ost_index]
         if is_write:
-            oss.transfer(rpc.length)
-            self.cluster.osts[rpc.ost_index].serve(
+            yield from oss.transfer_lw(rpc.length)
+            yield from ost.serve_lw(
                 self.client_id, rpc.object_id, rpc.object_offset, rpc.length,
                 is_write=True,
             )
         else:
-            self.cluster.osts[rpc.ost_index].serve(
+            yield from ost.serve_lw(
                 self.client_id, rpc.object_id, rpc.object_offset, rpc.length,
                 is_write=False,
             )
-            oss.transfer(rpc.length)
+            yield from oss.transfer_lw(rpc.length)
 
-    def _backoff(self, attempts: int) -> None:
+    def _backoff_lw(self, attempts: int):
         delay = min(
             self._backoff_max, self._backoff_base * (2 ** (attempts - 1))
         )
@@ -453,7 +534,7 @@ class LustreClient:
                 "pfs", "backoff", client=self.client_id, attempt=attempts,
             )
         try:
-            sim.sleep(delay)
+            yield delay
         finally:
             if span is not None:
                 span.finish()
@@ -467,7 +548,14 @@ class LustreClient:
         """
         self.scheduler.submit("fsync", 0, self._fsync_impl)
 
+    def fsync_lw(self, file: Optional[LustreFile] = None):
+        """Light-process twin of :meth:`fsync` (``yield from`` it)."""
+        yield from self.scheduler.submit_lw("fsync", 0, self._fsync_impl_lw)
+
     def _fsync_impl(self) -> None:
+        sim.run_blocking(self._fsync_impl_lw())
+
+    def _fsync_impl_lw(self):
         tracer = _trace.TRACER
         tele = _trace.TELEMETRY
         start = sim.now() if tele is not None else 0.0
@@ -481,7 +569,7 @@ class LustreClient:
             pending, self._outstanding = self._outstanding, []
             for proc in pending:
                 if proc.alive:
-                    sim.wait(proc.done)
+                    yield proc.done
             if self._write_errors:
                 errors, self._write_errors = self._write_errors, []
                 raise errors[0]
@@ -503,31 +591,53 @@ class LustreClient:
             ost=rpcs[0].ost_index,
         )
 
+    def read_lw(self, file: LustreFile, offset: int, nbytes: int):
+        """Light-process twin of :meth:`read` (``yield from`` it)."""
+        nbytes = min(nbytes, max(0, file.size - offset))
+        if nbytes <= 0:
+            return b""
+        rpcs = self._coalesce(file, offset, nbytes)
+        return (
+            yield from self.scheduler.submit_lw(
+                "read", nbytes,
+                lambda: self._read_impl_lw(file, offset, nbytes, rpcs),
+                ost=rpcs[0].ost_index,
+            )
+        )
+
     def _read_impl(
         self, file: LustreFile, offset: int, nbytes: int, rpcs: list[Rpc]
     ) -> bytes:
+        return sim.run_blocking(self._read_impl_lw(file, offset, nbytes, rpcs))
+
+    def _read_impl_lw(
+        self, file: LustreFile, offset: int, nbytes: int, rpcs: list[Rpc]
+    ):
         engine = self.cluster.engine
         # OST + OSS stages proceed in parallel across targets…
         procs = [
-            engine.spawn(
-                self._read_remote, rpc, name=f"client{self.client_id}.rd"
+            engine.spawn_light(
+                self._read_remote_lw, rpc, name=f"client{self.client_id}.rd"
             )
             for rpc in rpcs
         ]
         for proc in procs:
-            sim.wait(proc.done)
+            yield proc.done
         if self._read_errors:
             errors, self._read_errors = self._read_errors, []
             raise errors[0]
         # …then the NIC serializes delivery into this node.
         for rpc in rpcs:
-            with self._nic.request():
-                sim.sleep(self._rpc_latency + rpc.length / self._nic_bandwidth)
+            yield from self._nic.acquire_lw()
+            try:
+                yield self._rpc_latency + rpc.length / self._nic_bandwidth
+            finally:
+                self._nic.release()
         self.stats.read_rpcs += len(rpcs)
         self.stats.bytes_read += nbytes
         return file.load(offset, nbytes)
 
-    def _read_remote(self, rpc: Rpc) -> None:
+    def _read_remote_lw(self, rpc: Rpc):
         tracer = _trace.TRACER
         tele = _trace.TELEMETRY
         start = sim.now() if tele is not None else 0.0
@@ -538,16 +648,18 @@ class LustreClient:
                 ost=rpc.ost_index, nbytes=rpc.length,
             )
         try:
-            self._jitter_delay()
+            yield from self._jitter_delay_lw()
             if self.cluster.fault_injector is None:
-                self.cluster.osts[rpc.ost_index].serve(
+                yield from self.cluster.osts[rpc.ost_index].serve_lw(
                     self.client_id, rpc.object_id, rpc.object_offset,
                     rpc.length, is_write=False,
                 )
-                self.cluster.oss_for_ost(rpc.ost_index).transfer(rpc.length)
+                yield from self.cluster.oss_for_ost(
+                    rpc.ost_index
+                ).transfer_lw(rpc.length)
                 return
             try:
-                self._faulty_transfer(rpc, is_write=False)
+                yield from self._faulty_transfer_lw(rpc, is_write=False)
             except StorageIOError as exc:
                 # Reads are synchronous: the error re-raises in read() after
                 # every parallel RPC has settled.
@@ -560,7 +672,7 @@ class LustreClient:
             if span is not None:
                 span.finish()
 
-    def _jitter_delay(self) -> None:
+    def _jitter_delay_lw(self):
         """Fabric/scheduling variance, order-preserving per client.
 
         Perturbs *cross-client* arrival order at the servers (which is
@@ -577,7 +689,7 @@ class LustreClient:
         )
         self._last_arrival = arrival
         if arrival > now:
-            sim.sleep(arrival - now)
+            yield arrival - now
 
     @property
     def outstanding_writes(self) -> int:

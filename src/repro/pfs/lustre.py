@@ -271,7 +271,12 @@ class LustreCluster:
     def unlink(self, path: str) -> None:
         file = self.lookup(path)
         del self._files[path]
-        for ost_index in range(self.config.num_osts):
+        # Objects exist only on the file's layout OSTs — stripe i lives on
+        # ost_for_stripe(i), and stripes beyond stripe_count wrap onto the
+        # same OSTs — so only those need their lock/head state dropped.
+        layout = file.layout
+        for stripe_index in range(layout.stripe_count):
+            ost_index = layout.ost_for_stripe(stripe_index)
             self.osts[ost_index].drop_object_state(file.object_id(ost_index))
 
     def rename(self, src: str, dst: str) -> None:

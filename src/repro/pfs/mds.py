@@ -53,15 +53,26 @@ class Mds:
 
     def perform(self, op: str) -> None:
         """Execute one metadata op (called from a sim process)."""
+        sim.run_blocking(self.perform_lw(op))
+
+    def perform_lw(self, op: str):
+        """Light-process form of :meth:`perform` (``yield from`` it).
+
+        The single source of truth for MDS service; the thread form
+        drives this generator via :func:`sim.run_blocking`.
+        """
         cost = self.op_costs.get(op)
         if cost is None:
             raise KeyError(f"unknown MDS op {op!r}")
-        with self._service.request():
+        yield from self._service.acquire_lw()
+        try:
             start = sim.now()
-            sim.sleep(cost)
+            yield cost
             self.stats.requests += 1
             self.stats.ops[op] = self.stats.ops.get(op, 0) + 1
             self.stats.busy_time += sim.now() - start
+        finally:
+            self._service.release()
 
     @property
     def queue_length(self) -> int:

@@ -63,6 +63,15 @@ class Oss:
 
     def transfer(self, nbytes: int) -> None:
         """Move ``nbytes`` through this server (called from a sim process)."""
+        sim.run_blocking(self.transfer_lw(nbytes))
+
+    def transfer_lw(self, nbytes: int):
+        """Light-process form of :meth:`transfer` (``yield from`` it).
+
+        The single source of truth for the OSS pipe model; the thread
+        form drives this generator via :func:`sim.run_blocking`, so both
+        backends charge identical pipe occupancy.
+        """
         if not self.up:
             # Unreached in practice (clients check before transferring),
             # but guard the pipe for direct callers.
@@ -80,12 +89,15 @@ class Oss:
                 "pfs", "oss_transfer", oss=self.index, nbytes=nbytes,
             )
         try:
-            with self._pipe.request():
+            yield from self._pipe.acquire_lw()
+            try:
                 start = sim.now()
-                sim.sleep(self.rpc_overhead + nbytes / self.bandwidth)
+                yield self.rpc_overhead + nbytes / self.bandwidth
                 self.stats.bytes_moved += nbytes
                 self.stats.requests += 1
                 self.stats.busy_time += sim.now() - start
+            finally:
+                self._pipe.release()
         finally:
             if span is not None:
                 span.finish()

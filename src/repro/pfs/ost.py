@@ -95,6 +95,24 @@ class Ost:
         Raises :class:`OstUnavailableError` while the target is down —
         the client's retry path decides whether to back off or give up.
         """
+        sim.run_blocking(
+            self.serve_lw(client_id, object_id, offset, nbytes, is_write)
+        )
+
+    def serve_lw(
+        self,
+        client_id: int,
+        object_id: int,
+        offset: int,
+        nbytes: int,
+        is_write: bool,
+    ):
+        """Light-process form of :meth:`serve` (``yield from`` it).
+
+        The single source of truth for disk service + extent-lock
+        bookkeeping; the thread form drives this generator via
+        :func:`sim.run_blocking`, so both backends replay one schedule.
+        """
         tracer = _trace.TRACER
         if not self.up:
             self.stats.rejected_requests += 1
@@ -115,20 +133,23 @@ class Ost:
                 nbytes=nbytes, write=is_write,
             )
         try:
-            self._serve(client_id, object_id, offset, nbytes, is_write)
+            yield from self._serve_lw(
+                client_id, object_id, offset, nbytes, is_write
+            )
         finally:
             if span is not None:
                 span.finish()
 
-    def _serve(
+    def _serve_lw(
         self,
         client_id: int,
         object_id: int,
         offset: int,
         nbytes: int,
         is_write: bool,
-    ) -> None:
-        with self._service.request():
+    ):
+        yield from self._service.acquire_lw()
+        try:
             start = sim.now()
             service, sequential = self.disk.service_time(
                 self._head, object_id, offset, nbytes, is_write
@@ -145,7 +166,7 @@ class Ost:
             elif writer is not None and writer != client_id:
                 # Demoted to a shared read lock: later readers are free.
                 self._lock_holder.pop(object_id, None)
-            sim.sleep(service)
+            yield service
             self._head = (object_id, offset + nbytes)
             self.stats.requests += 1
             self.stats.sequential_requests += int(sequential)
@@ -154,6 +175,8 @@ class Ost:
                 self.stats.bytes_written += nbytes
             else:
                 self.stats.bytes_read += nbytes
+        finally:
+            self._service.release()
 
     def drop_object_state(self, object_id: int) -> None:
         """Forget lock/head state for a deleted object."""

@@ -1,13 +1,17 @@
-"""A deterministic discrete-event simulation kernel with thread processes.
+"""A deterministic discrete-event simulation kernel with two process types.
 
 The substrate that lets the paper's cluster experiments execute the *real*
-LSMIO/LSM-engine code under a simulated clock.  Simulated processes are OS
-threads, but **exactly one thread runs at a time**: the engine hands control
-to a process, the process runs ordinary Python (including the genuine
-storage-engine code path) until it calls a blocking primitive
-(:func:`sleep`, :func:`wait`, resource acquisition), then control returns
-to the engine, which advances simulated time to the next event.  Scheduling
-order is a strict (time, sequence) heap, so runs are bit-reproducible.
+LSMIO/LSM-engine code under a simulated clock.  Thread-backed processes
+(:class:`Process`) run arbitrary Python — including the genuine
+storage-engine code path — with **exactly one thread runnable at a time**:
+the engine hands control to a process, the process runs until it calls a
+blocking primitive (:func:`sleep`, :func:`wait`, resource acquisition),
+then control returns to the engine, which advances simulated time to the
+next event.  Generator-backed light processes (:class:`LightProcess`,
+spawned via :meth:`Engine.spawn_light`) express the same blocking points
+as ``yield`` statements and are dispatched inline with no thread handoff —
+the backend for fleet-size fan-out.  Scheduling order is a strict
+(time, sequence) heap either way, so runs are bit-reproducible.
 
 Python CPU time never advances the clock — only modeled costs (disk
 service, network transfer, explicit :func:`sleep`) do, which is what makes
@@ -31,11 +35,13 @@ Usage::
 from repro.sim.engine import (
     Engine,
     Event,
+    LightProcess,
     Process,
     ProcessKilled,
     current_engine,
     current_process,
     now,
+    run_blocking,
     sleep,
     wait,
 )
@@ -44,6 +50,7 @@ from repro.sim.resources import Resource, Store
 __all__ = [
     "Engine",
     "Event",
+    "LightProcess",
     "Process",
     "ProcessKilled",
     "Resource",
@@ -51,6 +58,7 @@ __all__ = [
     "current_engine",
     "current_process",
     "now",
+    "run_blocking",
     "sleep",
     "wait",
 ]

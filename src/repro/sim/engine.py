@@ -1,23 +1,34 @@
-"""The event loop, events, and thread-backed simulated processes.
+"""The event loop, events, and simulated processes (thread and light).
 
-Handoff protocol (the part that makes real library code runnable in
-simulated time):
+Two process backends share one heap:
 
-- every :class:`Process` owns a ``threading.Event`` turnstile; the engine
-  owns one too;
-- the engine pops the next (time, seq, action) off the heap, performs the
-  action — usually "resume process P" — and, if a process was resumed,
-  parks on its own turnstile until that process either blocks again or
-  finishes;
-- a process blocks by registering itself with an :class:`Event` /
-  resource queue, releasing the engine turnstile, and parking on its own.
+- :class:`Process` backs a simulated process with an OS thread so that
+  *arbitrary library code* (RocksDB adapters, retry loops, anything that
+  calls ``sim.sleep`` from deep inside a call stack) runs in simulated
+  time.  Handoff protocol: every process owns a ``threading.Event``
+  turnstile; the engine owns one too.  The engine pops the next
+  (time, seq, action) off the heap, performs the action — usually
+  "resume process P" — and parks on its own turnstile until that process
+  blocks again or finishes.  At most one thread is ever runnable, so
+  shared state needs no locking, but every resume costs two
+  ``threading.Event`` round-trips.
+- :class:`LightProcess` backs a process with a *generator* the engine
+  drives inline: ``yield seconds`` sleeps, ``yield event`` waits, and the
+  yield expression evaluates to the event's value (or raises its
+  failure).  No thread, no handoff — resuming is a ``gen.send()``.  The
+  high-fan-out internal loops (write-behind RPCs, OST/OSS service, MPI
+  shuttles) use this backend; fleet-size workloads spawn tens of
+  thousands of them.
 
-At most one thread is ever runnable, so shared state needs no locking and
-execution order is completely determined by the heap.
+Both backends perform *identical* heap operations for the same logic —
+``run_blocking`` drives any light-process generator with the thread
+primitives — so a scenario replays the same (time, seq) schedule under
+either, and runs stay bit-reproducible.
 """
 
 from __future__ import annotations
 
+import copy
 import heapq
 import itertools
 import threading
@@ -51,7 +62,7 @@ class Event:
         self.triggered = False
         self.value: Any = None
         self.exception: Optional[BaseException] = None
-        self._waiters: list[Process] = []
+        self._waiters: list = []  # Process | LightProcess
         self.name = name
 
     def succeed(self, value: Any = None) -> "Event":
@@ -74,8 +85,30 @@ class Event:
         self._waiters.clear()
         return self
 
-    def _add_waiter(self, proc: "Process") -> None:
+    def _add_waiter(self, proc) -> None:
         self._waiters.append(proc)
+
+
+def _failure_for_waiter(exc: BaseException) -> BaseException:
+    """A fresh replica of ``exc`` for one waiter to raise.
+
+    Events fan a single failure out to many waiters; re-raising the
+    shared object would keep appending each waiter's frames onto one
+    traceback, cross-contaminating error reports.  Each waiter gets a
+    shallow copy chained to the original via ``__cause__``.  Exceptions
+    that will not copy cleanly (or whose copy changes type) are passed
+    through unmodified rather than mangled.
+    """
+    try:
+        replica = copy.copy(exc)
+    except BaseException:  # noqa: BLE001 — arbitrary user exception types
+        return exc
+    if type(replica) is not type(exc):
+        return exc
+    replica.__traceback__ = None
+    replica.__cause__ = exc
+    replica.__suppress_context__ = True
+    return replica
 
 
 class Process:
@@ -150,24 +183,219 @@ class Process:
         self.engine._engine_turnstile.set()
         self._park()
 
+    def _kill(self) -> None:
+        """Unwind the backing thread during engine shutdown."""
+        self._killed = True
+        self._resume.set()
+        self._thread.join(timeout=5)
+
     @property
     def alive(self) -> bool:
         return not self._finished
 
 
+class LightProcess:
+    """A simulated process backed by a generator, dispatched inline.
+
+    The generator speaks a two-word protocol: ``yield seconds`` sleeps,
+    ``yield event`` waits (the yield expression evaluates to the event's
+    value, or raises its failure inside the generator).  Resuming is a
+    plain ``gen.send()`` on the engine's stack — no thread handoff — so
+    fleet-size fan-out (one process per RPC, per rank, per shuttle) costs
+    two orders of magnitude less than the thread backend.
+
+    Restriction: the generator must not call :func:`sleep`/:func:`wait`
+    (those park an OS thread the light process does not have); it yields
+    instead.  Code that needs arbitrary blocking library calls belongs on
+    the thread backend.
+    """
+
+    __slots__ = (
+        "engine", "name", "daemon", "done", "result", "error",
+        "_gen", "_finished", "_wait_event", "_span",
+    )
+
+    def __init__(self, engine: "Engine", gen, name: str, daemon: bool):
+        self.engine = engine
+        self.name = name
+        self.daemon = daemon
+        self.done = Event(engine, name=f"{name}.done")
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self._gen = gen
+        self._finished = False
+        self._wait_event: Optional[Event] = None
+        self._span = None
+
+    def _resume_action(self) -> None:
+        """Heap action: drive the generator until it parks again.
+
+        Each yield maps onto exactly the heap operations the thread
+        backend would perform (see :func:`run_blocking`): a delay is one
+        ``_schedule``, an untriggered event registers a waiter, a
+        triggered event resumes inline with no heap traffic.
+        """
+        if self._finished:
+            return
+        engine = self.engine
+        token_engine = getattr(_TLS, "engine", None)
+        token_proc = getattr(_TLS, "process", None)
+        prev_running = engine._running_process
+        _TLS.engine = engine
+        _TLS.process = self
+        engine._running_process = self
+        send_value: Any = None
+        throw_exc: Optional[BaseException] = None
+        event = self._wait_event
+        if event is not None:
+            self._wait_event = None
+            if event.exception is not None:
+                throw_exc = _failure_for_waiter(event.exception)
+            else:
+                send_value = event.value
+        gen = self._gen
+        try:
+            while True:
+                try:
+                    if throw_exc is not None:
+                        command = gen.throw(throw_exc)
+                    else:
+                        command = gen.send(send_value)
+                except StopIteration as stop:
+                    self._finish(stop.value, None)
+                    return
+                except BaseException as exc:  # noqa: BLE001 — recorded, re-raised
+                    self._finish(None, exc)
+                    if not self.daemon:
+                        # Surface crashes immediately, like the thread
+                        # backend's _resume_action does.
+                        raise
+                    return
+                send_value = None
+                throw_exc = None
+                if isinstance(command, Event):
+                    if command.engine is not engine:
+                        throw_exc = SimulationError(
+                            "event belongs to a different engine"
+                        )
+                    elif command.triggered:
+                        if command.exception is not None:
+                            throw_exc = _failure_for_waiter(command.exception)
+                        else:
+                            send_value = command.value
+                    else:
+                        command._add_waiter(self)
+                        self._wait_event = command
+                        return
+                elif isinstance(command, (int, float)):
+                    if command < 0:
+                        throw_exc = SimulationError(
+                            f"negative sleep: {command}"
+                        )
+                    else:
+                        # _schedule(), inlined: delays are the hottest
+                        # yield in fleet-size runs and the sign check
+                        # already happened above.
+                        engine._heap_pushes += 1
+                        heapq.heappush(
+                            engine._heap,
+                            (
+                                engine._now + command,
+                                next(engine._seq),
+                                self._resume_action,
+                            ),
+                        )
+                        return
+                else:
+                    throw_exc = SimulationError(
+                        f"light process {self.name!r} yielded {command!r}; "
+                        "yield a delay in seconds or a sim.Event"
+                    )
+        finally:
+            engine._running_process = prev_running
+            _TLS.engine = token_engine
+            _TLS.process = token_proc
+
+    def _finish(self, result: Any, error: Optional[BaseException]) -> None:
+        self._finished = True
+        self.result = result
+        self.error = error
+        if not self.done.triggered:
+            if error is not None:
+                self.done.fail(error)
+            else:
+                self.done.succeed(result)
+        if self._span is not None:
+            self._span.finish()
+            self._span = None
+
+    def _kill(self) -> None:
+        """Close the generator during engine shutdown."""
+        self._finished = True
+        self._gen.close()
+
+    @property
+    def alive(self) -> bool:
+        return not self._finished
+
+
+def run_blocking(gen) -> Any:
+    """Drive a light-process generator with the thread-backed primitives.
+
+    This is the bridge that lets process logic be written *once* as a
+    generator and run on either backend: ``spawn(run_blocking, gen)``
+    executes it on an OS thread (``yield delay`` → :func:`sleep`,
+    ``yield event`` → :func:`wait`), while ``spawn_light`` dispatches the
+    same generator inline.  Both paths perform identical heap operations,
+    so schedules are bit-identical across backends.  Callable from any
+    thread-backed process, including mid-stack in library code.
+    """
+    send_value: Any = None
+    throw_exc: Optional[BaseException] = None
+    while True:
+        try:
+            if throw_exc is not None:
+                command = gen.throw(throw_exc)
+            else:
+                command = gen.send(send_value)
+        except StopIteration as stop:
+            return stop.value
+        send_value = None
+        throw_exc = None
+        try:
+            if isinstance(command, Event):
+                send_value = wait(command)
+            elif isinstance(command, (int, float)):
+                if command < 0:
+                    raise SimulationError(f"negative sleep: {command}")
+                sleep(command)
+            else:
+                raise SimulationError(
+                    f"light process yielded {command!r}; "
+                    "yield a delay in seconds or a sim.Event"
+                )
+        except BaseException as exc:  # noqa: BLE001 — forwarded into the generator
+            throw_exc = exc
+
+
 class Engine:
     """The discrete-event scheduler."""
 
-    def __init__(self) -> None:
+    def __init__(self, light_processes: bool = True) -> None:
         self._now = 0.0
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._heap_pushes = 0
         self._seq = itertools.count()
         self._engine_turnstile = threading.Event()
-        self._running_process: Optional[Process] = None
-        self._processes: list[Process] = []
+        self._running_process = None  # Process | LightProcess
+        self._processes: list = []  # Process | LightProcess
         self._local = _TLS
         self._closed = False
+        # When False, spawn_light() falls back to a thread-backed process
+        # driving the same generator via run_blocking — the measurement
+        # baseline for the light backend's speedup, and an escape hatch
+        # should an accounting divergence ever need bisecting.
+        self._light_enabled = bool(light_processes)
 
     # -- time ------------------------------------------------------------
 
@@ -212,6 +440,40 @@ class Engine:
             )
         return proc
 
+    def spawn_light(
+        self,
+        genfn: Callable,
+        *args: Any,
+        name: Optional[str] = None,
+        daemon: bool = False,
+        **kwargs: Any,
+    ) -> "Process | LightProcess":
+        """Spawn a generator-backed process dispatched inline (no thread).
+
+        ``genfn(*args, **kwargs)`` must return a generator speaking the
+        light-process protocol (``yield seconds`` / ``yield event``).
+        With ``Engine(light_processes=False)`` the same generator runs on
+        a thread via :func:`run_blocking` instead; either way the heap
+        operations — and therefore the schedule — are identical.
+        """
+        if self._closed:
+            raise SimulationError("engine is closed")
+        pname = name or getattr(genfn, "__name__", "proc")
+        gen = genfn(*args, **kwargs)
+        if not self._light_enabled:
+            return self.spawn(run_blocking, gen, name=pname, daemon=daemon)
+        proc = LightProcess(self, gen, name=pname, daemon=daemon)
+        self._processes.append(proc)
+        self._schedule(0.0, proc._resume_action)
+        tracer = _trace.TRACER
+        if tracer is not None:
+            tracer.instant(
+                "sim", "spawn", ts=self._now, track="engine",
+                proc=pname, daemon=daemon,
+            )
+            proc._span = tracer.span("sim", f"proc:{pname}")
+        return proc
+
     def _wrap(self, fn: Callable) -> Callable:
         engine = self
 
@@ -254,7 +516,10 @@ class Engine:
         while self._heap:
             time, _, action = self._heap[0]
             if until is not None and time > until:
-                self._now = until
+                # Clamp: an `until` earlier than the current time pauses
+                # immediately, it must never move the clock backward.
+                if until > self._now:
+                    self._now = until
                 return self._now
             heapq.heappop(self._heap)
             self._now = time
@@ -276,7 +541,9 @@ class Engine:
         while heap:
             when, _, action = heap[0]
             if until is not None and when > until:
-                self._now = until
+                # Same clamp as the fast loop: never rewind the clock.
+                if until > self._now:
+                    self._now = until
                 return self._now
             heapq.heappop(heap)
             self._now = when
@@ -284,10 +551,14 @@ class Engine:
                 pushes = self._heap_pushes
                 start = _wall_ns()
                 action()
+                # Close the timing window before computing the site key:
+                # argument order would otherwise charge site_name()'s
+                # getattrs + regex into every event's wall time.
+                elapsed = _wall_ns() - start
                 profiler.record(
                     _site_name(action),
                     self._heap_pushes - pushes,
-                    _wall_ns() - start,
+                    elapsed,
                 )
             else:
                 action()
@@ -306,15 +577,13 @@ class Engine:
         return self._now
 
     def close(self) -> None:
-        """Kill every remaining process thread and reject further use."""
+        """Kill every remaining process and reject further use."""
         if self._closed:
             return
         self._closed = True
         for proc in self._processes:
             if proc.alive:
-                proc._killed = True
-                proc._resume.set()
-                proc._thread.join(timeout=5)
+                proc._kill()
         self._heap.clear()
 
     def __enter__(self) -> "Engine":
@@ -355,6 +624,11 @@ def sleep(delay: float) -> None:
     """Advance this process's simulated time by ``delay``."""
     engine = current_engine()
     proc = current_process()
+    if isinstance(proc, LightProcess):
+        raise SimulationError(
+            f"sleep() called inside light process {proc.name!r}; "
+            "yield the delay instead"
+        )
     if delay < 0:
         raise SimulationError(f"negative sleep: {delay}")
     engine._schedule(delay, proc._resume_action)
@@ -364,15 +638,23 @@ def sleep(delay: float) -> None:
 def wait(event: Event) -> Any:
     """Block until ``event`` triggers; returns its value.
 
-    If the event failed, its exception is raised here (in the waiter).
+    If the event failed, a per-waiter replica of its exception is raised
+    here (in the waiter), chained to the original via ``__cause__`` —
+    sharing one exception object across waiters would accrete every
+    waiter's frames onto a single traceback.
     """
     engine = current_engine()
     proc = current_process()
+    if isinstance(proc, LightProcess):
+        raise SimulationError(
+            f"wait() called inside light process {proc.name!r}; "
+            "yield the event instead"
+        )
     if event.engine is not engine:
         raise SimulationError("event belongs to a different engine")
     if not event.triggered:
         event._add_waiter(proc)
         proc._block_and_switch()
     if event.exception is not None:
-        raise event.exception
+        raise _failure_for_waiter(event.exception)
     return event.value

@@ -23,6 +23,25 @@ from repro.io import Priority, io_priority
 from repro.lsm.executors import Executor
 
 
+def _propagated_error(
+    exc: BaseException, proc: sim.Process
+) -> Optional[BaseException]:
+    """``proc``'s original failure, if ``exc`` is how ``sim.wait`` surfaced it.
+
+    ``sim.wait`` hands each waiter a per-waiter replica chained to the
+    original via ``__cause__`` (so tracebacks don't accrete across
+    waiters); the executor's error bookkeeping is by identity, so unwrap
+    back to the original instance.  Returns None for unrelated exceptions
+    (e.g. :class:`sim.ProcessKilled`), which callers must re-raise.
+    """
+    original = proc.error
+    if original is None:
+        return None
+    if exc is original or exc.__cause__ is original:
+        return original
+    return None
+
+
 class SimExecutor(Executor):
     """Run jobs as (serialized) background processes on one engine.
 
@@ -59,13 +78,16 @@ class SimExecutor(Executor):
                     try:
                         sim.wait(predecessor.done)
                     except BaseException as exc:
-                        if (
-                            exc is predecessor.error
-                            and id(exc) in self._reported
-                        ):
-                            pass  # already surfaced at a barrier
-                        else:
+                        original = _propagated_error(exc, predecessor)
+                        if original is None:
                             raise
+                        if id(original) not in self._reported:
+                            # Re-raise the *original* instance so every
+                            # poisoned job in the chain carries the first
+                            # failure, preserving drain()'s raise-once
+                            # identity bookkeeping.
+                            raise original
+                        # already surfaced at a barrier
                 elif (
                     predecessor.error is not None
                     and id(predecessor.error) not in self._reported
@@ -110,10 +132,9 @@ class SimExecutor(Executor):
                     try:
                         sim.wait(proc.done)
                     except BaseException as exc:
-                        if exc is proc.error:
-                            pass  # collected below, raised exactly once
-                        else:
+                        if _propagated_error(exc, proc) is None:
                             raise
+                        # else: collected below, raised exactly once
             if self._targets(priorities) == targets:
                 break
         first: Optional[BaseException] = None
@@ -165,7 +186,7 @@ class SimExecutor(Executor):
                 try:
                     sim.wait(proc.done)
                 except BaseException as exc:
-                    if exc is not proc.error:
+                    if _propagated_error(exc, proc) is None:
                         raise
             if proc.error is not None and first is None:
                 first = proc.error

@@ -41,6 +41,20 @@ class Resource:
         wait(gate)
         # The releaser transferred its slot to us (kept _in_use high).
 
+    def acquire_lw(self):
+        """Light-process twin of :meth:`acquire` (``yield from`` it).
+
+        Performs the same queue/slot operations, parking via ``yield``
+        instead of :func:`wait`, so both backends replay one schedule.
+        """
+        if self._in_use < self.capacity and not self._queue:
+            self._in_use += 1
+            return
+        gate = Event(self.engine, name=f"{self.name}.acquire")
+        self._queue.append(gate)
+        yield gate
+        # The releaser transferred its slot to us (kept _in_use high).
+
     def release(self) -> None:
         """Free a slot, waking the longest-waiting acquirer."""
         if self._in_use <= 0:
@@ -105,6 +119,14 @@ class Store:
         gate = Event(self.engine, name=f"{self.name}.get")
         self._getters.append(gate)
         return wait(gate)
+
+    def get_lw(self):
+        """Light-process twin of :meth:`get` (``yield from`` it)."""
+        if self._items:
+            return self._items.popleft()
+        gate = Event(self.engine, name=f"{self.name}.get")
+        self._getters.append(gate)
+        return (yield gate)
 
     def try_get(self) -> Optional[Any]:
         """Non-blocking take; None when empty."""

@@ -344,3 +344,130 @@ class TestScheduler:
                     f"bytes_{cls}", f"stall_time_{cls}",
                 }
             assert set(sched.stats.snapshot()) == expected
+
+
+class TestDrrEdgeCases:
+    def test_deficit_carries_across_rotor_visits(self):
+        # Compaction (weight 1) earns 1024/visit; its 3000-byte head needs
+        # three visits of carried deficit while foreground keeps issuing.
+        policy = DeficitRoundRobinPolicy(quantum=1024)
+        fg = [req(Priority.FOREGROUND, nbytes=4096) for _ in range(3)]
+        big = req(Priority.COMPACTION, nbytes=3000)
+        for r in fg + [big]:
+            policy.push(r)
+        order = [policy.pop() for _ in range(4)]
+        assert order == fg + [big]
+
+    def test_deficit_resets_when_class_drains(self):
+        # A drained class may not hoard credit for a later burst: the
+        # huge quantum would otherwise let it monopolize the next visit.
+        policy = DeficitRoundRobinPolicy(quantum=1 << 20)
+        policy.push(req(Priority.COMPACTION, nbytes=10))
+        assert policy.pop().nbytes == 10
+        assert policy._deficit[Priority.COMPACTION] == 0
+
+    def test_deficit_resets_when_class_found_empty(self):
+        # The rotor zeroes an idle class's deficit in passing, so credit
+        # cannot accumulate while a class has nothing queued.
+        policy = DeficitRoundRobinPolicy(quantum=1024)
+        policy._deficit[Priority.METADATA] = 999999  # stale credit
+        policy.push(req(Priority.COMPACTION, nbytes=1))
+        assert policy.pop().priority is Priority.COMPACTION
+        assert policy._deficit[Priority.METADATA] == 0
+
+    def test_zero_byte_requests_charge_exactly_one(self):
+        # quantum 4 x metadata weight 2 = 8 credits per visit: exactly
+        # eight zero-byte requests fit in one visit at cost 1 apiece.
+        policy = DeficitRoundRobinPolicy(quantum=4)
+        for _ in range(8):
+            policy.push(req(Priority.METADATA, nbytes=0))
+        policy.push(req(Priority.COMPACTION, nbytes=1))
+        order = [policy.pop() for _ in range(9)]
+        assert [r.priority for r in order[:8]] == [Priority.METADATA] * 8
+        assert order[8].priority is Priority.COMPACTION
+
+
+class TestSchedulerErrorPaths:
+    def test_queued_run_exception_frees_slot_and_keeps_stats(self):
+        """A queued job whose run() raises must release the service slot
+        and keep the issue counters consistent, or the scheduler wedges
+        every later submission."""
+        with sim.Engine() as engine:
+            sched = IoScheduler(engine, policy="strict")
+            order = []
+
+            def holder():
+                def run():
+                    order.append("holder")
+                    sim.sleep(1.0)
+                    return "ok"
+                return sched.submit("write", 10, run)
+
+            def crasher_then_retry():
+                sim.sleep(0.1)  # arrive while the holder occupies the slot
+
+                def boom():
+                    order.append("boom")
+                    raise RuntimeError("queued job failed")
+
+                with pytest.raises(RuntimeError, match="queued job failed"):
+                    sched.submit("write", 10, boom)
+
+                def retry():
+                    order.append("retry")
+                    return "recovered"
+
+                return sched.submit("write", 10, retry)
+
+            first = engine.spawn(holder)
+            second = engine.spawn(crasher_then_retry)
+            engine.run()
+
+            assert order == ["holder", "boom", "retry"]
+            assert first.result == "ok"
+            assert second.result == "recovered"
+            stats = sched.stats
+            assert stats.class_issued["foreground"] == 3
+            assert stats.queued_issues == 1  # only the crasher parked
+            assert sched._active is None
+
+
+class TestRateLimiterDoubleSpend:
+    def test_concurrent_throttlers_cannot_double_spend(self):
+        """Three writers grab the same bucket at t=0.  The charge must be
+        recorded *before* sleeping: with the old refill-then-zero model
+        every concurrent waiter saw a merely-empty bucket and paid one
+        refill period, admitting 3 MiB in 1 s through a 1 MiB/s bucket."""
+        with sim.Engine() as engine:
+            limiter = RateLimiter(rate=1 << 20, burst=1 << 20)
+            finish = []
+
+            def writer(name):
+                limiter.throttle(1 << 20)
+                finish.append((name, sim.now()))
+
+            for i in range(3):
+                engine.spawn(writer, f"w{i}")
+            engine.run()
+        assert [name for name, _ in finish] == ["w0", "w1", "w2"]
+        assert [t for _, t in finish] == pytest.approx([0.0, 1.0, 2.0])
+
+    def test_throttle_lw_twin_matches_thread_schedule(self):
+        def run(light: bool):
+            with sim.Engine(light_processes=light) as engine:
+                limiter = RateLimiter(rate=1 << 20, burst=1 << 20)
+                finish = []
+
+                def writer_lw(name):
+                    waited = yield from limiter.throttle_lw(1 << 20)
+                    finish.append((name, round(waited, 9), sim.now()))
+
+                for i in range(3):
+                    engine.spawn_light(writer_lw, f"w{i}")
+                engine.run()
+            return finish
+
+        light = run(True)
+        threads = run(False)
+        assert light == threads
+        assert [t for _, _, t in light] == pytest.approx([0.0, 1.0, 2.0])
