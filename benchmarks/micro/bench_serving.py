@@ -1,0 +1,141 @@
+"""Microbenchmark: metadata-path gates on the serving read fan-out campaign.
+
+The write path is covered by ``bench_llm.py``; this harness gates the
+*read/metadata* side that the sharded-MDS PR introduced.  It runs the
+three-point serving campaign (:mod:`repro.bench.serving`) — ``readdir``
+enumeration on one MDS, ``manifest`` enumeration on one MDS, and
+``manifest`` + 4 DNE shards + client metadata cache — under both engine
+backends and gates on:
+
+- manifest enumeration is >= 3x faster (entries/s) than a paged
+  ``readdir`` + per-entry ``stat`` storm;
+- 4 DNE shards + the metadata cache cut the busiest shard's request
+  count >= 2x versus the single-MDS manifest point;
+- the thread and light-process backends replay one schedule (the
+  campaign payloads are identical once the ``mode`` tag is removed).
+
+Every gated number is sim-deterministic (simulated clock, seeded Zipf
+draws), so the committed ``BENCH_serving.json`` can be regenerated
+bit-identically on any machine.
+
+Usage::
+
+    python benchmarks/micro/bench_serving.py                # run, print
+    python benchmarks/micro/bench_serving.py --out BENCH_serving.json
+    python benchmarks/micro/bench_serving.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+from repro._version import __version__  # noqa: E402
+from repro.bench.serving import (  # noqa: E402
+    ServingConfig,
+    format_serving,
+    run_serving_campaign,
+)
+
+DEFAULT_JSON = os.path.join(os.path.dirname(__file__), "BENCH_serving.json")
+
+MIN_ENUM_SPEEDUP = 3.0
+MIN_SHARD_REDUCTION = 2.0
+
+
+def _strip_mode(campaign: dict) -> str:
+    """Canonical JSON of a campaign payload minus the backend tag."""
+    doc = json.loads(json.dumps(campaign))
+    doc.pop("mode", None)
+    for point in doc.get("points", {}).values():
+        point.pop("mode", None)
+    return json.dumps(doc, sort_keys=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced campaign shape (CI smoke; the committed baseline "
+             "uses the full shape)",
+    )
+    parser.add_argument("--out", default=None, help="write/refresh this JSON")
+    parser.add_argument(
+        "--check", action="store_true",
+        help=f"fail unless manifest enumeration is >= {MIN_ENUM_SPEEDUP}x "
+             f"readdir, sharding+cache cuts the busiest MDS >= "
+             f"{MIN_SHARD_REDUCTION}x, and both backends replay one "
+             "schedule",
+    )
+    args = parser.parse_args(argv)
+
+    from check_baselines import build_doc, check
+
+    light = run_serving_campaign(quick=args.quick, mode="light")
+    threads = run_serving_campaign(quick=args.quick, mode="threads")
+    modes_same_sim = _strip_mode(light) == _strip_mode(threads)
+
+    cfg = ServingConfig()
+    if args.quick:
+        cfg = cfg.quick()
+    sharded = light["points"]["manifest-4shard-cache"]
+
+    doc = build_doc(
+        name="serving",
+        env={
+            "clients": cfg.clients,
+            "models": cfg.models,
+            "files_per_model": cfg.files_per_model,
+            "file_bytes": cfg.file_bytes,
+            "requests_per_client": cfg.requests_per_client,
+            "zipf_s": cfg.zipf_s,
+            "quick": bool(args.quick),
+            "cluster": "viking(store_data=False)",
+            "version": __version__,
+        },
+        metrics={
+            "enumeration_speedup": light["gates"]["enumeration_speedup"],
+            "per_shard_mds_reduction": (
+                light["gates"]["per_shard_mds_reduction"]
+            ),
+            "modes_same_sim": modes_same_sim,
+            "read_gib_s": sharded["serve"]["read_gib_s"],
+            "ttfb_p99_s": sharded["serve"]["ttfb_p99_s"],
+            "block_cache_hit_rate": sharded["serve"]["block_cache_hit_rate"],
+            "md_cache_hit_rate": sharded["serve"]["md_cache_hit_rate"],
+        },
+        tolerances={
+            "enumeration_speedup": {"rule": "min", "value": MIN_ENUM_SPEEDUP},
+            "per_shard_mds_reduction": {
+                "rule": "min", "value": MIN_SHARD_REDUCTION,
+            },
+            "modes_same_sim": {"rule": "truthy"},
+            "read_gib_s": {"rule": "gt", "value": 0.0},
+            "ttfb_p99_s": {"rule": "gt", "value": 0.0},
+            "block_cache_hit_rate": {"rule": "gt", "value": 0.0},
+            "md_cache_hit_rate": {"rule": "gt", "value": 0.0},
+        },
+        detail={"campaign": light},
+    )
+
+    print(format_serving(light))
+    print(f"backends replay one schedule: {modes_same_sim}")
+
+    json_path = args.out or DEFAULT_JSON
+    if args.out:
+        with open(json_path, "w") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {os.path.relpath(json_path)}")
+
+    if args.check:
+        return check(doc, label="serving")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -46,7 +46,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "target",
         choices=sorted(FIGURES) + [
-            "fig1", "ablations", "media", "groups", "tiering", "llm", "all",
+            "fig1", "ablations", "media", "groups", "tiering", "llm",
+            "serving", "all",
         ],
         help="which figure to regenerate",
     )
@@ -96,6 +97,21 @@ def main(argv=None) -> int:
         "--pacing", action="store_true",
         help="enable stall-aware compaction pacing (smooth write delay "
              "+ rate-limiter boost instead of trigger cliffs)",
+    )
+    parser.add_argument(
+        "--mds-shards", type=int, default=None, metavar="N",
+        help="DNE metadata shards (default 1: single MDS, bit-identical "
+             "to the unsharded path)",
+    )
+    parser.add_argument(
+        "--mds-cost-scale", type=float, default=None, metavar="FACTOR",
+        help="multiply every MDS op cost by FACTOR (what-if knob for "
+             "faster/slower metadata targets)",
+    )
+    parser.add_argument(
+        "--md-cache", action="store_true",
+        help="enable the client-side metadata cache (TTL + negative "
+             "entries; default off)",
     )
     parser.add_argument(
         "--burst-buffer", metavar="CAPACITY", default=None,
@@ -148,6 +164,12 @@ def main(argv=None) -> int:
         cluster_overrides["io_policy"] = args.io_policy
     if args.compaction_bw is not None:
         cluster_overrides["io_compaction_bandwidth"] = args.compaction_bw
+    if args.mds_shards is not None:
+        cluster_overrides["mds_shards"] = args.mds_shards
+    if args.mds_cost_scale is not None:
+        cluster_overrides["mds_cost_scale"] = args.mds_cost_scale
+    if args.md_cache:
+        cluster_overrides["md_cache"] = True
 
     lsmio_params: dict = {}
     if args.subcompactions is not None:
@@ -201,6 +223,12 @@ def main(argv=None) -> int:
         )
         print(format_llm(result))
         payload["llm"] = result
+    elif args.target == "serving":
+        from repro.bench.serving import format_serving, run_serving_campaign
+
+        result = run_serving_campaign(quick=args.quick)
+        print(format_serving(result))
+        payload["serving"] = result
     elif args.target == "media":
         result = run_media_comparison()
         mib = 1 << 20

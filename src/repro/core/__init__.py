@@ -21,6 +21,12 @@ that cannot disable their WAL.
 
 from repro.core.checkpoint import Checkpointer, DegradedWriteReport
 from repro.core.counters import PerfCounters
+from repro.core.enumeration import (
+    EnumerationResult,
+    manifest_listing,
+    readdir_storm,
+    write_manifest,
+)
 from repro.core.fstream import LsmioFStream
 from repro.core.manager import LsmioManager
 from repro.core.multilevel import MultilevelCheckpointer
@@ -31,10 +37,14 @@ __all__ = [
     "Backend",
     "Checkpointer",
     "DegradedWriteReport",
+    "EnumerationResult",
     "LsmioFStream",
     "LsmioManager",
     "LsmioOptions",
     "LsmioStore",
     "MultilevelCheckpointer",
     "PerfCounters",
+    "manifest_listing",
+    "readdir_storm",
+    "write_manifest",
 ]

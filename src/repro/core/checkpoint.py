@@ -216,6 +216,24 @@ class Checkpointer:
             info.blocks[name] = (length, crc)
         return info
 
+    def block_index(self, epoch: int) -> dict[str, tuple[int, int]]:
+        """Enumerate ``epoch``'s blocks from the manifest: one read, no
+        namespace walk.
+
+        Returns ``{name: (length, crc32c)}`` for every block of the
+        epoch.  This is the manifest-based alternative to a readdir
+        storm: a restore planner learns every block name *and* size from
+        a single K/V get instead of a paged listing plus a stat per
+        entry (see :mod:`repro.core.enumeration` for the measured
+        comparison).  Raises :class:`~repro.errors.NotFoundError` for a
+        missing/uncommitted epoch.
+        """
+        if not self._is_committed(epoch):
+            raise NotFoundError(f"epoch {epoch} was never committed")
+        return deserialize_value(
+            self.manager.get(self._epoch_key(epoch, "manifest"))
+        )
+
     def load(self, epoch: int) -> dict[str, Any]:
         """Load one epoch's state after verifying every block CRC."""
         self.verify(epoch)

@@ -55,6 +55,22 @@ class OstUnavailableError(StorageIOError):
         self.ost_index = ost_index
 
 
+class MdsUnavailableError(StorageIOError):
+    """A metadata RPC reached an MDS shard whose failure domain is down.
+
+    The metadata twin of :class:`OstUnavailableError`: transient by
+    contract, absorbed by the client's retry/backoff loop, escalating to
+    :class:`RetryExhaustedError` only when the budget runs out.
+
+    ``shard_index`` names the failed DNE shard (see
+    :class:`repro.pfs.mds.MdsShardGroup`).
+    """
+
+    def __init__(self, message: str, shard_index: int | None = None):
+        super().__init__(message)
+        self.shard_index = shard_index
+
+
 class RpcTimeoutError(StorageIOError, TimeoutError):
     """A client↔OSS RPC timed out (dropped request or dead server).
 

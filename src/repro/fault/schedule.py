@@ -51,6 +51,7 @@ class FaultSpec:
     """
 
     kind: str                              # ost_down | ost_up | disk_degrade
+    #                                      # | mds_down | mds_up
     #                                      # | rpc_drop | rpc_delay
     #                                      # | sync_fail | rank_crash
     #                                      # | bb_device_fail
@@ -161,6 +162,29 @@ class FaultSchedule:
     def recover_oss(self, oss: int, at_time: float) -> "FaultSchedule":
         """Bring OSS ``oss`` back up at ``at_time``."""
         self.specs.append(FaultSpec("oss_up", target=int(oss), at_time=at_time))
+        return self
+
+    # -- MDS shard failure domains ---------------------------------------
+
+    def fail_mds(
+        self, shard: int, at_time: float, duration: Optional[float] = None
+    ) -> "FaultSchedule":
+        """Take MDS shard ``shard`` down at ``at_time``: every metadata
+        RPC routed to it times out until recovery (after ``duration`` if
+        given) — the namespace itself survives on the MDT."""
+        self.specs.append(
+            FaultSpec(
+                "mds_down", target=int(shard), at_time=at_time,
+                duration=duration,
+            )
+        )
+        return self
+
+    def recover_mds(self, shard: int, at_time: float) -> "FaultSchedule":
+        """Bring MDS shard ``shard`` back up at ``at_time``."""
+        self.specs.append(
+            FaultSpec("mds_up", target=int(shard), at_time=at_time)
+        )
         return self
 
     # -- client↔OSS RPC faults -------------------------------------------
@@ -296,6 +320,8 @@ class FaultStats:
     osts_failed: int = 0
     osts_recovered: int = 0
     osses_failed: int = 0
+    mds_failed: int = 0
+    mds_recovered: int = 0
     disks_degraded: int = 0
     rpcs_dropped: int = 0
     rpcs_delayed: int = 0
@@ -337,6 +363,7 @@ class FaultInjector:
         for spec in schedule.specs:
             if spec.kind in (
                 "ost_down", "ost_up", "disk_degrade", "oss_down", "oss_up",
+                "mds_down", "mds_up",
             ):
                 if spec.at_time is not None:
                     self._push_timed(spec.at_time, spec)
@@ -377,6 +404,22 @@ class FaultInjector:
             self._apply(at_time, spec)
 
     def _apply(self, at_time: float, spec: FaultSpec) -> None:
+        if spec.kind in ("mds_down", "mds_up"):
+            shard = self.cluster.mds.shards[spec.target]
+            if spec.kind == "mds_down" and shard.up:
+                shard.fail()
+                self.stats.mds_failed += 1
+                self._record(at_time, "mds_down", spec.target)
+                if spec.duration is not None:
+                    self._push_timed(
+                        at_time + spec.duration,
+                        FaultSpec("mds_up", target=spec.target),
+                    )
+            elif spec.kind == "mds_up" and not shard.up:
+                shard.recover()
+                self.stats.mds_recovered += 1
+                self._record(at_time, "mds_up", spec.target)
+            return
         if spec.kind in ("oss_down", "oss_up"):
             oss = self.cluster.osses[spec.target]
             if spec.kind == "oss_down" and oss.up:
@@ -498,6 +541,30 @@ class FaultInjector:
     def recover_ost_now(self, ost: int) -> None:
         """Bring an OST back immediately."""
         self._apply(self.cluster.engine.now, FaultSpec("ost_up", target=int(ost)))
+
+    def fail_mds_now(
+        self, shard: int, duration: Optional[float] = None
+    ) -> None:
+        """Take an MDS shard down immediately."""
+        self._apply(
+            self.cluster.engine.now,
+            FaultSpec("mds_down", target=int(shard), duration=duration),
+        )
+
+    def recover_mds_now(self, shard: int) -> None:
+        """Bring an MDS shard back immediately."""
+        self._apply(
+            self.cluster.engine.now, FaultSpec("mds_up", target=int(shard))
+        )
+
+    @property
+    def down_mds(self) -> tuple[int, ...]:
+        """Indices of MDS shards currently down (sorted)."""
+        if self.cluster is None:
+            return ()
+        return tuple(
+            shard.index for shard in self.cluster.mds.shards if not shard.up
+        )
 
     @property
     def down_osts(self) -> tuple[int, ...]:

@@ -13,8 +13,12 @@ the evaluation:
   head tracking, LDLM-style extent-lock ping-pong between clients;
 - :mod:`repro.pfs.oss` — object storage servers: shared network pipes
   that cap aggregate bandwidth;
-- :mod:`repro.pfs.mds` — the metadata server: opens, creates, lookups and
-  lock traffic serialize here (HDF5's pain point);
+- :mod:`repro.pfs.mds` — the metadata servers: opens, creates, lookups
+  and lock traffic serialize here (HDF5's pain point); DNE-style
+  sharding (:class:`~repro.pfs.mds.MdsShardGroup`) and a real namespace
+  with paged readdir;
+- :mod:`repro.pfs.mdcache` — client-side metadata cache: TTL'd
+  positive/negative existence verdicts with cluster-wide invalidation;
 - :mod:`repro.pfs.lustre` — the cluster: namespace, files, configuration;
 - :mod:`repro.pfs.client` — per-node mount point: striped reads/writes
   with client-side write-back buffering and RPC chunking;
@@ -28,6 +32,8 @@ from repro.pfs.configs import viking
 from repro.pfs.disk import HDDProfile, SSDProfile
 from repro.pfs.layout import StripeLayout
 from repro.pfs.lustre import LustreCluster, LustreConfig
+from repro.pfs.mdcache import MetadataCache
+from repro.pfs.mds import Mds, MdsShardGroup
 from repro.pfs.simenv import SimLustreEnv
 from repro.pfs.stats import ClusterReport, collect_report
 
@@ -38,6 +44,9 @@ __all__ = [
     "LustreClient",
     "LustreCluster",
     "LustreConfig",
+    "Mds",
+    "MdsShardGroup",
+    "MetadataCache",
     "SSDProfile",
     "SimLustreEnv",
     "StripeLayout",

@@ -24,6 +24,8 @@ import numpy as np
 from repro import sim
 from repro.errors import (
     InvalidArgumentError,
+    MdsUnavailableError,
+    NotFoundError,
     OstUnavailableError,
     RetryExhaustedError,
     RpcTimeoutError,
@@ -31,6 +33,7 @@ from repro.errors import (
 )
 from repro.io import IoScheduler, Priority
 from repro.pfs.lustre import LustreCluster, LustreFile
+from repro.pfs.mdcache import MetadataCache
 from repro.trace import runtime as _trace
 
 
@@ -105,10 +108,22 @@ class LustreClient:
             drr_quantum=config.io_drr_quantum,
         )
         cluster.clients.append(self)
+        # Client-side metadata cache (off by default; enabling registers
+        # this client for the cluster's invalidation broadcast).
+        self._md_cache: Optional[MetadataCache] = None
+        if config.md_cache:
+            self._md_cache = MetadataCache(
+                capacity=config.md_cache_capacity, ttl=config.md_cache_ttl
+            )
+            cluster._md_caches.append(self._md_cache)
         metrics = _trace.METRICS
         if metrics is not None:
             metrics.register(f"pfs.client{client_id}", self.stats)
             metrics.register(f"io.sched.client{client_id}", self.scheduler.stats)
+            if self._md_cache is not None:
+                metrics.register(
+                    f"pfs.mdcache.client{client_id}", self._md_cache.stats
+                )
         sampler = _trace.SAMPLER
         if sampler is not None:
             sched = self.scheduler
@@ -144,27 +159,109 @@ class LustreClient:
     # Namespace operations (charge the MDS)
     # ------------------------------------------------------------------
 
-    def _mds_op(self, op: str) -> None:
+    def _mds_op(self, op: str, path: Optional[str] = None) -> None:
         """One MDS request, admitted as METADATA class.
 
         Namespace ops always classify as METADATA regardless of the
         ambient :func:`io_priority` context: they are tiny, the caller
         blocks on them, and real MDS traffic rides a separate portal
-        from bulk data.
+        from bulk data.  ``path`` selects the DNE shard; ``None`` routes
+        to the root shard (format-model bookkeeping ops).
         """
         self.scheduler.submit(
-            "meta", 0, lambda: self.cluster.mds.perform(op),
+            "meta", 0,
+            lambda: sim.run_blocking(self._mds_service_lw(op, path)),
             priority=Priority.METADATA,
         )
         self.stats.mds_ops += 1
 
-    def _mds_op_lw(self, op: str):
+    def _mds_op_lw(self, op: str, path: Optional[str] = None):
         """Light-process twin of :meth:`_mds_op` (``yield from`` it)."""
         yield from self.scheduler.submit_lw(
-            "meta", 0, lambda: self.cluster.mds.perform_lw(op),
+            "meta", 0, lambda: self._mds_service_lw(op, path),
             priority=Priority.METADATA,
         )
         self.stats.mds_ops += 1
+
+    def _mds_service_lw(self, op: str, path: Optional[str]):
+        """MDS service with the retry/timeout/backoff degraded path.
+
+        The metadata twin of :meth:`_faulty_transfer_lw`: a down shard
+        costs the client its RPC timeout, then retries with exponential
+        backoff until the shard recovers or the budget is spent.  With no
+        injector installed this is a single delegation — the healthy fast
+        path stays one ``is None`` check.
+        """
+        if self.cluster.fault_injector is None:
+            yield from self.cluster.mds.perform_lw(op, path)
+            return
+        injector = self.cluster.fault_injector
+        shard = self.cluster.mds.shard_for(path if path is not None else "")
+        attempts = 0
+        while True:
+            try:
+                injector.advance(sim.now())
+                if not shard.up:
+                    # The request vanishes into a dead server: burn the
+                    # timeout (same contract as a dead OSS).
+                    yield self._rpc_timeout
+                    self.stats.rpc_timeouts += 1
+                    raise RpcTimeoutError(
+                        f"client{self.client_id}: {op} rpc to "
+                        f"mds{shard.index} timed out after "
+                        f"{self._rpc_timeout}s"
+                    )
+                yield from shard.perform_lw(op)
+                return
+            except (MdsUnavailableError, RpcTimeoutError) as exc:
+                attempts += 1
+                if attempts > self._max_retries:
+                    self.stats.rpc_failures += 1
+                    raise RetryExhaustedError(
+                        f"client{self.client_id}: {op} rpc to "
+                        f"mds{shard.index} failed after {attempts} "
+                        f"attempts: {exc}",
+                        attempts=attempts,
+                        last_error=exc,
+                    ) from exc
+                self.stats.rpc_retries += 1
+                tracer = _trace.TRACER
+                if tracer is not None:
+                    tracer.instant(
+                        "pfs", "mds_retry", client=self.client_id,
+                        shard=shard.index, attempt=attempts, op=op,
+                        error=type(exc).__name__,
+                    )
+                yield from self._backoff_lw(attempts)
+
+    # -- metadata-cache fast path (zero simulated cost on a hit) ----------
+
+    def _md_cached(self, path: str):
+        """Probe the cache: the file on a hit, ``None`` on a miss.
+
+        A live negative entry raises :class:`NotFoundError` straight from
+        the cache — the saved RPC is the point.
+        """
+        if self._md_cache is None:
+            return None
+        verdict = self._md_cache.lookup(path)
+        if verdict is None:
+            return None
+        if not verdict:
+            raise NotFoundError(f"no such file: {path}")
+        return self.cluster.lookup(path)
+
+    def _md_fill(self, path: str) -> LustreFile:
+        """Resolve ``path`` after an MDS round-trip, remembering the verdict."""
+        try:
+            file = self.cluster.lookup(path)
+        except NotFoundError:
+            if self._md_cache is not None:
+                self._md_cache.insert(path, exists=False)
+            raise
+        if self._md_cache is not None:
+            self._md_cache.insert(path, exists=True)
+        return file
 
     def create(
         self,
@@ -173,30 +270,84 @@ class LustreClient:
         stripe_size: Optional[int | str] = None,
         store_data: Optional[bool] = None,
     ) -> LustreFile:
-        self._mds_op("create")
-        return self.cluster.create(
+        self._mds_op("create", path)
+        file = self.cluster.create(
             path,
             stripe_count=stripe_count,
             stripe_size=stripe_size,
             store_data=store_data,
         )
+        if self._md_cache is not None:
+            self._md_cache.insert(path, exists=True)
+        return file
 
     def open(self, path: str) -> LustreFile:
-        self._mds_op("open")
-        return self.cluster.lookup(path)
+        cached = self._md_cached(path)
+        if cached is not None:
+            return cached
+        self._mds_op("open", path)
+        return self._md_fill(path)
 
     def close(self, file: LustreFile) -> None:
         """Flush write-behind data, then release the handle at the MDS."""
         self.fsync(file)
-        self._mds_op("close")
+        self._mds_op("close", file.path)
 
     def stat(self, path: str) -> LustreFile:
-        self._mds_op("stat")
-        return self.cluster.lookup(path)
+        cached = self._md_cached(path)
+        if cached is not None:
+            return cached
+        self._mds_op("stat", path)
+        return self._md_fill(path)
 
     def unlink(self, path: str) -> None:
-        self._mds_op("unlink")
+        self._mds_op("unlink", path)
         self.cluster.unlink(path)
+        if self._md_cache is not None:
+            self._md_cache.insert(path, exists=False)
+
+    def setattr(self, path: str) -> LustreFile:
+        """Attribute mutation (chmod/utimes): one MDS op + lock revocation.
+
+        Cached verdicts about ``path`` become stale everywhere, so the
+        cluster broadcasts an invalidation — the same coherence rule as
+        create/unlink.
+        """
+        self._mds_op("setattr", path)
+        file = self.cluster.lookup(path)
+        self.cluster._invalidate_md(path)
+        return file
+
+    def readdir_page(
+        self, dirpath: str, start: int = 0, batch_size: int = 64
+    ) -> tuple[list[str], Optional[int]]:
+        """One paged readdir RPC: entries ``[start, start+batch_size)``.
+
+        Returns ``(names, next_start)``; ``next_start`` is ``None`` on
+        the last page.  Each page is one "readdir" MDS op on the shard
+        owning ``dirpath`` (``dirpath + "/"`` routes there: entries
+        co-locate with their directory).
+        """
+        if batch_size < 1:
+            raise InvalidArgumentError("batch_size must be >= 1")
+        self._mds_op("readdir", dirpath + "/")
+        return self._readdir_slice(dirpath, start, batch_size)
+
+    def readdir(self, dirpath: str, batch_size: int = 64) -> list[str]:
+        """Full directory listing via paged readdir RPCs (sorted names)."""
+        names: list[str] = []
+        start: Optional[int] = 0
+        while start is not None:
+            page, start = self.readdir_page(dirpath, start, batch_size)
+            names.extend(page)
+        return names
+
+    def _readdir_slice(
+        self, dirpath: str, start: int, batch_size: int
+    ) -> tuple[list[str], Optional[int]]:
+        names = self.cluster.mds.entries(dirpath)
+        end = start + batch_size
+        return names[start:end], end if end < len(names) else None
 
     def metadata_op(self, op: str) -> None:
         """Charge an arbitrary MDS operation (used by format models)."""
@@ -212,33 +363,71 @@ class LustreClient:
         store_data: Optional[bool] = None,
     ):
         """Light-process twin of :meth:`create`."""
-        yield from self._mds_op_lw("create")
-        return self.cluster.create(
+        yield from self._mds_op_lw("create", path)
+        file = self.cluster.create(
             path,
             stripe_count=stripe_count,
             stripe_size=stripe_size,
             store_data=store_data,
         )
+        if self._md_cache is not None:
+            self._md_cache.insert(path, exists=True)
+        return file
 
     def open_lw(self, path: str):
         """Light-process twin of :meth:`open`."""
-        yield from self._mds_op_lw("open")
-        return self.cluster.lookup(path)
+        cached = self._md_cached(path)
+        if cached is not None:
+            return cached
+        yield from self._mds_op_lw("open", path)
+        return self._md_fill(path)
 
     def close_lw(self, file: LustreFile):
         """Light-process twin of :meth:`close`."""
         yield from self.fsync_lw(file)
-        yield from self._mds_op_lw("close")
+        yield from self._mds_op_lw("close", file.path)
 
     def stat_lw(self, path: str):
         """Light-process twin of :meth:`stat`."""
-        yield from self._mds_op_lw("stat")
-        return self.cluster.lookup(path)
+        cached = self._md_cached(path)
+        if cached is not None:
+            return cached
+        yield from self._mds_op_lw("stat", path)
+        return self._md_fill(path)
 
     def unlink_lw(self, path: str):
         """Light-process twin of :meth:`unlink`."""
-        yield from self._mds_op_lw("unlink")
+        yield from self._mds_op_lw("unlink", path)
         self.cluster.unlink(path)
+        if self._md_cache is not None:
+            self._md_cache.insert(path, exists=False)
+
+    def setattr_lw(self, path: str):
+        """Light-process twin of :meth:`setattr`."""
+        yield from self._mds_op_lw("setattr", path)
+        file = self.cluster.lookup(path)
+        self.cluster._invalidate_md(path)
+        return file
+
+    def readdir_page_lw(
+        self, dirpath: str, start: int = 0, batch_size: int = 64
+    ):
+        """Light-process twin of :meth:`readdir_page`."""
+        if batch_size < 1:
+            raise InvalidArgumentError("batch_size must be >= 1")
+        yield from self._mds_op_lw("readdir", dirpath + "/")
+        return self._readdir_slice(dirpath, start, batch_size)
+
+    def readdir_lw(self, dirpath: str, batch_size: int = 64):
+        """Light-process twin of :meth:`readdir`."""
+        names: list[str] = []
+        start: Optional[int] = 0
+        while start is not None:
+            page, start = yield from self.readdir_page_lw(
+                dirpath, start, batch_size
+            )
+            names.extend(page)
+        return names
 
     # ------------------------------------------------------------------
     # Data path

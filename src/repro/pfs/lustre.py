@@ -9,6 +9,7 @@ client/servers in simulated time.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -16,7 +17,7 @@ from repro import sim
 from repro.errors import InvalidArgumentError, NotFoundError
 from repro.pfs.disk import DiskProfile, HDDProfile
 from repro.pfs.layout import StripeLayout
-from repro.pfs.mds import Mds
+from repro.pfs.mds import MdsShardGroup
 from repro.pfs.oss import Oss
 from repro.pfs.ost import Ost
 from repro.trace import runtime as _trace
@@ -34,6 +35,16 @@ class LustreConfig:
     oss_rpc_overhead: float = 3e-5
     lock_switch_time: float = 1e-3
     mds_op_costs: Optional[dict] = None
+    #: DNE metadata shards; 1 = single MDS, byte-identical to pre-DNE runs
+    mds_shards: int = 1
+    #: uniform multiplier on every MDS op cost (what-if knob for faster/
+    #: slower metadata targets; 1.0 = calibrated Viking costs)
+    mds_cost_scale: float = 1.0
+    #: client-side metadata cache (TTL + negative entries); off by default
+    #: so the default config replays existing schedules bit-identically
+    md_cache: bool = False
+    md_cache_ttl: float = 5.0
+    md_cache_capacity: int = 4096
     default_stripe_size: int | str = "1M"
     default_stripe_count: int = 4
     #: Lustre client max RPC size (osc.max_pages_per_rpc * page size)
@@ -84,6 +95,12 @@ class LustreConfig:
             raise InvalidArgumentError("bad default stripe count")
         if self.rpc_timeout <= 0 or self.rpc_max_retries < 0:
             raise InvalidArgumentError("bad RPC retry policy")
+        if self.mds_shards < 1:
+            raise InvalidArgumentError("need at least one MDS shard")
+        if self.mds_cost_scale <= 0:
+            raise InvalidArgumentError("mds_cost_scale must be > 0")
+        if self.md_cache_ttl <= 0 or self.md_cache_capacity < 1:
+            raise InvalidArgumentError("bad metadata-cache parameters")
         if min(
             self.rpc_backoff_base, self.rpc_backoff_max, self.rpc_backoff_jitter
         ) < 0:
@@ -180,14 +197,27 @@ class LustreCluster:
             )
             for index in range(self.config.num_oss)
         ]
-        self.mds = Mds(engine, op_costs=self.config.mds_op_costs)
+        self.mds = MdsShardGroup(
+            engine,
+            shards=self.config.mds_shards,
+            op_costs=self.config.mds_op_costs,
+            cost_scale=self.config.mds_cost_scale,
+        )
         metrics = _trace.METRICS
         if metrics is not None:
             for ost in self.osts:
                 metrics.register(f"pfs.ost{ost.index}", ost.stats)
             for oss in self.osses:
                 metrics.register(f"pfs.oss{oss.index}", oss.stats)
-            metrics.register("pfs.mds", self.mds.stats)
+            # The aggregate keeps its pre-DNE namespace; ``stats`` is a
+            # merged snapshot property, so register a callable, not the
+            # (ephemeral) dataclass instance.
+            metrics.register(
+                "pfs.mds", lambda m=self.mds: dataclasses.asdict(m.stats)
+            )
+            if len(self.mds) > 1:
+                for shard in self.mds.shards:
+                    metrics.register(f"pfs.mds{shard.index}", shard.stats)
         sampler = _trace.SAMPLER
         if sampler is not None:
             for ost in self.osts:
@@ -202,12 +232,25 @@ class LustreCluster:
                     f"pfs.ost{ost.index}.busy_time",
                     lambda o=ost: o.stats.busy_time,
                 )
+            for shard in self.mds.shards:
+                sampler.register(
+                    f"pfs.mds{shard.index}.queue_depth",
+                    lambda m=shard: m.queue_length,
+                )
+                sampler.register(
+                    f"pfs.mds{shard.index}.busy_time",
+                    lambda m=shard: m.stats.busy_time,
+                )
         #: installed by repro.fault.FaultInjector.install(); None means
         #: every fault hook is a single is-None check (healthy fast path)
         self.fault_injector = None
         #: every LustreClient registers here so cluster-wide reports can
         #: aggregate per-client retry/timeout counters
         self.clients: list = []
+        #: metadata caches needing invalidation broadcasts on namespace
+        #: mutations; only cache-enabled clients register, so the default
+        #: config pays nothing here
+        self._md_caches: list = []
         self._files: dict[str, LustreFile] = {}
         self._next_file_id = 1
         self._next_start_ost = 0
@@ -257,6 +300,8 @@ class LustreCluster:
         )
         self._next_file_id += 1
         self._files[path] = file
+        self.mds.ns_register(path)
+        self._invalidate_md(path)
         return file
 
     def lookup(self, path: str) -> LustreFile:
@@ -278,15 +323,35 @@ class LustreCluster:
         for stripe_index in range(layout.stripe_count):
             ost_index = layout.ost_for_stripe(stripe_index)
             self.osts[ost_index].drop_object_state(file.object_id(ost_index))
+        self.mds.ns_unregister(path)
+        self._invalidate_md(path)
 
     def rename(self, src: str, dst: str) -> None:
         file = self.lookup(src)
         del self._files[src]
         file.path = dst
         self._files[dst] = file
+        self.mds.ns_rename(src, dst)
+        self._invalidate_md(src)
+        self._invalidate_md(dst)
 
     def list_paths(self, prefix: str = "") -> list[str]:
         return sorted(p for p in self._files if p.startswith(prefix))
+
+    def entries(self, dirpath: str) -> list[str]:
+        """Entry names of ``dirpath`` from the MDS namespace (no cost)."""
+        return self.mds.entries(dirpath)
+
+    def _invalidate_md(self, path: str) -> None:
+        """Broadcast a namespace mutation to every client metadata cache.
+
+        Models the MDS revoking UPDATE/LOOKUP locks: caches may never
+        serve an entry staler than the last mutation.  The list is empty
+        unless cache-enabled clients exist, keeping this free by default.
+        """
+        if self._md_caches:
+            for cache in self._md_caches:
+                cache.invalidate(path)
 
     def oss_for_ost(self, ost_index: int) -> Oss:
         """Static OST→OSS assignment (round-robin halves, as on Viking)."""

@@ -1,0 +1,107 @@
+"""Client-side metadata cache: TTL'd positive and negative entries.
+
+A Lustre client holding a LOOKUP lock answers ``stat``/``open`` existence
+checks locally instead of issuing an MDS RPC.  This module models that as
+an LRU of ``path → exists?`` verdicts (the :class:`repro.lsm.cache.LRUCache`
+design: ordered dict, move-to-front, capacity eviction) with two coherence
+mechanisms layered on top:
+
+* **TTL** — entries expire ``ttl`` simulated seconds after insertion,
+  bounding staleness the way lock cancellation timeouts do.
+* **Invalidation broadcast** — every namespace mutation
+  (create/unlink/rename/setattr) reaches
+  :meth:`repro.pfs.lustre.LustreCluster._invalidate_md`, which drops the
+  path from every registered cache: the model of the MDS revoking locks
+  synchronously, so a cache can never contradict the real namespace.
+
+Negative entries matter as much as positive ones: serving workloads probe
+for optional files (configs, higher-epoch manifests) and a remembered
+"does not exist" saves the same RPC a remembered file does.
+
+The cache is *timing-transparent*: probes and inserts cost zero simulated
+time.  The win it models is the **absence** of the MDS round-trip, which
+is exactly what the hit counter measures.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.trace.runtime import ambient_clock
+
+
+@dataclass
+class MdCacheStats:
+    hits: int = 0
+    negative_hits: int = 0
+    misses: int = 0
+    inserts: int = 0
+    invalidations: int = 0
+    expirations: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.negative_hits + self.misses
+        return (self.hits + self.negative_hits) / total if total else 0.0
+
+
+class MetadataCache:
+    """LRU of ``path → exists?`` with sim-clock TTL expiry."""
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        ttl: float = 5.0,
+        clock=ambient_clock,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if ttl <= 0:
+            raise ValueError(f"ttl must be > 0, got {ttl}")
+        self.capacity = capacity
+        self.ttl = ttl
+        self._clock = clock
+        #: path → (exists, expires_at), most-recently-used last
+        self._entries: OrderedDict[str, tuple[bool, float]] = OrderedDict()
+        self.stats = MdCacheStats()
+
+    def lookup(self, path: str):
+        """``True``/``False`` for a live verdict, ``None`` on a miss."""
+        entry = self._entries.get(path)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        exists, expires_at = entry
+        if self._clock() >= expires_at:
+            del self._entries[path]
+            self.stats.expirations += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(path)
+        if exists:
+            self.stats.hits += 1
+        else:
+            self.stats.negative_hits += 1
+        return exists
+
+    def insert(self, path: str, exists: bool = True) -> None:
+        if path in self._entries:
+            del self._entries[path]
+        elif len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[path] = (exists, self._clock() + self.ttl)
+        self.stats.inserts += 1
+
+    def invalidate(self, path: str) -> None:
+        """Drop ``path`` (the lock-revocation hook; miss-safe)."""
+        if self._entries.pop(path, None) is not None:
+            self.stats.invalidations += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

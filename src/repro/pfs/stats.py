@@ -30,6 +30,9 @@ class ClusterReport:
     oss_bytes: list[int] = field(default_factory=list)
     mds_requests: int = 0
     mds_busy: float = 0.0
+    #: per-DNE-shard request counts (length = mds_shards; [requests] when
+    #: unsharded) — the skew view the aggregate hides
+    mds_shard_requests: list[int] = field(default_factory=list)
     #: client fault-path totals (all zero on a healthy run)
     rpc_retries: int = 0
     rpc_timeouts: int = 0
@@ -66,6 +69,14 @@ class ClusterReport:
             f"  MDS: {self.mds_requests} ops, "
             f"{self.mds_busy * 1000:.1f}ms busy"
         )
+        if len(self.mds_shard_requests) > 1:
+            lines.append(
+                "  MDS shards: "
+                + ", ".join(
+                    f"mds{i}={reqs}"
+                    for i, reqs in enumerate(self.mds_shard_requests)
+                )
+            )
         if self.rpc_retries or self.rpc_timeouts:
             lines.append(
                 f"  faults: {self.rpc_retries} RPC retries, "
@@ -94,6 +105,9 @@ def collect_report(cluster: LustreCluster, elapsed: float) -> ClusterReport:
         oss_bytes=[oss.stats.bytes_moved for oss in cluster.osses],
         mds_requests=cluster.mds.stats.requests,
         mds_busy=cluster.mds.stats.busy_time,
+        mds_shard_requests=[
+            shard.stats.requests for shard in cluster.mds.shards
+        ],
         rpc_retries=cluster.total_rpc_retries(),
         rpc_timeouts=cluster.total_rpc_timeouts(),
         backoff_time=cluster.total_backoff_time(),

@@ -1,0 +1,186 @@
+"""Tests for namespace enumeration: readdir storms vs. manifest reads.
+
+Both strategies must agree on *what* exists (names and sizes); they must
+disagree on *cost* — the readdir storm pays an MDS op per entry, the
+manifest pays one open plus a streaming read.  Also covers the manifest
+text format and the Checkpointer's manifest-backed ``block_index``.
+"""
+
+import numpy as np
+import pytest
+
+from repro import sim
+from repro.core import Checkpointer, LsmioManager, LsmioOptions
+from repro.core.enumeration import (
+    format_manifest,
+    manifest_listing,
+    parse_manifest,
+    readdir_storm,
+    write_manifest,
+)
+from repro.errors import InvalidArgumentError, NotFoundError
+from repro.lsm import MemEnv
+from repro.pfs import LustreClient, LustreCluster
+from repro.pfs.configs import small_test_cluster
+
+N_FILES = 20
+FILE_BYTES = 1 << 16
+
+
+def populate(client, directory="data"):
+    entries = []
+    for i in range(N_FILES):
+        name = f"f{i:03d}"
+        file = client.create(f"{directory}/{name}", stripe_count=1)
+        client.write(file, 0, (i + 1) * 1024)
+        client.close(file)
+        entries.append((name, (i + 1) * 1024))
+    return entries
+
+
+def run_enum(fn):
+    """Run fn(client) on a fresh cluster; return (result, cluster)."""
+    with sim.Engine() as engine:
+        cluster = LustreCluster(engine, small_test_cluster(store_data=False))
+        client = LustreClient(cluster, 0)
+        proc = engine.spawn(fn, client)
+        engine.run()
+    return proc.result, cluster
+
+
+class TestManifestFormat:
+    def test_roundtrip_is_sorted(self):
+        entries = [("zeta", 10), ("alpha", 7), ("mid", 123456)]
+        payload = format_manifest(entries)
+        assert payload == b"alpha 7\nmid 123456\nzeta 10\n"
+        assert parse_manifest(payload) == sorted(entries)
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            parse_manifest(b"justonetoken\n")
+
+    def test_empty_manifest(self):
+        assert parse_manifest(b"") == []
+
+
+class TestStrategies:
+    def test_both_strategies_agree_on_names_and_sizes(self):
+        def main(client):
+            entries = populate(client)
+            write_manifest(client, "manifests/LIST", entries)
+            storm = readdir_storm(client, "data", batch_size=8)
+            manifest = manifest_listing(client, "manifests/LIST", "data")
+            return entries, storm, manifest
+
+        (entries, storm, manifest), _ = run_enum(main)
+        expected = dict(entries)
+        assert storm.entries == sorted(expected)
+        assert manifest.entries == sorted(expected)
+        assert storm.sizes == expected
+        assert manifest.sizes == expected
+
+    def test_readdir_pays_per_entry_manifest_per_byte(self):
+        def main(client):
+            entries = populate(client)
+            write_manifest(client, "manifests/LIST", entries)
+            storm = readdir_storm(client, "data", batch_size=8)
+            manifest = manifest_listing(client, "manifests/LIST", "data")
+            return storm, manifest
+
+        (storm, manifest), _ = run_enum(main)
+        # storm: ceil(20/8) = 3 readdir pages + 20 stats
+        assert storm.batches == 3
+        assert storm.mds_ops == 3 + N_FILES
+        assert storm.request_amplification > 1.0
+        # manifest: one open, one read — amplification collapses
+        assert manifest.mds_ops == 1
+        assert manifest.read_rpcs >= 1
+        assert manifest.request_amplification < 0.5
+        assert manifest.elapsed_s < storm.elapsed_s
+        assert manifest.entries_per_s > storm.entries_per_s
+
+    def test_time_to_first_batch_precedes_completion(self):
+        def main(client):
+            populate(client)
+            return readdir_storm(client, "data", batch_size=4)
+
+        storm, _ = run_enum(main)
+        assert 0 < storm.time_to_first_batch_s < storm.elapsed_s
+
+    def test_names_only_storm_skips_stats(self):
+        def main(client):
+            populate(client)
+            return readdir_storm(client, "data", batch_size=8,
+                                 stat_entries=False)
+
+        storm, _ = run_enum(main)
+        assert storm.mds_ops == 3  # pages only
+        assert storm.sizes == {}
+        assert len(storm.entries) == N_FILES
+
+    def test_backends_replay_one_schedule(self):
+        from repro.core.enumeration import (
+            manifest_listing_lw,
+            readdir_storm_lw,
+            write_manifest_lw,
+        )
+
+        def workload_lw(client):
+            entries = []
+            for i in range(6):
+                name = f"f{i}"
+                file = yield from client.create_lw(
+                    f"d/{name}", stripe_count=1
+                )
+                yield from client.write_lw(file, 0, 4096)
+                yield from client.close_lw(file)
+                entries.append((name, 4096))
+            yield from write_manifest_lw(client, "m/LIST", entries)
+            storm = yield from readdir_storm_lw(client, "d", batch_size=4)
+            listing = yield from manifest_listing_lw(client, "m/LIST", "d")
+            return storm.entries, listing.entries
+
+        results = {}
+        for light in (True, False):
+            with sim.Engine(light_processes=light) as engine:
+                cluster = LustreCluster(
+                    engine, small_test_cluster(store_data=False)
+                )
+                client = LustreClient(cluster, 0)
+                if light:
+                    proc = engine.spawn_light(workload_lw, client)
+                else:
+                    proc = engine.spawn(
+                        lambda: sim.run_blocking(workload_lw(client))
+                    )
+                elapsed = engine.run()
+                results[light] = (proc.result, elapsed, engine._heap_pushes)
+        assert results[True] == results[False]
+
+
+class TestCheckpointerBlockIndex:
+    @pytest.fixture
+    def manager(self):
+        manager = LsmioManager(
+            "db", options=LsmioOptions(write_buffer_size="1M"), env=MemEnv()
+        )
+        yield manager
+        manager.close()
+
+    def test_index_names_lengths_without_reading_blocks(self, manager):
+        ckpt = Checkpointer(manager)
+        state = {
+            "field": np.arange(64, dtype=np.float64),
+            "step": 3,
+        }
+        ckpt.save(3, state)
+        index = ckpt.block_index(3)
+        assert set(index) == {"field", "step"}
+        for name, (length, crc) in index.items():
+            assert length > 0
+            assert isinstance(crc, int)
+
+    def test_uncommitted_epoch_raises(self, manager):
+        ckpt = Checkpointer(manager)
+        with pytest.raises(NotFoundError):
+            ckpt.block_index(9)

@@ -1,0 +1,242 @@
+"""Unit tests for the sharded MDS (DNE) and its namespace.
+
+Covers deterministic parent-directory-hash routing, the one-shard
+degenerate case (bit-identical to a single ``Mds``), FCFS service under
+contention, the namespace (register/unregister/rename/entries), op-cost
+scaling, and the failure domain.
+"""
+
+import pytest
+
+from repro import sim
+from repro.errors import MdsUnavailableError
+from repro.pfs.mds import DEFAULT_OP_COSTS, Mds, MdsShardGroup, _parent_dir
+
+
+def run_proc(fn):
+    with sim.Engine() as engine:
+        holder = {}
+
+        def wrapper():
+            holder["result"] = fn(engine)
+
+        engine.spawn(wrapper)
+        elapsed = engine.run()
+        return holder.get("result"), elapsed
+
+
+PATHS = [
+    "models/m000/shard000",
+    "models/m000/shard001",
+    "models/m001/shard000",
+    "manifests/m000/LIST",
+    "toplevel",
+    "a/b/c/deep",
+]
+
+
+class TestRouting:
+    def test_parent_dir(self):
+        assert _parent_dir("a/b/c") == "a/b"
+        assert _parent_dir("a/b") == "a"
+        assert _parent_dir("top") == ""
+        assert _parent_dir("/abs") == ""
+
+    def test_routing_is_deterministic_across_groups(self):
+        """Same path -> same shard on independently built groups (the
+        property that makes figure runs reproducible across backends)."""
+        with sim.Engine() as e1, sim.Engine() as e2:
+            g1 = MdsShardGroup(e1, shards=4)
+            g2 = MdsShardGroup(e2, shards=4)
+            first = [g1.shard_for(p).index for p in PATHS]
+            second = [g2.shard_for(p).index for p in PATHS]
+        assert first == second
+        assert all(0 <= i < 4 for i in first)
+
+    def test_same_directory_colocates_distinct_directories_spread(self):
+        with sim.Engine() as engine:
+            group = MdsShardGroup(engine, shards=4)
+            same_dir = {
+                group.shard_for(f"models/m000/shard{i:03d}").index
+                for i in range(32)
+            }
+            assert len(same_dir) == 1
+            many_dirs = {
+                group.shard_for(f"models/m{i:03d}/shard000").index
+                for i in range(32)
+            }
+            assert len(many_dirs) > 1
+
+    def test_route_cache_matches_fresh_hashing(self):
+        with sim.Engine() as engine:
+            group = MdsShardGroup(engine, shards=3)
+            first = [group.shard_index_for_dir(_parent_dir(p)) for p in PATHS]
+            again = [group.shard_index_for_dir(_parent_dir(p)) for p in PATHS]
+        assert first == again
+
+    def test_needs_at_least_one_shard(self):
+        with sim.Engine() as engine:
+            with pytest.raises(ValueError):
+                MdsShardGroup(engine, shards=0)
+
+
+class TestService:
+    def test_one_shard_matches_plain_mds_timing(self):
+        def plain(engine):
+            mds = Mds(engine)
+            mds.perform("create")
+            mds.perform("open")
+            return None
+
+        def grouped(engine):
+            group = MdsShardGroup(engine, shards=1)
+            group.perform("create", "models/m000/a")
+            group.perform("open", "models/m000/a")
+            return None
+
+        _, t_plain = run_proc(plain)
+        _, t_group = run_proc(grouped)
+        assert t_plain == t_group == pytest.approx(3e-4)
+
+    def test_unknown_op_raises_keyerror_through_group(self):
+        def main(engine):
+            group = MdsShardGroup(engine, shards=2)
+            with pytest.raises(KeyError):
+                group.perform("frobnicate", "some/path")
+            return True
+
+        assert run_proc(main)[0]
+
+    def test_aggregate_stats_merge_shards(self):
+        def main(engine):
+            group = MdsShardGroup(engine, shards=4)
+            for path in PATHS:
+                group.perform("create", path)
+                group.perform("open", path)
+            return group
+
+        group, _ = run_proc(main)
+        agg = group.stats
+        assert agg.requests == 2 * len(PATHS)
+        assert agg.ops == {"create": len(PATHS), "open": len(PATHS)}
+        assert agg.requests == sum(s.stats.requests for s in group.shards)
+        assert agg.busy_time == pytest.approx(
+            sum(s.stats.busy_time for s in group.shards)
+        )
+
+    def test_fcfs_queue_builds_under_contention(self):
+        """Concurrent clients on one shard serialize FCFS; an observer in
+        the middle of the backlog sees a non-empty queue."""
+        with sim.Engine() as engine:
+            group = MdsShardGroup(engine, op_costs={"create": 0.5})
+            order = []
+            seen = {}
+
+            def client(cid):
+                group.perform("create", "dir/f")
+                order.append(cid)
+
+            def observer():
+                yield 0.75  # two ops still queued behind the in-service one
+                seen["depth"] = group.queue_length
+
+            for cid in range(4):
+                engine.spawn(client, cid)
+            engine.spawn_light(observer)
+            elapsed = engine.run()
+        assert elapsed == pytest.approx(2.0)
+        assert order == [0, 1, 2, 3]
+        assert seen["depth"] > 0
+
+    def test_shards_serve_independently(self):
+        """Ops on different shards overlap; the makespan is the busiest
+        shard, not the total service demand."""
+        with sim.Engine() as engine:
+            group = MdsShardGroup(engine, shards=4, op_costs={"create": 0.5})
+            dirs = {}
+            for i in range(64):
+                path = f"d{i:03d}/f"
+                dirs.setdefault(group.shard_for(path).index, path)
+                if len(dirs) == 4:
+                    break
+            assert len(dirs) == 4
+            for path in dirs.values():
+                engine.spawn(lambda p=path: group.perform("create", p))
+            elapsed = engine.run()
+        assert elapsed == pytest.approx(0.5)
+
+    def test_cost_scale_multiplies_every_op(self):
+        def main(engine):
+            mds = Mds(engine, cost_scale=3.0)
+            mds.perform("open")
+            return None
+
+        _, elapsed = run_proc(main)
+        assert elapsed == pytest.approx(3.0 * DEFAULT_OP_COSTS["open"])
+
+
+class TestNamespace:
+    def test_register_creates_ancestors_and_sorts_entries(self):
+        with sim.Engine() as engine:
+            group = MdsShardGroup(engine, shards=4)
+            group.ns_register("a/b/z")
+            group.ns_register("a/b/y")
+            group.ns_register("a/c")
+            assert group.entries("a/b") == ["y", "z"]
+            assert group.entries("a") == ["b", "c"]
+            assert group.entries("") == ["a"]
+
+    def test_unregister_drops_entry_keeps_ancestors(self):
+        with sim.Engine() as engine:
+            group = MdsShardGroup(engine, shards=2)
+            group.ns_register("a/b/c")
+            group.ns_unregister("a/b/c")
+            assert group.entries("a/b") == []
+            assert group.entries("a") == ["b"]
+
+    def test_rename_moves_entry(self):
+        with sim.Engine() as engine:
+            group = MdsShardGroup(engine, shards=4)
+            group.ns_register("src/f")
+            group.ns_rename("src/f", "dst/f")
+            assert group.entries("src") == []
+            assert group.entries("dst") == ["f"]
+
+    def test_unknown_directory_lists_empty(self):
+        with sim.Engine() as engine:
+            group = MdsShardGroup(engine)
+            assert group.entries("nope") == []
+
+
+class TestFailureDomain:
+    def test_down_shard_rejects_until_recovery(self):
+        def main(engine):
+            group = MdsShardGroup(engine, shards=2)
+            shard = group.shard_for("dir/f")
+            shard.fail()
+            with pytest.raises(MdsUnavailableError) as exc:
+                group.perform("open", "dir/f")
+            assert exc.value.shard_index == shard.index
+            shard.recover()
+            group.perform("open", "dir/f")
+            return group
+
+        group, _ = run_proc(main)
+        agg = group.stats
+        assert agg.failures == 1
+        assert agg.rejected_requests == 1
+        assert agg.requests == 1  # only the post-recovery op was served
+
+    def test_other_shards_stay_up(self):
+        def main(engine):
+            group = MdsShardGroup(engine, shards=4)
+            down = group.shard_for("dir0/f")
+            down.fail()
+            for i in range(1, 16):
+                path = f"dir{i}/f"
+                if group.shard_for(path) is not down:
+                    group.perform("open", path)
+                    return True
+            return False
+
+        assert run_proc(main)[0]

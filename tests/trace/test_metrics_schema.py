@@ -84,6 +84,29 @@ COMPACTION_KEYS = {
 }
 
 
+#: Fixed flat keys under ``pfs.mds`` (and ``pfs.mds{i}`` when sharded);
+#: the snapshot also carries one ``ops.{op}`` counter per op class the
+#: workload actually issued, which is workload-dependent by design.
+MDS_KEYS = {
+    "requests",
+    "busy_time",
+    "failures",
+    "rejected_requests",
+}
+
+#: Flat keys under ``pfs.mdcache.client{id}`` when the metadata cache is
+#: enabled — the serving campaign and its CI gate read these.
+MDCACHE_KEYS = {
+    "hits",
+    "negative_hits",
+    "misses",
+    "inserts",
+    "invalidations",
+    "expirations",
+    "evictions",
+}
+
+
 def test_client_and_scheduler_snapshot_schema():
     trace.install()
     try:
@@ -117,6 +140,92 @@ def test_client_and_scheduler_snapshot_schema():
         # the default FIFO policy issues everything inline
         assert sched_snap["io.sched.client0.queued_issues"] == 0
         assert sched_snap["io.sched.client0.inline_issues"] > 0
+    finally:
+        trace.uninstall()
+
+
+def _mds_keys_of(snap: dict, prefix: str) -> set:
+    """Split a pfs.mds* snapshot into (fixed keys, per-op keys)."""
+    fixed = {
+        k[len(prefix) + 1:]
+        for k in snap
+        if not k[len(prefix) + 1:].startswith("ops.")
+    }
+    ops = {k[len(prefix) + 1:] for k in snap if ".ops." in k}
+    return fixed, ops
+
+
+def test_mds_snapshot_schema_default_single_shard():
+    """The aggregate ``pfs.mds`` namespace is always present; per-shard
+    namespaces only appear under DNE (shards > 1) so the default
+    cluster's metric surface is unchanged."""
+    trace.install()
+    try:
+        with sim.Engine() as engine:
+            cluster = LustreCluster(engine, small_test_cluster())
+            client = LustreClient(cluster, 0)
+
+            def main():
+                client.create("d/f")
+                client.open("d/f")
+
+            engine.spawn(main)
+            engine.run()
+
+        registry = trace.current_metrics()
+        assert "pfs.mds" in registry.namespaces()
+        assert "pfs.mds0" not in registry.namespaces()
+        assert "pfs.mdcache.client0" not in registry.namespaces()
+        snap = registry.snapshot(prefix="pfs.mds")
+        fixed, ops = _mds_keys_of(snap, "pfs.mds")
+        assert fixed == MDS_KEYS
+        assert ops == {"ops.create", "ops.open"}
+        assert snap["pfs.mds.requests"] == 2
+    finally:
+        trace.uninstall()
+
+
+def test_mds_and_mdcache_snapshot_schema_sharded():
+    """Sharded + cached cluster: ``pfs.mds{i}`` per shard and
+    ``pfs.mdcache.client{id}`` per client, all schema-locked."""
+    trace.install()
+    try:
+        with sim.Engine() as engine:
+            cluster = LustreCluster(
+                engine, small_test_cluster(mds_shards=4, md_cache=True)
+            )
+            client = LustreClient(cluster, 0)
+
+            def main():
+                client.create("d/f")
+                client.open("d/f")   # cache hit
+                client.readdir("d")
+
+            engine.spawn(main)
+            engine.run()
+
+        registry = trace.current_metrics()
+        namespaces = registry.namespaces()
+        for i in range(4):
+            assert f"pfs.mds{i}" in namespaces
+            snap = registry.snapshot(prefix=f"pfs.mds{i}")
+            fixed, _ = _mds_keys_of(snap, f"pfs.mds{i}")
+            assert fixed == MDS_KEYS, (i, fixed)
+
+        # the aggregate equals the shard sum
+        agg = registry.snapshot(prefix="pfs.mds")
+        shard_requests = sum(
+            registry.snapshot(prefix=f"pfs.mds{i}")[f"pfs.mds{i}.requests"]
+            for i in range(4)
+        )
+        assert agg["pfs.mds.requests"] == shard_requests
+
+        assert "pfs.mdcache.client0" in namespaces
+        snap = registry.snapshot(prefix="pfs.mdcache.client0")
+        assert set(snap) == {
+            f"pfs.mdcache.client0.{k}" for k in MDCACHE_KEYS
+        }
+        assert snap["pfs.mdcache.client0.hits"] == 1
     finally:
         trace.uninstall()
 
@@ -251,6 +360,47 @@ def test_telemetry_snapshot_schema():
     finally:
         telemetry.uninstall()
         trace.uninstall()
+
+
+def test_mds_telemetry_gauges_and_histograms():
+    """The metadata path feeds telemetry like the data path: service and
+    wait histograms under ``pfs.mds.*``, per-shard queue-depth and
+    busy-time gauges on the sampler grid."""
+    from repro import telemetry
+
+    tele = telemetry.install(
+        sampler=telemetry.GaugeSampler(interval=1e-4)
+    )
+    try:
+        with sim.Engine() as engine:
+            cluster = LustreCluster(
+                engine, small_test_cluster(mds_shards=2)
+            )
+            client = LustreClient(cluster, 0)
+
+            def main():
+                for i in range(16):
+                    client.create(f"d{i}/f")
+
+            engine.spawn(main)
+            engine.run()
+
+        snap = tele.snapshot()
+        assert "pfs.mds.wait" in snap
+        assert "pfs.mds.service" in snap
+        assert snap["pfs.mds.service"]["count"] == 16
+        series = tele.to_payload()["series"]
+        for shard in range(2):
+            assert f"pfs.mds{shard}.queue_depth" in series
+            assert f"pfs.mds{shard}.busy_time" in series
+        # busy-time gauges are cumulative: the last sample of the shard
+        # that served ops must be positive
+        assert any(
+            series[f"pfs.mds{s}.busy_time"]["value"][-1] > 0
+            for s in range(2)
+        )
+    finally:
+        telemetry.uninstall()
 
 
 def test_telemetry_namespace_unregisters_on_uninstall():
